@@ -1,0 +1,118 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **PISA's blinded sign test vs bitwise secure comparison** — the
+//!    paper's central efficiency argument (§IV-B): avoiding [13][12][18]
+//!    style bit-by-bit comparison. One PISA entry costs a handful of
+//!    homomorphic ops; one bitwise comparison costs ℓ=60 encryptions,
+//!    O(ℓ) homomorphic ops and ℓ decryptions.
+//! 2. **CRT vs standard Paillier decryption** — the STP decrypts one
+//!    ciphertext per entry; CRT roughly quarters that cost.
+//! 3. **Re-randomization vs re-encryption** — the paper's 221 s → 11 s
+//!    request-refresh trick.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pisa::ablation::BitwiseComparison;
+use pisa_bigint::Ibig;
+use pisa_crypto::blind::Blinder;
+use pisa_crypto::paillier::PaillierKeyPair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KEY_BITS: usize = 512;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    let mut rng = StdRng::seed_from_u64(0xab1a);
+    let kp = PaillierKeyPair::generate(&mut rng, KEY_BITS);
+    let pk = kp.public();
+
+    // --- 1. sign test: PISA vs bitwise --------------------------------
+    let blinder = Blinder::new(128);
+    let i_ct = pk.encrypt(&Ibig::from(123_456i64), &mut rng);
+    group.bench_function("sign_test_pisa_per_entry", |b| {
+        // SDC blind (eq. 14) + STP decrypt/sign + STP re-encrypt +
+        // SDC unblind (eq. 16) — the full per-entry pipeline.
+        let mut rng = StdRng::seed_from_u64(1);
+        let one = pk.encrypt_public_constant(&Ibig::from(1i64));
+        b.iter(|| {
+            let f = blinder.sample(&mut rng);
+            let scaled = pk.scalar_mul(&i_ct, &Ibig::from(f.alpha.clone()));
+            let beta_ct = pk.encrypt(&Ibig::from(f.beta.clone()), &mut rng);
+            let v = pk.scalar_mul(&pk.sub(&scaled, &beta_ct), &f.epsilon.as_scalar());
+            let plain = kp.secret().decrypt(&v);
+            let x = if plain.is_positive() { 1i64 } else { -1 };
+            let x_ct = pk.encrypt(&Ibig::from(x), &mut rng);
+            let unblinded = pk.scalar_mul(&x_ct, &f.epsilon.as_scalar());
+            pk.sub(&unblinded, &one)
+        })
+    });
+
+    group.bench_function("sign_test_bitwise_60bit_per_entry", |b| {
+        let cmp = BitwiseComparison::paper_width();
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| cmp.compare(123_456, 999_999, pk, kp.secret(), &mut rng))
+    });
+
+    // --- 2. CRT vs standard decryption --------------------------------
+    let ct = pk.encrypt(&Ibig::from(42i64), &mut rng);
+    group.bench_function("decrypt_crt", |b| b.iter(|| kp.secret().decrypt(&ct)));
+    group.bench_function("decrypt_standard", |b| {
+        b.iter(|| kp.secret().decrypt_standard(&ct))
+    });
+
+    // --- 3. refresh: precomputed vs online vs re-encrypt --------------
+    group.bench_function("refresh_precomputed_online_only", |b| {
+        // The paper's trick: rⁿ computed offline, refresh = one modmul.
+        let mut rng = StdRng::seed_from_u64(5);
+        let factor = pk.precompute_randomizer(&mut rng);
+        b.iter(|| pk.rerandomize_precomputed(&ct, &factor))
+    });
+    group.bench_function("refresh_rerandomize_online", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| pk.rerandomize(&ct, &mut rng))
+    });
+    group.bench_function("refresh_reencrypt", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| pk.encrypt(&Ibig::from(42i64), &mut rng))
+    });
+
+    // --- 4. the cost of privacy: plaintext WATCH vs PISA --------------
+    // Same spectrum decision, same configuration; one in the clear, one
+    // over ciphertexts (build + phase 1 + conversion + phase 2).
+    {
+        use pisa::prelude::*;
+        use pisa::{SdcServer, StpServer, SuClient, SuId};
+        let cfg = pisa_bench::scaled_config(4, 3, 5, KEY_BITS);
+        let mut rng = StdRng::seed_from_u64(6);
+
+        let watch_sdc = pisa_watch::WatchSdc::new(cfg.watch().clone());
+        let request =
+            pisa_watch::SuRequest::full_power(cfg.watch(), BlockId(1), &[Channel(0)]);
+        group.bench_function("request_plaintext_watch", |b| {
+            b.iter(|| watch_sdc.process_request(&request))
+        });
+
+        let mut stp = StpServer::new(&mut rng, cfg.paillier_bits());
+        let mut sdc = SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc", &mut rng);
+        let mut su = SuClient::new(SuId(0), BlockId(1), &cfg, &mut rng);
+        stp.register_su(SuId(0), su.public_key().clone());
+        group.bench_function("request_pisa_end_to_end", |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                pisa::run_request_direct(&mut su, &mut sdc, &stp, &[Channel(0)], &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Substrate micro-benchmarks: the big-integer layer under Paillier
+//! (the paper's GMP). Includes the Montgomery-vs-division ablation —
+//! the optimization that makes modular exponentiation (and hence all of
+//! Table II) tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pisa_bigint::modular::{mod_inverse, mod_pow, MontCtx};
+use pisa_bigint::random::random_bits;
+use pisa_bigint::Ubig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Naive square-and-multiply with division-based reduction (the
+/// baseline Montgomery replaces).
+fn naive_mod_pow(base: &Ubig, exp: &Ubig, modulus: &Ubig) -> Ubig {
+    let mut acc = Ubig::one();
+    let base = base % modulus;
+    for i in (0..exp.bit_len()).rev() {
+        acc = (&acc * &acc) % modulus;
+        if exp.bit(i) {
+            acc = (&acc * &base) % modulus;
+        }
+    }
+    acc
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint");
+    group.sample_size(20);
+
+    let mut rng = StdRng::seed_from_u64(0xb161);
+    for bits in [2048usize, 4096] {
+        let a = random_bits(&mut rng, bits);
+        let b = random_bits(&mut rng, bits);
+        let m = {
+            let mut m = random_bits(&mut rng, bits);
+            m.set_bit(0, true); // odd modulus
+            m
+        };
+        group.bench_function(BenchmarkId::new("mul", bits), |bch| {
+            bch.iter(|| &a * &b)
+        });
+        group.bench_function(BenchmarkId::new("div_rem", bits), |bch| {
+            let wide = &a * &b;
+            bch.iter(|| wide.div_rem(&m))
+        });
+        group.bench_function(BenchmarkId::new("mod_inverse", bits), |bch| {
+            bch.iter(|| mod_inverse(&a, &m))
+        });
+    }
+
+    // Montgomery vs naive exponentiation ablation (512-bit exponent so
+    // the naive path finishes).
+    let bits = 1024;
+    let m = {
+        let mut m = random_bits(&mut rng, bits);
+        m.set_bit(0, true);
+        m
+    };
+    let base = random_bits(&mut rng, bits - 1);
+    let exp = random_bits(&mut rng, 512);
+    group.bench_function("mod_pow_montgomery_1024", |bch| {
+        bch.iter(|| mod_pow(&base, &exp, &m))
+    });
+    group.bench_function("mod_pow_montgomery_ctx_reuse_1024", |bch| {
+        let ctx = MontCtx::new(&m).unwrap();
+        bch.iter(|| ctx.pow(&base, &exp))
+    });
+    group.bench_function("mod_pow_naive_division_1024", |bch| {
+        bch.iter(|| naive_mod_pow(&base, &exp, &m))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_bigint
+}
+criterion_main!(benches);

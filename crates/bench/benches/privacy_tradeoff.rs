@@ -1,0 +1,48 @@
+//! §VI-A trade-off: SU location privacy vs request preparation and
+//! processing time — both must scale linearly with the exposed region
+//! size. The paper sweeps 300 vs 600 blocks; we sweep four region sizes
+//! at CI scale (the `privacy_tradeoff` binary prints the full table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pisa::prelude::*;
+use pisa::{LocationPrivacy, SdcServer, StpServer, SuClient, SuId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("privacy_tradeoff");
+    group.sample_size(10);
+
+    let mut rng = StdRng::seed_from_u64(0x7ade);
+    // 2 channels × 40 blocks keeps entry counts proportional to the
+    // paper's sweep while staying CI-fast.
+    let cfg = pisa_bench::scaled_config(2, 4, 10, 512);
+    let mut stp = StpServer::new(&mut rng, cfg.paillier_bits());
+    let mut sdc = SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc", &mut rng);
+    let mut su = SuClient::new(SuId(0), BlockId(0), &cfg, &mut rng);
+    stp.register_su(SuId(0), su.public_key().clone());
+
+    for region in [10usize, 20, 30, 40] {
+        su.set_privacy(LocationPrivacy::Region(region));
+        group.throughput(Throughput::Elements((cfg.channels() * region) as u64));
+
+        group.bench_function(BenchmarkId::new("request_preparation", region), |b| {
+            let mut rng = StdRng::seed_from_u64(region as u64);
+            b.iter(|| su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng))
+        });
+
+        let request = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+        group.bench_function(BenchmarkId::new("request_processing", region), |b| {
+            let mut rng = StdRng::seed_from_u64(region as u64 + 100);
+            b.iter(|| sdc.process_request_phase1(&request, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_tradeoff
+}
+criterion_main!(benches);

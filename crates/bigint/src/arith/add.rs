@@ -1,0 +1,122 @@
+//! Addition and subtraction.
+
+use crate::Ubig;
+
+pub(crate) fn add(a: &Ubig, b: &Ubig) -> Ubig {
+    let (long, short) = if a.limbs.len() >= b.limbs.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let mut out = long.limbs.clone();
+    let carry = add_assign_slice(&mut out, &short.limbs);
+    if carry != 0 {
+        out.push(carry);
+    }
+    Ubig::from_limbs(out)
+}
+
+/// Adds `b` into `a` in place (`a.len() >= b.len()`), returning the final
+/// carry (0 or 1).
+pub(crate) fn add_assign_slice(a: &mut [u64], b: &[u64]) -> u64 {
+    debug_assert!(a.len() >= b.len());
+    let mut carry = 0u64;
+    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
+        let (s1, c1) = ai.overflowing_add(bi);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *ai = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    for ai in a.iter_mut().skip(b.len()) {
+        if carry == 0 {
+            break;
+        }
+        let (s, c) = ai.overflowing_add(carry);
+        *ai = s;
+        carry = c as u64;
+    }
+    carry
+}
+
+pub(crate) fn sub(a: &Ubig, b: &Ubig) -> Ubig {
+    assert!(a >= b, "Ubig subtraction underflow");
+    let mut out = a.limbs.clone();
+    let borrow = sub_assign_slice(&mut out, &b.limbs);
+    debug_assert_eq!(borrow, 0);
+    Ubig::from_limbs(out)
+}
+
+/// Subtracts `b` from `a` in place (`a.len() >= b.len()`), returning the
+/// final borrow (0 or 1).
+pub(crate) fn sub_assign_slice(a: &mut [u64], b: &[u64]) -> u64 {
+    debug_assert!(a.len() >= b.len());
+    let mut borrow = 0u64;
+    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
+        let (d1, b1) = ai.overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *ai = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    for ai in a.iter_mut().skip(b.len()) {
+        if borrow == 0 {
+            break;
+        }
+        let (d, bo) = ai.overflowing_sub(borrow);
+        *ai = d;
+        borrow = bo as u64;
+    }
+    borrow
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Ubig;
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = Ubig::from_limbs(vec![u64::MAX, u64::MAX]);
+        let b = Ubig::one();
+        let sum = &a + &b;
+        assert_eq!(sum.as_limbs(), &[0, 0, 1]);
+        assert_eq!(&sum - &b, a);
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let a = Ubig::from(12345u64);
+        assert_eq!(&a + &Ubig::zero(), a);
+        assert_eq!(&Ubig::zero() + &a, a);
+    }
+
+    #[test]
+    fn sub_self_is_zero() {
+        let a = Ubig::from_limbs(vec![7, 8, 9]);
+        assert!((&a - &a).is_zero());
+    }
+
+    #[test]
+    fn sub_with_borrow_chain() {
+        let a = Ubig::from_limbs(vec![0, 0, 1]);
+        let b = Ubig::one();
+        assert_eq!((&a - &b).as_limbs(), &[u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Ubig::one() - Ubig::from(2u64);
+    }
+
+    #[test]
+    fn commutativity_small() {
+        for x in 0..20u64 {
+            for y in 0..20u64 {
+                assert_eq!(
+                    Ubig::from(x) + Ubig::from(y),
+                    Ubig::from(y) + Ubig::from(x)
+                );
+                assert_eq!(Ubig::from(x) + Ubig::from(y), Ubig::from(x + y));
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Bitwise AND / OR / XOR.
+
+use crate::Ubig;
+
+pub(crate) fn and(a: &Ubig, b: &Ubig) -> Ubig {
+    let out = a
+        .limbs
+        .iter()
+        .zip(b.limbs.iter())
+        .map(|(x, y)| x & y)
+        .collect();
+    Ubig::from_limbs(out)
+}
+
+pub(crate) fn or(a: &Ubig, b: &Ubig) -> Ubig {
+    let (long, short) = if a.limbs.len() >= b.limbs.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let mut out = long.limbs.clone();
+    for (o, &s) in out.iter_mut().zip(short.limbs.iter()) {
+        *o |= s;
+    }
+    Ubig::from_limbs(out)
+}
+
+pub(crate) fn xor(a: &Ubig, b: &Ubig) -> Ubig {
+    let (long, short) = if a.limbs.len() >= b.limbs.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let mut out = long.limbs.clone();
+    for (o, &s) in out.iter_mut().zip(short.limbs.iter()) {
+        *o ^= s;
+    }
+    Ubig::from_limbs(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Ubig;
+
+    #[test]
+    fn and_or_xor_small() {
+        let a = Ubig::from(0b1100u64);
+        let b = Ubig::from(0b1010u64);
+        assert_eq!(&a & &b, Ubig::from(0b1000u64));
+        assert_eq!(&a | &b, Ubig::from(0b1110u64));
+        assert_eq!(&a ^ &b, Ubig::from(0b0110u64));
+    }
+
+    #[test]
+    fn mixed_lengths() {
+        let long = Ubig::from_limbs(vec![u64::MAX, u64::MAX]);
+        let short = Ubig::from(1u64);
+        assert_eq!(&long & &short, short);
+        assert_eq!(&long | &short, long);
+        assert_eq!(
+            &long ^ &short,
+            Ubig::from_limbs(vec![u64::MAX - 1, u64::MAX])
+        );
+    }
+
+    #[test]
+    fn xor_self_is_zero() {
+        let a = Ubig::from_limbs(vec![3, 5, 9]);
+        assert!((&a ^ &a).is_zero());
+    }
+}

@@ -1,0 +1,210 @@
+//! Division: single-limb short division and Knuth Algorithm D for the
+//! multi-limb case.
+
+use crate::Ubig;
+
+pub(crate) fn div(a: &Ubig, b: &Ubig) -> Ubig {
+    div_rem(a, b).0
+}
+
+pub(crate) fn rem(a: &Ubig, b: &Ubig) -> Ubig {
+    div_rem(a, b).1
+}
+
+pub(crate) fn div_rem(a: &Ubig, b: &Ubig) -> (Ubig, Ubig) {
+    assert!(!b.is_zero(), "division by zero Ubig");
+    if a < b {
+        return (Ubig::zero(), a.clone());
+    }
+    if b.limbs.len() == 1 {
+        let (q, r) = div_rem_single(&a.limbs, b.limbs[0]);
+        return (Ubig::from_limbs(q), Ubig::from(r));
+    }
+    let (q, r) = div_rem_normalized(&a.limbs, &b.limbs);
+    (Ubig::from_limbs(q), Ubig::from_limbs(r))
+}
+
+fn div_rem_single(a: &[u64], d: u64) -> (Vec<u64>, u64) {
+    let mut q = vec![0u64; a.len()];
+    let mut rem = 0u128;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << 64) | a[i] as u128;
+        q[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    (q, rem as u64)
+}
+
+/// Knuth TAOCP Vol. 2, Algorithm 4.3.1-D. Requires `b.len() >= 2` and
+/// `a >= b` (callers guarantee both).
+pub(crate) fn div_rem_normalized(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let n = b.len();
+    let m = a.len() - n;
+    let shift = b[n - 1].leading_zeros();
+
+    // Normalize so the divisor's top bit is set.
+    let v = shl_limbs(b, shift);
+    let mut u = shl_limbs(a, shift);
+    u.resize(a.len() + 1, 0);
+
+    let v_top = v[n - 1];
+    let v_second = v[n - 2];
+    let mut q = vec![0u64; m + 1];
+
+    for j in (0..=m).rev() {
+        // Estimate q̂ from the top two limbs of the current remainder.
+        let top2 = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = top2 / v_top as u128;
+        let mut rhat = top2 % v_top as u128;
+        if qhat > u64::MAX as u128 {
+            qhat = u64::MAX as u128;
+            rhat = top2 - qhat * v_top as u128;
+        }
+        // Refine: at most two corrections per Knuth.
+        while rhat <= u64::MAX as u128
+            && qhat * v_second as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += v_top as u128;
+        }
+
+        // Multiply-and-subtract u[j..j+n+1] -= qhat * v.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * v[i] as u128 + carry;
+            carry = p >> 64;
+            let t = u[j + i] as i128 - (p as u64) as i128 + borrow;
+            u[j + i] = t as u64;
+            borrow = t >> 64;
+        }
+        let t = u[j + n] as i128 - carry as i128 + borrow;
+        u[j + n] = t as u64;
+
+        q[j] = qhat as u64;
+        if t < 0 {
+            // q̂ was one too large: add the divisor back.
+            q[j] -= 1;
+            let carry = super::add_assign_slice(&mut u[j..j + n], &v);
+            u[j + n] = u[j + n].wrapping_add(carry);
+        }
+    }
+
+    let r = shr_limbs(&u[..n], shift);
+    (q, r)
+}
+
+fn shl_limbs(a: &[u64], shift: u32) -> Vec<u64> {
+    if shift == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u64;
+    for &l in a {
+        out.push((l << shift) | carry);
+        carry = l >> (64 - shift);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn shr_limbs(a: &[u64], shift: u32) -> Vec<u64> {
+    if shift == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len());
+    for (i, &l) in a.iter().enumerate() {
+        let hi = a.get(i + 1).copied().unwrap_or(0);
+        out.push((l >> shift) | (hi << (64 - shift)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Ubig;
+
+    fn check(a: &Ubig, b: &Ubig) {
+        let (q, r) = a.div_rem(b);
+        assert!(r < *b, "remainder not reduced");
+        assert_eq!(&(&q * b) + &r, *a, "q*b + r != a");
+    }
+
+    #[test]
+    fn small_cases() {
+        check(&Ubig::from(17u64), &Ubig::from(5u64));
+        check(&Ubig::from(100u64), &Ubig::from(100u64));
+        check(&Ubig::from(5u64), &Ubig::from(17u64));
+        check(&Ubig::zero(), &Ubig::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Ubig::one() / Ubig::zero();
+    }
+
+    #[test]
+    fn single_limb_divisor() {
+        let a = Ubig::from_limbs(vec![0x0123456789abcdef, 0xfedcba9876543210, 0x1111]);
+        check(&a, &Ubig::from(3u64));
+        check(&a, &Ubig::from(u64::MAX));
+    }
+
+    #[test]
+    fn multi_limb_knuth_d() {
+        let a = Ubig::from_limbs(vec![
+            0xdeadbeefdeadbeef,
+            0x0123456789abcdef,
+            0xcafebabecafebabe,
+            0x1122334455667788,
+        ]);
+        let b = Ubig::from_limbs(vec![0xffffffff00000001, 0x00000000ffffffff]);
+        check(&a, &b);
+    }
+
+    #[test]
+    fn add_back_case() {
+        // A divisor crafted so the q̂ correction/add-back branch triggers:
+        // u = 2^192 - 1, v = 2^128 - 1 → q = 2^64, exercises edge estimates.
+        let u = (Ubig::one() << 192) - Ubig::one();
+        let v = (Ubig::one() << 128) - Ubig::one();
+        check(&u, &v);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(q, Ubig::one() << 64);
+        assert_eq!(r, (Ubig::one() << 64) - Ubig::one());
+    }
+
+    #[test]
+    fn exhaustive_small_pairs() {
+        for a in 0..60u64 {
+            for b in 1..60u64 {
+                let (q, r) = Ubig::from(a).div_rem(&Ubig::from(b));
+                assert_eq!(q, Ubig::from(a / b));
+                assert_eq!(r, Ubig::from(a % b));
+            }
+        }
+    }
+
+    #[test]
+    fn large_pseudorandom_roundtrip() {
+        let mut x = 0x243f6a8885a308d3u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for na in [3usize, 5, 9] {
+            for nb in [2usize, 3, 4] {
+                let a = Ubig::from_limbs((0..na).map(|_| next()).collect());
+                let b = Ubig::from_limbs((0..nb).map(|_| next()).collect());
+                if !b.is_zero() {
+                    check(&a, &b);
+                }
+            }
+        }
+    }
+}

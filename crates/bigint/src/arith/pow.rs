@@ -1,0 +1,168 @@
+//! Non-modular exponentiation and integer square root.
+
+use crate::Ubig;
+
+impl Ubig {
+    /// Raises `self` to a small power (square-and-multiply; the result
+    /// grows as `bits · exp`, so exponents are `u32`).
+    ///
+    /// ```
+    /// use pisa_bigint::Ubig;
+    /// assert_eq!(Ubig::from(3u64).pow(5), Ubig::from(243u64));
+    /// assert_eq!(Ubig::from(0u64).pow(0), Ubig::one()); // 0⁰ = 1
+    /// ```
+    pub fn pow(&self, exp: u32) -> Ubig {
+        let mut acc = Ubig::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.square();
+            }
+        }
+        acc
+    }
+
+    /// Integer square root: the largest `r` with `r² ≤ self`
+    /// (Newton's method on word-level estimates).
+    ///
+    /// ```
+    /// use pisa_bigint::Ubig;
+    /// assert_eq!(Ubig::from(99u64).isqrt(), Ubig::from(9u64));
+    /// assert_eq!(Ubig::from(100u64).isqrt(), Ubig::from(10u64));
+    /// ```
+    pub fn isqrt(&self) -> Ubig {
+        if self.is_zero() {
+            return Ubig::zero();
+        }
+        // Initial guess: 2^(ceil(bits/2)) ≥ √self.
+        let mut x = Ubig::one() << self.bit_len().div_ceil(2);
+        loop {
+            // x' = (x + self/x) / 2
+            let next = (&x + &(self / &x)) >> 1;
+            if next >= x {
+                return x;
+            }
+            x = next;
+        }
+    }
+
+    /// Parses a string in the given radix (2–36, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ParseUbigError`] on empty input or out-of-range digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is outside `2..=36`.
+    ///
+    /// ```
+    /// use pisa_bigint::Ubig;
+    /// assert_eq!(Ubig::from_str_radix("ff", 16).unwrap(), Ubig::from(255u64));
+    /// assert_eq!(Ubig::from_str_radix("1010", 2).unwrap(), Ubig::from(10u64));
+    /// ```
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<Ubig, crate::ParseUbigError> {
+        assert!((2..=36).contains(&radix), "radix {radix} out of range");
+        if s.is_empty() {
+            return Err(crate::ParseUbigError::Empty);
+        }
+        let base = Ubig::from(radix as u64);
+        let mut out = Ubig::zero();
+        for c in s.chars() {
+            let d = c
+                .to_digit(radix)
+                .ok_or(crate::ParseUbigError::InvalidDigit(c))?;
+            out = &out * &base + Ubig::from(d as u64);
+        }
+        Ok(out)
+    }
+
+    /// Approximates the value as `f64` (`+inf` far beyond the range).
+    ///
+    /// ```
+    /// use pisa_bigint::Ubig;
+    /// assert_eq!(Ubig::from(1u64 << 53).to_f64(), 9007199254740992.0);
+    /// ```
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits <= 64 {
+            return u64::try_from(self).expect("fits u64") as f64;
+        }
+        // Take the top 64 bits and scale.
+        let shift = bits - 64;
+        let top = u64::try_from(&(self >> shift)).expect("64 bits");
+        top as f64 * (shift as f64).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(Ubig::from(2u64).pow(10), Ubig::from(1024u64));
+        assert_eq!(Ubig::from(7u64).pow(0), Ubig::one());
+        assert_eq!(Ubig::from(7u64).pow(1), Ubig::from(7u64));
+        assert_eq!(Ubig::zero().pow(5), Ubig::zero());
+    }
+
+    #[test]
+    fn pow_matches_shift_for_two() {
+        for e in [0u32, 1, 17, 100, 300] {
+            assert_eq!(Ubig::from(2u64).pow(e), Ubig::one() << e as usize);
+        }
+    }
+
+    #[test]
+    fn isqrt_exhaustive_small() {
+        for n in 0u64..2000 {
+            let r = u64::try_from(&Ubig::from(n).isqrt()).unwrap();
+            assert!(r * r <= n, "isqrt({n}) = {r}");
+            assert!((r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
+        }
+    }
+
+    #[test]
+    fn isqrt_perfect_square_large() {
+        let x = Ubig::from(0xdead_beef_cafe_babeu64);
+        assert_eq!(x.square().isqrt(), x);
+        let almost = x.square() - Ubig::one();
+        assert_eq!(almost.isqrt(), &x - &Ubig::one());
+    }
+
+    #[test]
+    fn radix_parsing() {
+        assert_eq!(
+            Ubig::from_str_radix("DeadBeef", 16).unwrap(),
+            Ubig::from(0xdeadbeefu64)
+        );
+        assert_eq!(Ubig::from_str_radix("777", 8).unwrap(), Ubig::from(511u64));
+        assert_eq!(
+            Ubig::from_str_radix("zz", 36).unwrap(),
+            Ubig::from(35 * 36 + 35u64)
+        );
+        assert!(Ubig::from_str_radix("12", 2).is_err());
+        assert!(Ubig::from_str_radix("", 10).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "radix")]
+    fn bad_radix_panics() {
+        let _ = Ubig::from_str_radix("1", 1);
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(Ubig::zero().to_f64(), 0.0);
+        assert_eq!(Ubig::from(12345u64).to_f64(), 12345.0);
+        let big = Ubig::one() << 200;
+        let expected = 200f64.exp2();
+        assert!((big.to_f64() - expected).abs() / expected < 1e-10);
+    }
+}

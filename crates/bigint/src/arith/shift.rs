@@ -1,0 +1,107 @@
+//! Bit shifts.
+
+use crate::Ubig;
+
+pub(crate) fn shl(a: &Ubig, n: usize) -> Ubig {
+    if a.is_zero() || n == 0 {
+        return a.clone();
+    }
+    let (limb_shift, bit_shift) = (n / 64, (n % 64) as u32);
+    let mut out = vec![0u64; limb_shift];
+    if bit_shift == 0 {
+        out.extend_from_slice(&a.limbs);
+    } else {
+        let mut carry = 0u64;
+        for &l in &a.limbs {
+            out.push((l << bit_shift) | carry);
+            carry = l >> (64 - bit_shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    Ubig::from_limbs(out)
+}
+
+pub(crate) fn shr(a: &Ubig, n: usize) -> Ubig {
+    let (limb_shift, bit_shift) = (n / 64, (n % 64) as u32);
+    if limb_shift >= a.limbs.len() {
+        return Ubig::zero();
+    }
+    let src = &a.limbs[limb_shift..];
+    if bit_shift == 0 {
+        return Ubig::from_limbs(src.to_vec());
+    }
+    let mut out = Vec::with_capacity(src.len());
+    for (i, &l) in src.iter().enumerate() {
+        let hi = src.get(i + 1).copied().unwrap_or(0);
+        out.push((l >> bit_shift) | (hi << (64 - bit_shift)));
+    }
+    Ubig::from_limbs(out)
+}
+
+/// In-place right shift (no allocation).
+pub(crate) fn shr_in_place(a: &mut Ubig, n: usize) {
+    let (limb_shift, bit_shift) = (n / 64, (n % 64) as u32);
+    if limb_shift >= a.limbs.len() {
+        a.limbs.clear();
+        return;
+    }
+    if limb_shift > 0 {
+        a.limbs.drain(..limb_shift);
+    }
+    if bit_shift > 0 {
+        let len = a.limbs.len();
+        for i in 0..len {
+            let hi = if i + 1 < len { a.limbs[i + 1] } else { 0 };
+            a.limbs[i] = (a.limbs[i] >> bit_shift) | (hi << (64 - bit_shift));
+        }
+    }
+    a.normalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Ubig;
+
+    #[test]
+    fn shr_in_place_matches_shr() {
+        for n in [0usize, 1, 7, 63, 64, 65, 130, 500] {
+            let a = Ubig::from_limbs(vec![0xdead_beef, 0x1234_5678, 0x9abc_def0]);
+            let mut b = a.clone();
+            b >>= n;
+            assert_eq!(b, &a >> n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn shl_shr_roundtrip() {
+        let a = Ubig::from(0xdead_beefu64);
+        for n in [0usize, 1, 7, 63, 64, 65, 130] {
+            assert_eq!((&a << n) >> n, a, "shift by {n}");
+        }
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two() {
+        let a = Ubig::from(37u64);
+        assert_eq!(&a << 5, &a * &Ubig::from(32u64));
+    }
+
+    #[test]
+    fn shr_past_end_is_zero() {
+        assert_eq!(Ubig::from(u64::MAX) >> 64, Ubig::zero());
+        assert_eq!(Ubig::from(u64::MAX) >> 1000, Ubig::zero());
+    }
+
+    #[test]
+    fn shr_drops_low_bits() {
+        assert_eq!(Ubig::from(0b1011u64) >> 1, Ubig::from(0b101u64));
+    }
+
+    #[test]
+    fn shift_zero() {
+        assert_eq!(Ubig::zero() << 100, Ubig::zero());
+        assert_eq!(Ubig::zero() >> 100, Ubig::zero());
+    }
+}

@@ -1,0 +1,54 @@
+//! Ordering for [`Ubig`].
+
+use crate::Ubig;
+use std::cmp::Ordering;
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Ubig;
+
+    #[test]
+    fn ordering_by_length_then_limbs() {
+        let small = Ubig::from(u64::MAX);
+        let big = Ubig::from_limbs(vec![0, 1]);
+        assert!(small < big);
+        assert!(big > small);
+        assert!(Ubig::zero() < Ubig::one());
+    }
+
+    #[test]
+    fn equal_values_compare_equal() {
+        let a = Ubig::from_limbs(vec![1, 2, 3]);
+        assert_eq!(a.cmp(&a.clone()), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn msb_decides() {
+        let a = Ubig::from_limbs(vec![u64::MAX, 1]);
+        let b = Ubig::from_limbs(vec![0, 2]);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,236 @@
+//! Conversions between [`Ubig`] and primitive integers, byte strings and
+//! text.
+
+use crate::Ubig;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Ubig::zero()
+        } else {
+            Ubig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for Ubig {
+    fn from(v: u32) -> Self {
+        Ubig::from(v as u64)
+    }
+}
+
+impl From<u128> for Ubig {
+    fn from(v: u128) -> Self {
+        Ubig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl TryFrom<&Ubig> for u64 {
+    type Error = TryFromUbigError;
+
+    fn try_from(v: &Ubig) -> Result<Self, Self::Error> {
+        match v.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(v.limbs[0]),
+            _ => Err(TryFromUbigError(())),
+        }
+    }
+}
+
+impl TryFrom<&Ubig> for u128 {
+    type Error = TryFromUbigError;
+
+    fn try_from(v: &Ubig) -> Result<Self, Self::Error> {
+        match v.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(v.limbs[0] as u128),
+            2 => Ok(v.limbs[0] as u128 | (v.limbs[1] as u128) << 64),
+            _ => Err(TryFromUbigError(())),
+        }
+    }
+}
+
+/// Error returned when a [`Ubig`] does not fit the requested primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TryFromUbigError(());
+
+impl fmt::Display for TryFromUbigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("big integer too large for target type")
+    }
+}
+
+impl Error for TryFromUbigError {}
+
+impl Ubig {
+    /// Parses a big-endian byte string.
+    ///
+    /// ```
+    /// use pisa_bigint::Ubig;
+    /// assert_eq!(Ubig::from_be_bytes(&[0x01, 0x00]), Ubig::from(256u64));
+    /// ```
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Serializes to a minimal big-endian byte string (empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        let mut iter = self.limbs.iter().rev();
+        let top = iter.next().expect("non-zero Ubig has limbs");
+        let top_bytes = top.to_be_bytes();
+        let skip = (top.leading_zeros() / 8) as usize;
+        out.extend_from_slice(&top_bytes[skip..]);
+        for l in iter {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        out
+    }
+
+    /// Serializes to a big-endian byte string padded with leading zeros to
+    /// exactly `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value needs more than `len` bytes.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_be_bytes();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hexadecimal string (no prefix, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUbigError`] on empty input or non-hex characters.
+    pub fn from_hex(s: &str) -> Result<Self, ParseUbigError> {
+        if s.is_empty() {
+            return Err(ParseUbigError::Empty);
+        }
+        let mut out = Ubig::zero();
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseUbigError::InvalidDigit(c))?;
+            out = (out << 4) + Ubig::from(d as u64);
+        }
+        Ok(out)
+    }
+}
+
+impl FromStr for Ubig {
+    type Err = ParseUbigError;
+
+    /// Parses a decimal string.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseUbigError::Empty);
+        }
+        let mut out = Ubig::zero();
+        let ten = Ubig::from(10u64);
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseUbigError::InvalidDigit(c))?;
+            out = &out * &ten + Ubig::from(d as u64);
+        }
+        Ok(out)
+    }
+}
+
+/// Error produced when parsing a [`Ubig`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseUbigError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character outside the expected digit set.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseUbigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseUbigError::Empty => f.write_str("cannot parse big integer from empty string"),
+            ParseUbigError::InvalidDigit(c) => write!(f, "invalid digit {c:?} in big integer"),
+        }
+    }
+}
+
+impl Error for ParseUbigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(u64::try_from(&Ubig::from(v)).unwrap(), v);
+        }
+        let v = u128::MAX;
+        assert_eq!(u128::try_from(&Ubig::from(v)).unwrap(), v);
+        assert!(u64::try_from(&Ubig::from(u128::MAX)).is_err());
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        for v in [0u128, 1, 255, 256, 0xdead_beef_cafe_babe_0123_4567_89ab_cdef] {
+            let u = Ubig::from(v);
+            assert_eq!(Ubig::from_be_bytes(&u.to_be_bytes()), u);
+        }
+    }
+
+    #[test]
+    fn be_bytes_minimal_encoding() {
+        assert!(Ubig::zero().to_be_bytes().is_empty());
+        assert_eq!(Ubig::from(256u64).to_be_bytes(), vec![1, 0]);
+        assert_eq!(Ubig::from_be_bytes(&[0, 0, 1, 0]), Ubig::from(256u64));
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = Ubig::from(0x1234u64);
+        assert_eq!(v.to_be_bytes_padded(4), vec![0, 0, 0x12, 0x34]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small_panics() {
+        let _ = Ubig::from(0x123456u64).to_be_bytes_padded(2);
+    }
+
+    #[test]
+    fn decimal_parse_and_display() {
+        let s = "123456789012345678901234567890123456789";
+        let v: Ubig = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+        assert_eq!("0".parse::<Ubig>().unwrap(), Ubig::zero());
+    }
+
+    #[test]
+    fn hex_parse() {
+        assert_eq!(Ubig::from_hex("ff").unwrap(), Ubig::from(255u64));
+        assert_eq!(
+            Ubig::from_hex("DEADBEEF").unwrap(),
+            Ubig::from(0xdeadbeefu64)
+        );
+        assert_eq!(Ubig::from_hex(""), Err(ParseUbigError::Empty));
+        assert_eq!(
+            "12x".parse::<Ubig>(),
+            Err(ParseUbigError::InvalidDigit('x'))
+        );
+    }
+}

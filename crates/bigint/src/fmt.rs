@@ -1,0 +1,135 @@
+//! Formatting impls for [`Ubig`].
+
+use crate::Ubig;
+use std::fmt;
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeated division by 10^19 (largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let chunk = Ubig::from(CHUNK);
+        let mut digits: Vec<String> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&chunk);
+            let r = u64::try_from(&r).expect("remainder below u64 chunk");
+            cur = q;
+            if cur.is_zero() {
+                digits.push(format!("{r}"));
+            } else {
+                digits.push(format!("{r:019}"));
+            }
+        }
+        digits.reverse();
+        f.write_str(&digits.concat())
+    }
+}
+
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ubig({self})")
+    }
+}
+
+impl fmt::LowerHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut iter = self.limbs.iter().rev();
+        write!(f, "{:x}", iter.next().expect("non-zero"))?;
+        for l in iter {
+            write!(f, "{l:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::UpperHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut iter = self.limbs.iter().rev();
+        write!(f, "{:X}", iter.next().expect("non-zero"))?;
+        for l in iter {
+            write!(f, "{l:016X}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut iter = self.limbs.iter().rev();
+        write!(f, "{:b}", iter.next().expect("non-zero"))?;
+        for l in iter {
+            write!(f, "{l:064b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Octal for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Octal digits do not align with limb boundaries; go via division.
+        let eight = Ubig::from(8u64);
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&eight);
+            digits.push(char::from(b'0' + u64::try_from(&r).expect("octal digit") as u8));
+            cur = q;
+        }
+        digits.reverse();
+        f.write_str(&digits.iter().collect::<String>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Ubig;
+
+    #[test]
+    fn display_matches_u64() {
+        for v in [0u64, 1, 9, 10, 12345678901234567890] {
+            assert_eq!(Ubig::from(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn display_multi_chunk() {
+        let v = Ubig::from(u128::MAX);
+        assert_eq!(v.to_string(), u128::MAX.to_string());
+    }
+
+    #[test]
+    fn hex_binary_octal() {
+        let v = Ubig::from(0xdeadbeefu64);
+        assert_eq!(format!("{v:x}"), "deadbeef");
+        assert_eq!(format!("{v:X}"), "DEADBEEF");
+        assert_eq!(format!("{:b}", Ubig::from(5u64)), "101");
+        assert_eq!(format!("{:o}", Ubig::from(8u64)), "10");
+        assert_eq!(format!("{:x}", Ubig::zero()), "0");
+    }
+
+    #[test]
+    fn hex_inner_limbs_zero_padded() {
+        let v = Ubig::from_limbs(vec![0x1, 0x2]);
+        assert_eq!(format!("{v:x}"), "20000000000000001");
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert_eq!(format!("{:?}", Ubig::zero()), "Ubig(0)");
+    }
+}

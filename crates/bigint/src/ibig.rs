@@ -1,0 +1,324 @@
+//! Signed arbitrary-precision integers (sign–magnitude).
+
+use crate::Ubig;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+
+/// Sign of an [`Ibig`].
+///
+/// Zero always carries [`Sign::Positive`] so that equal values have equal
+/// representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative.
+    Positive,
+    /// Strictly negative.
+    Negative,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+        }
+    }
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// Used for the centered-lift plaintext domain of Paillier (values in
+/// `(-n/2, n/2]`) and for the blinded interference arithmetic of PISA.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_bigint::Ibig;
+///
+/// let a = Ibig::from(-5i64);
+/// let b = Ibig::from(3i64);
+/// assert_eq!((a + b).to_string(), "-2");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ibig {
+    sign: Sign,
+    magnitude: Ubig,
+}
+
+impl Ibig {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Ibig {
+            sign: Sign::Positive,
+            magnitude: Ubig::zero(),
+        }
+    }
+
+    /// Builds a value from a sign and magnitude (zero is normalized to
+    /// positive).
+    pub fn from_sign_magnitude(sign: Sign, magnitude: Ubig) -> Self {
+        if magnitude.is_zero() {
+            Ibig::zero()
+        } else {
+            Ibig { sign, magnitude }
+        }
+    }
+
+    /// The sign of the value; zero reports [`Sign::Positive`].
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value.
+    pub fn magnitude(&self) -> &Ubig {
+        &self.magnitude
+    }
+
+    /// Consumes `self`, returning the absolute value.
+    pub fn into_magnitude(self) -> Ubig {
+        self.magnitude
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive && !self.is_zero()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Euclidean remainder in `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    ///
+    /// ```
+    /// use pisa_bigint::{Ibig, Ubig};
+    /// let r = Ibig::from(-7i64).rem_euclid(&Ubig::from(5u64));
+    /// assert_eq!(r, Ubig::from(3u64));
+    /// ```
+    pub fn rem_euclid(&self, m: &Ubig) -> Ubig {
+        let r = &self.magnitude % m;
+        match self.sign {
+            Sign::Positive => r,
+            Sign::Negative => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+}
+
+impl Default for Ibig {
+    fn default() -> Self {
+        Ibig::zero()
+    }
+}
+
+impl From<Ubig> for Ibig {
+    fn from(magnitude: Ubig) -> Self {
+        Ibig::from_sign_magnitude(Sign::Positive, magnitude)
+    }
+}
+
+impl From<i64> for Ibig {
+    fn from(v: i64) -> Self {
+        let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+        Ibig::from_sign_magnitude(sign, Ubig::from(v.unsigned_abs()))
+    }
+}
+
+impl From<u64> for Ibig {
+    fn from(v: u64) -> Self {
+        Ibig::from(Ubig::from(v))
+    }
+}
+
+impl Neg for Ibig {
+    type Output = Ibig;
+    fn neg(self) -> Ibig {
+        Ibig::from_sign_magnitude(self.sign.flip(), self.magnitude)
+    }
+}
+
+impl Neg for &Ibig {
+    type Output = Ibig;
+    fn neg(self) -> Ibig {
+        Ibig::from_sign_magnitude(self.sign.flip(), self.magnitude.clone())
+    }
+}
+
+fn add_impl(a: &Ibig, b: &Ibig) -> Ibig {
+    if a.sign == b.sign {
+        return Ibig::from_sign_magnitude(a.sign, &a.magnitude + &b.magnitude);
+    }
+    match a.magnitude.cmp(&b.magnitude) {
+        Ordering::Equal => Ibig::zero(),
+        Ordering::Greater => Ibig::from_sign_magnitude(a.sign, &a.magnitude - &b.magnitude),
+        Ordering::Less => Ibig::from_sign_magnitude(b.sign, &b.magnitude - &a.magnitude),
+    }
+}
+
+fn mul_impl(a: &Ibig, b: &Ibig) -> Ibig {
+    let sign = if a.sign == b.sign {
+        Sign::Positive
+    } else {
+        Sign::Negative
+    };
+    Ibig::from_sign_magnitude(sign, &a.magnitude * &b.magnitude)
+}
+
+/// Truncated division (rounds toward zero), like Rust's primitive `/`.
+fn div_impl(a: &Ibig, b: &Ibig) -> Ibig {
+    let sign = if a.sign == b.sign {
+        Sign::Positive
+    } else {
+        Sign::Negative
+    };
+    Ibig::from_sign_magnitude(sign, &a.magnitude / &b.magnitude)
+}
+
+/// Truncated remainder: sign follows the dividend, like Rust's `%`.
+fn rem_impl(a: &Ibig, b: &Ibig) -> Ibig {
+    Ibig::from_sign_magnitude(a.sign, &a.magnitude % &b.magnitude)
+}
+
+macro_rules! forward_ibig_binop {
+    ($trait:ident, $method:ident, $imp:ident) => {
+        impl $trait<&Ibig> for &Ibig {
+            type Output = Ibig;
+            fn $method(self, rhs: &Ibig) -> Ibig {
+                $imp(self, rhs)
+            }
+        }
+        impl $trait<Ibig> for Ibig {
+            type Output = Ibig;
+            fn $method(self, rhs: Ibig) -> Ibig {
+                $imp(&self, &rhs)
+            }
+        }
+        impl $trait<&Ibig> for Ibig {
+            type Output = Ibig;
+            fn $method(self, rhs: &Ibig) -> Ibig {
+                $imp(&self, rhs)
+            }
+        }
+        impl $trait<Ibig> for &Ibig {
+            type Output = Ibig;
+            fn $method(self, rhs: Ibig) -> Ibig {
+                $imp(self, &rhs)
+            }
+        }
+    };
+}
+
+fn sub_impl(a: &Ibig, b: &Ibig) -> Ibig {
+    add_impl(a, &Ibig::from_sign_magnitude(b.sign.flip(), b.magnitude.clone()))
+}
+
+forward_ibig_binop!(Add, add, add_impl);
+forward_ibig_binop!(Sub, sub, sub_impl);
+forward_ibig_binop!(Mul, mul, mul_impl);
+forward_ibig_binop!(Div, div, div_impl);
+forward_ibig_binop!(Rem, rem, rem_impl);
+
+impl Ord for Ibig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Positive, Sign::Negative) => Ordering::Greater,
+            (Sign::Negative, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => self.magnitude.cmp(&other.magnitude),
+            (Sign::Negative, Sign::Negative) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl PartialOrd for Ibig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Ibig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            f.write_str("-")?;
+        }
+        write!(f, "{}", self.magnitude)
+    }
+}
+
+impl fmt::Debug for Ibig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ibig({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Ibig {
+        Ibig::from(v)
+    }
+
+    #[test]
+    fn add_sub_match_i64() {
+        let cases = [-7i64, -3, -1, 0, 1, 3, 9];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!(i(a) + i(b), i(a + b), "{a} + {b}");
+                assert_eq!(i(a) - i(b), i(a - b), "{a} - {b}");
+                assert_eq!(i(a) * i(b), i(a * b), "{a} * {b}");
+                if b != 0 {
+                    assert_eq!(i(a) / i(b), i(a / b), "{a} / {b}");
+                    assert_eq!(i(a) % i(b), i(a % b), "{a} % {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_is_positive() {
+        let z = i(5) - i(5);
+        assert_eq!(z.sign(), Sign::Positive);
+        assert_eq!(z, -z.clone());
+        assert!(!z.is_positive());
+        assert!(!z.is_negative());
+    }
+
+    #[test]
+    fn ordering_with_signs() {
+        assert!(i(-5) < i(-2));
+        assert!(i(-2) < i(0));
+        assert!(i(0) < i(3));
+        assert!(i(-100) < i(1));
+    }
+
+    #[test]
+    fn rem_euclid_nonnegative() {
+        let m = Ubig::from(7u64);
+        assert_eq!(i(-1).rem_euclid(&m), Ubig::from(6u64));
+        assert_eq!(i(-7).rem_euclid(&m), Ubig::zero());
+        assert_eq!(i(13).rem_euclid(&m), Ubig::from(6u64));
+        assert_eq!(i(0).rem_euclid(&m), Ubig::zero());
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(i(-42).to_string(), "-42");
+        assert_eq!(format!("{:?}", i(-1)), "Ibig(-1)");
+    }
+}

@@ -1,0 +1,199 @@
+//! Modular inverse.
+//!
+//! Odd moduli (the only kind Paillier and RSA produce) use the binary
+//! extended-GCD algorithm — shift/add only, `O(k²)` word operations —
+//! while even moduli fall back to the classic extended Euclid.
+
+use crate::{Ibig, Ubig};
+
+/// Computes `a⁻¹ mod m`, or `None` if `gcd(a, m) != 1`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_bigint::{Ubig, modular::mod_inverse};
+///
+/// let inv = mod_inverse(&Ubig::from(3u64), &Ubig::from(11u64)).expect("coprime");
+/// assert_eq!(inv, Ubig::from(4u64)); // 3 * 4 = 12 = 1 mod 11
+/// assert!(mod_inverse(&Ubig::from(4u64), &Ubig::from(8u64)).is_none());
+/// ```
+pub fn mod_inverse(a: &Ubig, m: &Ubig) -> Option<Ubig> {
+    assert!(!m.is_zero(), "zero modulus in mod_inverse");
+    if m.is_one() {
+        return Some(Ubig::zero());
+    }
+    let a = a % m;
+    if a.is_zero() {
+        return None;
+    }
+    if m.is_odd() {
+        binary_inverse(&a, m)
+    } else {
+        euclid_inverse(&a, m)
+    }
+}
+
+/// Binary extended GCD (HAC algorithm 14.61 shape) for odd `m`.
+fn binary_inverse(a: &Ubig, m: &Ubig) -> Option<Ubig> {
+    let mut u = a.clone();
+    let mut v = m.clone();
+    // Coefficients x1, x2 with u ≡ x1·a and v ≡ x2·a (mod m).
+    let mut x1 = Ubig::one();
+    let mut x2 = Ubig::zero();
+
+    while !u.is_one() && !v.is_one() {
+        while u.is_even() {
+            u >>= 1;
+            half_mod(&mut x1, m);
+        }
+        while v.is_even() {
+            v >>= 1;
+            half_mod(&mut x2, m);
+        }
+        if u >= v {
+            u -= &v;
+            sub_mod(&mut x1, &x2, m);
+            if u.is_zero() {
+                // gcd(a, m) = v != 1
+                return None;
+            }
+        } else {
+            v -= &u;
+            sub_mod(&mut x2, &x1, m);
+            if v.is_zero() {
+                return None;
+            }
+        }
+    }
+    Some(if u.is_one() { x1 } else { x2 })
+}
+
+/// In-place `x ← x / 2 mod m` for odd `m`.
+fn half_mod(x: &mut Ubig, m: &Ubig) {
+    if x.is_odd() {
+        *x += m;
+    }
+    *x >>= 1;
+}
+
+/// In-place `x ← x − y mod m` for reduced operands.
+fn sub_mod(x: &mut Ubig, y: &Ubig, m: &Ubig) {
+    if &*x < y {
+        *x += m;
+    }
+    *x -= y;
+}
+
+/// Extended Euclid tracking only the coefficient of `a` (even moduli).
+fn euclid_inverse(a: &Ubig, m: &Ubig) -> Option<Ubig> {
+    let mut old_r = Ibig::from(a.clone());
+    let mut r = Ibig::from(m.clone());
+    let mut old_s = Ibig::from(1i64);
+    let mut s = Ibig::from(0i64);
+
+    while !r.is_zero() {
+        let q = &old_r / &r;
+        let next_r = &old_r - &(&q * &r);
+        old_r = std::mem::replace(&mut r, next_r);
+        let next_s = &old_s - &(&q * &s);
+        old_s = std::mem::replace(&mut s, next_s);
+    }
+
+    if !old_r.magnitude().is_one() {
+        return None; // gcd != 1
+    }
+    Some(old_s.rem_euclid(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_roundtrip_prime_modulus() {
+        let p = Ubig::from(1000003u64);
+        for a in [1u64, 2, 3, 500000, 1000002] {
+            let a = Ubig::from(a);
+            let inv = mod_inverse(&a, &p).expect("prime modulus");
+            assert_eq!((&a * &inv) % &p, Ubig::one());
+        }
+    }
+
+    #[test]
+    fn non_coprime_returns_none() {
+        assert!(mod_inverse(&Ubig::from(6u64), &Ubig::from(9u64)).is_none());
+        assert!(mod_inverse(&Ubig::zero(), &Ubig::from(9u64)).is_none());
+        assert!(mod_inverse(&Ubig::from(3u64), &Ubig::from(9u64)).is_none());
+    }
+
+    #[test]
+    fn even_modulus_path() {
+        // 3⁻¹ mod 16 = 11
+        assert_eq!(
+            mod_inverse(&Ubig::from(3u64), &Ubig::from(16u64)),
+            Some(Ubig::from(11u64))
+        );
+        assert!(mod_inverse(&Ubig::from(4u64), &Ubig::from(16u64)).is_none());
+    }
+
+    #[test]
+    fn binary_and_euclid_agree_exhaustively() {
+        for m in (3u64..60).step_by(2) {
+            let m_big = Ubig::from(m);
+            for a in 1..m {
+                let a_big = Ubig::from(a);
+                let bin = binary_inverse(&(&a_big % &m_big), &m_big);
+                let euc = euclid_inverse(&(&a_big % &m_big), &m_big);
+                assert_eq!(bin, euc, "a={a}, m={m}");
+                if let Some(inv) = bin {
+                    assert_eq!((&a_big * &inv) % &m_big, Ubig::one());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreduced_input() {
+        let m = Ubig::from(11u64);
+        let inv = mod_inverse(&Ubig::from(14u64), &m).unwrap(); // 14 ≡ 3
+        assert_eq!(inv, Ubig::from(4u64));
+    }
+
+    #[test]
+    fn modulus_one() {
+        assert_eq!(
+            mod_inverse(&Ubig::from(5u64), &Ubig::one()),
+            Some(Ubig::zero())
+        );
+    }
+
+    #[test]
+    fn large_modulus_roundtrip() {
+        let m = (Ubig::one() << 127) - Ubig::one(); // prime
+        let a = Ubig::from(0xdead_beef_1234_5678u64);
+        let inv = mod_inverse(&a, &m).unwrap();
+        assert_eq!((&a * &inv) % &m, Ubig::one());
+    }
+
+    #[test]
+    fn paillier_sized_inverse() {
+        // 4096-bit odd modulus, pseudo-random unit.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut m = Ubig::from_limbs((0..64).map(|_| next()).collect());
+        m.set_bit(0, true);
+        let a = Ubig::from_limbs((0..60).map(|_| next()).collect());
+        if let Some(inv) = mod_inverse(&a, &m) {
+            assert_eq!((&a * &inv) % &m, Ubig::one());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Montgomery reduction context.
+
+use crate::arith::{mul_limbs, sub_assign_slice};
+use crate::Ubig;
+
+/// A reusable Montgomery multiplication context for one odd modulus.
+///
+/// Construction costs two divisions; every subsequent multiplication and
+/// exponentiation avoids division entirely (REDC only). Paillier reuses a
+/// single context per `n²` across an entire protocol run.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_bigint::{Ubig, modular::MontCtx};
+///
+/// let n = Ubig::from(97u64);
+/// let ctx = MontCtx::new(&n).expect("odd modulus");
+/// let r = ctx.pow(&Ubig::from(5u64), &Ubig::from(96u64));
+/// assert_eq!(r, Ubig::one());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MontCtx {
+    /// The modulus `n` (odd, > 1).
+    n: Ubig,
+    /// Limb count of `n`; all Montgomery residues use this width.
+    k: usize,
+    /// `-n⁻¹ mod 2⁶⁴`.
+    n0_inv: u64,
+    /// `R mod n` where `R = 2^(64k)` — the Montgomery form of 1.
+    r_mod_n: Ubig,
+    /// `R² mod n`, used to convert into Montgomery form.
+    r2_mod_n: Ubig,
+}
+
+impl MontCtx {
+    /// Builds a context for the odd modulus `n > 1`; `None` if `n` is even
+    /// or `n <= 1`.
+    pub fn new(n: &Ubig) -> Option<Self> {
+        if n.is_even() || n.is_one() || n.is_zero() {
+            return None;
+        }
+        let k = n.as_limbs().len();
+        let r = Ubig::one() << (64 * k);
+        let r_mod_n = &r % n;
+        let r2_mod_n = (&r_mod_n * &r_mod_n) % n;
+        let n0_inv = inv_limb(n.as_limbs()[0]).wrapping_neg();
+        Some(MontCtx {
+            n: n.clone(),
+            k,
+            n0_inv,
+            r_mod_n,
+            r2_mod_n,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// `base^exp mod n` using 4-bit fixed-window exponentiation in
+    /// Montgomery form.
+    ///
+    /// `base` need not be reduced.
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one() % &self.n;
+        }
+        let base = base % &self.n;
+        let base_m = self.to_mont(&base);
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r_mod_n.clone()); // 1 in Montgomery form
+        table.push(base_m.clone());
+        for i in 2..16 {
+            table.push(self.mont_mul(&table[i - 1], &base_m));
+        }
+
+        let bits = exp.bit_len();
+        let windows = bits.div_ceil(4);
+        let mut acc = table[nibble(exp, windows - 1)].clone();
+        for w in (0..windows - 1).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            acc = self.mont_mul(&acc, &acc);
+            acc = self.mont_mul(&acc, &acc);
+            acc = self.mont_mul(&acc, &acc);
+            let d = nibble(exp, w);
+            if d != 0 {
+                acc = self.mont_mul(&acc, &table[d]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// `a * b mod n` for already-reduced operands, via Montgomery form.
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    fn to_mont(&self, a: &Ubig) -> Ubig {
+        debug_assert!(a < &self.n);
+        self.mont_mul(a, &self.r2_mod_n)
+    }
+
+    fn from_mont(&self, a: &Ubig) -> Ubig {
+        self.mont_mul(a, &Ubig::one())
+    }
+
+    /// REDC(a*b): returns `a * b * R⁻¹ mod n`.
+    fn mont_mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let k = self.k;
+        let nl = self.n.as_limbs();
+        // t = a * b, extended to 2k+1 limbs for reduction carries.
+        let mut t = mul_limbs(a.as_limbs(), b.as_limbs());
+        t.resize(2 * k + 1, 0);
+
+        for i in 0..k {
+            let m = t[i].wrapping_mul(self.n0_inv);
+            // t += m * n << (64*i)
+            let mut carry = 0u128;
+            for (j, &nj) in nl.iter().enumerate() {
+                let cur = t[i + j] as u128 + m as u128 * nj as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let cur = t[idx] as u128 + carry;
+                t[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+
+        // Result is t >> (64*k), at most one subtraction from n away.
+        let mut res: Vec<u64> = t[k..].to_vec();
+        if ge_slices(&res, nl) {
+            let borrow = sub_assign_slice(&mut res, nl);
+            debug_assert_eq!(borrow, 0);
+        }
+        Ubig::from_limbs(res)
+    }
+}
+
+/// Compares two little-endian limb slices (possibly unnormalized).
+fn ge_slices(a: &[u64], b: &[u64]) -> bool {
+    let alen = effective_len(a);
+    let blen = effective_len(b);
+    if alen != blen {
+        return alen > blen;
+    }
+    for i in (0..alen).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn effective_len(a: &[u64]) -> usize {
+    let mut len = a.len();
+    while len > 0 && a[len - 1] == 0 {
+        len -= 1;
+    }
+    len
+}
+
+/// Inverse of an odd limb modulo 2⁶⁴ by Newton–Hensel lifting.
+fn inv_limb(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct mod 2^3 for odd x
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+fn nibble(e: &Ubig, w: usize) -> usize {
+    let bit = w * 4;
+    let limb = bit / 64;
+    let off = bit % 64;
+    let limbs = e.as_limbs();
+    let lo = limbs.get(limb).copied().unwrap_or(0) >> off;
+    let val = if off > 60 {
+        lo | (limbs.get(limb + 1).copied().unwrap_or(0) << (64 - off))
+    } else {
+        lo
+    };
+    (val & 0xf) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontCtx::new(&Ubig::from(10u64)).is_none());
+        assert!(MontCtx::new(&Ubig::zero()).is_none());
+        assert!(MontCtx::new(&Ubig::one()).is_none());
+        assert!(MontCtx::new(&Ubig::from(9u64)).is_some());
+    }
+
+    #[test]
+    fn inv_limb_small() {
+        for x in [1u64, 3, 5, 0xdeadbeef | 1, u64::MAX] {
+            assert_eq!(x.wrapping_mul(inv_limb(x)), 1);
+        }
+    }
+
+    #[test]
+    fn pow_matches_naive_small() {
+        let n = Ubig::from(1000003u64);
+        let ctx = MontCtx::new(&n).unwrap();
+        for base in [0u64, 1, 2, 999, 1000002] {
+            for exp in [0u64, 1, 2, 3, 17, 65537] {
+                let expected = naive_pow(base, exp, 1000003);
+                assert_eq!(
+                    ctx.pow(&Ubig::from(base), &Ubig::from(exp)),
+                    Ubig::from(expected),
+                    "{base}^{exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_with_unreduced_base() {
+        let n = Ubig::from(101u64);
+        let ctx = MontCtx::new(&n).unwrap();
+        assert_eq!(
+            ctx.pow(&Ubig::from(102u64), &Ubig::from(5u64)),
+            Ubig::from(1u64)
+        );
+    }
+
+    #[test]
+    fn mul_matches_mod() {
+        let n = Ubig::from(999999937u64);
+        let ctx = MontCtx::new(&n).unwrap();
+        let a = Ubig::from(123456789u64);
+        let b = Ubig::from(987654321u64);
+        assert_eq!(ctx.mul(&a, &b), (&a * &b) % &n);
+    }
+
+    #[test]
+    fn multi_limb_fermat() {
+        // 2^127 - 1 is a Mersenne prime spanning two limbs.
+        let p = (Ubig::one() << 127) - Ubig::one();
+        let ctx = MontCtx::new(&p).unwrap();
+        let exp = &p - &Ubig::one();
+        assert_eq!(ctx.pow(&Ubig::from(3u64), &exp), Ubig::one());
+    }
+
+    fn naive_pow(mut b: u64, mut e: u64, m: u64) -> u64 {
+        let mut acc = 1u128;
+        let mut bb = b as u128 % m as u128;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * bb % m as u128;
+            }
+            bb = bb * bb % m as u128;
+            e >>= 1;
+        }
+        b = acc as u64;
+        b
+    }
+}

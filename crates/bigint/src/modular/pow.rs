@@ -1,0 +1,98 @@
+//! Modular exponentiation entry point.
+
+use super::MontCtx;
+use crate::Ubig;
+
+/// `base^exp mod modulus`.
+///
+/// Odd moduli use Montgomery-form windowed exponentiation; even moduli
+/// fall back to square-and-multiply with division-based reduction (rare in
+/// practice — Paillier and RSA moduli are odd).
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_bigint::{Ubig, modular::mod_pow};
+///
+/// let m = Ubig::from(497u64);
+/// assert_eq!(mod_pow(&Ubig::from(4u64), &Ubig::from(13u64), &m), Ubig::from(445u64));
+/// ```
+pub fn mod_pow(base: &Ubig, exp: &Ubig, modulus: &Ubig) -> Ubig {
+    assert!(!modulus.is_zero(), "zero modulus in mod_pow");
+    if modulus.is_one() {
+        return Ubig::zero();
+    }
+    if let Some(ctx) = MontCtx::new(modulus) {
+        return ctx.pow(base, exp);
+    }
+    // Even modulus: plain left-to-right square-and-multiply.
+    let mut acc = Ubig::one();
+    let base = base % modulus;
+    for i in (0..exp.bit_len()).rev() {
+        acc = (&acc * &acc) % modulus;
+        if exp.bit(i) {
+            acc = (&acc * &base) % modulus;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_cases() {
+        let m = Ubig::from(97u64);
+        assert_eq!(mod_pow(&Ubig::from(5u64), &Ubig::zero(), &m), Ubig::one());
+        assert_eq!(
+            mod_pow(&Ubig::from(5u64), &Ubig::one(), &m),
+            Ubig::from(5u64)
+        );
+        assert_eq!(mod_pow(&Ubig::zero(), &Ubig::from(5u64), &m), Ubig::zero());
+    }
+
+    #[test]
+    fn modulus_one_gives_zero() {
+        assert_eq!(
+            mod_pow(&Ubig::from(5u64), &Ubig::from(5u64), &Ubig::one()),
+            Ubig::zero()
+        );
+    }
+
+    #[test]
+    fn even_modulus_fallback() {
+        // 3^5 = 243 = 3 mod 16
+        assert_eq!(
+            mod_pow(&Ubig::from(3u64), &Ubig::from(5u64), &Ubig::from(16u64)),
+            Ubig::from(3u64)
+        );
+        // matches the odd path on a shared case via CRT sanity: 3^5 mod 48
+        assert_eq!(
+            mod_pow(&Ubig::from(3u64), &Ubig::from(5u64), &Ubig::from(48u64)),
+            Ubig::from(3u64)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero modulus")]
+    fn zero_modulus_panics() {
+        let _ = mod_pow(&Ubig::one(), &Ubig::one(), &Ubig::zero());
+    }
+
+    #[test]
+    fn large_exponent_consistency() {
+        // a^(e1+e2) == a^e1 * a^e2 (mod m)
+        let m = (Ubig::one() << 127) - Ubig::one();
+        let a = Ubig::from(0x1234_5678_9abc_def0u64);
+        let e1 = Ubig::from(0xffff_ffff_ffffu64);
+        let e2 = Ubig::from(0x1111_2222_3333u64);
+        let lhs = mod_pow(&a, &(&e1 + &e2), &m);
+        let rhs = (mod_pow(&a, &e1, &m) * mod_pow(&a, &e2, &m)) % &m;
+        assert_eq!(lhs, rhs);
+    }
+}

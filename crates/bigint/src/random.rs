@@ -1,0 +1,157 @@
+//! Uniform random sampling of big integers.
+
+use crate::Ubig;
+use rand::Rng;
+
+/// Samples a uniform integer with exactly `bits` significant bits (the top
+/// bit is always set).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_bigint::random::random_bits;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let x = random_bits(&mut rng, 128);
+/// assert_eq!(x.bit_len(), 128);
+/// ```
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Ubig {
+    assert!(bits > 0, "cannot sample an integer with zero bits");
+    let limbs = bits.div_ceil(64);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+    let top_bits = bits - (limbs - 1) * 64;
+    if top_bits < 64 {
+        v[limbs - 1] &= (1u64 << top_bits) - 1;
+    }
+    v[limbs - 1] |= 1u64 << (top_bits - 1); // force exact bit length
+    Ubig::from_limbs(v)
+}
+
+/// Samples a uniform integer in `[0, bound)` by rejection.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Ubig) -> Ubig {
+    assert!(!bound.is_zero(), "empty sampling range [0, 0)");
+    if bound.is_one() {
+        return Ubig::zero();
+    }
+    let bits = bound.bit_len();
+    let limbs = bits.div_ceil(64);
+    let top_bits = bits - (limbs - 1) * 64;
+    loop {
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+        if top_bits < 64 {
+            v[limbs - 1] &= (1u64 << top_bits) - 1;
+        }
+        let candidate = Ubig::from_limbs(v);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Samples a uniform integer in `[low, high)`.
+///
+/// # Panics
+///
+/// Panics if `low >= high`.
+pub fn random_range<R: Rng + ?Sized>(rng: &mut R, low: &Ubig, high: &Ubig) -> Ubig {
+    assert!(low < high, "empty sampling range");
+    low + &random_below(rng, &(high - low))
+}
+
+/// Samples a uniform invertible element of `Z_n*` (nonzero and coprime to
+/// `n`) — the random factor `r` of Paillier encryption.
+///
+/// # Panics
+///
+/// Panics if `n <= 1`.
+pub fn random_coprime<R: Rng + ?Sized>(rng: &mut R, n: &Ubig) -> Ubig {
+    assert!(!n.is_zero() && !n.is_one(), "no units modulo {n:?}");
+    loop {
+        let candidate = random_below(rng, n);
+        if candidate.is_zero() {
+            continue;
+        }
+        if crate::modular::gcd(&candidate, n).is_one() {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed_beef)
+    }
+
+    #[test]
+    fn random_bits_exact_length() {
+        let mut r = rng();
+        for bits in [1usize, 2, 63, 64, 65, 1024] {
+            let v = random_bits(&mut r, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = Ubig::from(1000u64);
+        for _ in 0..200 {
+            assert!(random_below(&mut r, &bound) < bound);
+        }
+        assert_eq!(random_below(&mut r, &Ubig::one()), Ubig::zero());
+    }
+
+    #[test]
+    fn random_below_covers_values() {
+        // All residues of a tiny bound appear within a modest sample.
+        let mut r = rng();
+        let bound = Ubig::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = u64::try_from(&random_below(&mut r, &bound)).unwrap();
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen = {seen:?}");
+    }
+
+    #[test]
+    fn random_range_bounds() {
+        let mut r = rng();
+        let low = Ubig::from(100u64);
+        let high = Ubig::from(110u64);
+        for _ in 0..100 {
+            let v = random_range(&mut r, &low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    fn random_coprime_is_unit() {
+        let mut r = rng();
+        let n = Ubig::from(100u64);
+        for _ in 0..50 {
+            let v = random_coprime(&mut r, &n);
+            assert!(crate::modular::gcd(&v, &n).is_one());
+            assert!(!v.is_zero() && v < n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sampling range")]
+    fn random_below_zero_panics() {
+        let _ = random_below(&mut rng(), &Ubig::zero());
+    }
+}

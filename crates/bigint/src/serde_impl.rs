@@ -1,0 +1,93 @@
+//! Serde support: [`Ubig`] serializes as minimal big-endian bytes,
+//! [`Ibig`] as a `(sign, magnitude)` pair.
+
+use crate::{Ibig, Sign, Ubig};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for Ubig {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(&self.to_be_bytes())
+    }
+}
+
+impl<'de> Deserialize<'de> for Ubig {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BytesVisitor;
+        impl<'de> serde::de::Visitor<'de> for BytesVisitor {
+            type Value = Ubig;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("big-endian bytes of an unsigned big integer")
+            }
+
+            fn visit_bytes<E: serde::de::Error>(self, v: &[u8]) -> Result<Ubig, E> {
+                Ok(Ubig::from_be_bytes(v))
+            }
+
+            fn visit_seq<A: serde::de::SeqAccess<'de>>(self, mut seq: A) -> Result<Ubig, A::Error> {
+                let mut bytes = Vec::new();
+                while let Some(b) = seq.next_element::<u8>()? {
+                    bytes.push(b);
+                }
+                Ok(Ubig::from_be_bytes(&bytes))
+            }
+        }
+        deserializer.deserialize_bytes(BytesVisitor)
+    }
+}
+
+impl Serialize for Ibig {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.sign() == Sign::Negative, self.magnitude()).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Ibig {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (negative, magnitude) = <(bool, Ubig)>::deserialize(deserializer)?;
+        if negative && magnitude.is_zero() {
+            return Err(D::Error::custom("negative zero is not a valid Ibig"));
+        }
+        let sign = if negative { Sign::Negative } else { Sign::Positive };
+        Ok(Ibig::from_sign_magnitude(sign, magnitude))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_ubig(v: &Ubig) -> Ubig {
+        let bytes = bincode_like(v);
+        let out: Ubig = debincode_like(&bytes);
+        out
+    }
+
+    // Minimal self-contained binary codec for tests (postcard/bincode not
+    // in the dependency set): serialize via serde to a JSON-like Vec<u8>
+    // using serde's token stream is overkill, so use the byte API directly.
+    fn bincode_like(v: &Ubig) -> Vec<u8> {
+        v.to_be_bytes()
+    }
+
+    fn debincode_like(b: &[u8]) -> Ubig {
+        Ubig::from_be_bytes(b)
+    }
+
+    #[test]
+    fn ubig_roundtrip() {
+        for v in [0u128, 1, 256, u128::MAX] {
+            let u = Ubig::from(v);
+            assert_eq!(roundtrip_ubig(&u), u);
+        }
+    }
+
+    #[test]
+    fn ibig_sign_encoding() {
+        let neg = Ibig::from(-5i64);
+        assert_eq!(neg.sign(), Sign::Negative);
+        let pos = Ibig::from(5i64);
+        assert_eq!(pos.sign(), Sign::Positive);
+    }
+}

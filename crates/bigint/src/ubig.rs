@@ -1,0 +1,204 @@
+//! The unsigned arbitrary-precision integer type.
+
+/// An unsigned arbitrary-precision integer.
+///
+/// Stored as little-endian `u64` limbs with the invariant that the most
+/// significant limb is non-zero (zero is the empty limb vector). All
+/// arithmetic lives in the `arith` and [`crate::modular`] modules; this
+/// module owns representation, construction and structural queries.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_bigint::Ubig;
+///
+/// let a = Ubig::from(10u64);
+/// let b = Ubig::from(32u64);
+/// assert_eq!((&a + &b).to_string(), "42");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Ubig {
+    /// Little-endian limbs; no trailing zeros.
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl Ubig {
+    /// The value `0`.
+    ///
+    /// ```
+    /// use pisa_bigint::Ubig;
+    /// assert!(Ubig::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        Ubig { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    ///
+    /// ```
+    /// use pisa_bigint::Ubig;
+    /// assert_eq!(Ubig::one(), Ubig::from(1u64));
+    /// ```
+    pub fn one() -> Self {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// Constructs a value from little-endian limbs, normalizing trailing
+    /// zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Ubig { limbs }
+    }
+
+    /// Borrows the little-endian limbs (no trailing zeros).
+    pub fn as_limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is even (zero counts as even).
+    ///
+    /// ```
+    /// use pisa_bigint::Ubig;
+    /// assert!(Ubig::zero().is_even());
+    /// assert!(!Ubig::from(7u64).is_even());
+    /// ```
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits; `0` for zero.
+    ///
+    /// ```
+    /// use pisa_bigint::Ubig;
+    /// assert_eq!(Ubig::from(255u64).bit_len(), 8);
+    /// assert_eq!(Ubig::from(256u64).bit_len(), 9);
+    /// assert_eq!(Ubig::zero().bit_len(), 0);
+    /// ```
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`, growing the representation as needed.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let (limb, off) = (i / 64, i % 64);
+        if value {
+            if self.limbs.len() <= limb {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1u64 << off;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1u64 << off);
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero (trailing-zero count is unbounded).
+    pub fn trailing_zeros(&self) -> usize {
+        assert!(!self.is_zero(), "trailing_zeros of zero is undefined");
+        let mut n = 0;
+        for &l in &self.limbs {
+            if l == 0 {
+                n += 64;
+            } else {
+                return n + l.trailing_zeros() as usize;
+            }
+        }
+        unreachable!("normalized non-zero Ubig has a non-zero limb")
+    }
+
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Ubig::zero().is_zero());
+        assert!(Ubig::one().is_one());
+        assert!(!Ubig::one().is_zero());
+        assert_eq!(Ubig::default(), Ubig::zero());
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let a = Ubig::from_limbs(vec![5, 0, 0]);
+        assert_eq!(a.as_limbs(), &[5]);
+        assert_eq!(Ubig::from_limbs(vec![0, 0]), Ubig::zero());
+    }
+
+    #[test]
+    fn bit_len_cases() {
+        assert_eq!(Ubig::zero().bit_len(), 0);
+        assert_eq!(Ubig::one().bit_len(), 1);
+        assert_eq!(Ubig::from(u64::MAX).bit_len(), 64);
+        assert_eq!(Ubig::from_limbs(vec![0, 1]).bit_len(), 65);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut a = Ubig::zero();
+        a.set_bit(100, true);
+        assert!(a.bit(100));
+        assert!(!a.bit(99));
+        assert_eq!(a.bit_len(), 101);
+        a.set_bit(100, false);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn parity() {
+        assert!(Ubig::from(2u64).is_even());
+        assert!(Ubig::from(3u64).is_odd());
+        assert!(Ubig::zero().is_even());
+    }
+
+    #[test]
+    fn trailing_zeros_multi_limb() {
+        let mut a = Ubig::zero();
+        a.set_bit(130, true);
+        assert_eq!(a.trailing_zeros(), 130);
+        assert_eq!(Ubig::from(12u64).trailing_zeros(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing_zeros of zero")]
+    fn trailing_zeros_zero_panics() {
+        let _ = Ubig::zero().trailing_zeros();
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the big-integer substrate.
+
+use pisa_bigint::modular::{gcd, lcm, mod_inverse, mod_mul, mod_pow};
+use pisa_bigint::{Ibig, Ubig};
+use proptest::prelude::*;
+
+/// Arbitrary Ubig up to ~256 bits.
+fn ubig() -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u64>(), 0..4).prop_map(Ubig::from_limbs)
+}
+
+/// Arbitrary non-zero Ubig.
+fn ubig_nonzero() -> impl Strategy<Value = Ubig> {
+    ubig().prop_filter("non-zero", |v| !v.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn mul_commutative(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn div_rem_invariant(a in ubig(), b in ubig_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_is_power_of_two_mul(a in ubig(), n in 0usize..200) {
+        prop_assert_eq!(&a << n, &a * &(Ubig::one() << n));
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in ubig()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Ubig>().unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in ubig()) {
+        prop_assert_eq!(Ubig::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn gcd_divides_and_lcm_relation(a in ubig_nonzero(), b in ubig_nonzero()) {
+        let g = gcd(&a, &b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+        // gcd * lcm == a * b
+        prop_assert_eq!(&g * &lcm(&a, &b), &a * &b);
+    }
+
+    #[test]
+    fn mod_pow_add_exponents(
+        a in ubig(),
+        e1 in 0u64..1000,
+        e2 in 0u64..1000,
+        m in ubig_nonzero(),
+    ) {
+        prop_assume!(!m.is_one());
+        let lhs = mod_pow(&a, &Ubig::from(e1 + e2), &m);
+        let rhs = mod_mul(
+            &mod_pow(&a, &Ubig::from(e1), &m),
+            &mod_pow(&a, &Ubig::from(e2), &m),
+            &m,
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod_inverse_roundtrip(a in ubig_nonzero(), m in ubig_nonzero()) {
+        prop_assume!(!m.is_one());
+        if let Some(inv) = mod_inverse(&a, &m) {
+            prop_assert_eq!(mod_mul(&a, &inv, &m), Ubig::one() % &m);
+        } else {
+            prop_assert!(!gcd(&a, &m).is_one());
+        }
+    }
+
+    #[test]
+    fn ibig_add_sub_consistent(a in any::<i64>(), b in any::<i64>()) {
+        let (ba, bb) = (Ibig::from(a), Ibig::from(b));
+        let sum = &ba + &bb;
+        prop_assert_eq!(&sum - &bb, ba);
+    }
+
+    #[test]
+    fn ibig_ordering_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(Ibig::from(a).cmp(&Ibig::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn rem_euclid_in_range(a in any::<i64>(), m in 1u64..10_000) {
+        let r = Ibig::from(a).rem_euclid(&Ubig::from(m));
+        prop_assert!(r < Ubig::from(m));
+        // r ≡ a (mod m)
+        let r64 = u64::try_from(&r).unwrap() as i128;
+        prop_assert_eq!((a as i128 - r64).rem_euclid(m as i128), 0);
+    }
+}

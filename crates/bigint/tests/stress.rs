@@ -1,0 +1,189 @@
+//! Deterministic stress tests: cross-check the big-integer arithmetic
+//! against `u128` on structured edge cases that random testing rarely
+//! hits (carry boundaries, borrow chains, near-power-of-two values).
+
+use pisa_bigint::modular::{gcd, mod_inverse, mod_mul, mod_pow};
+use pisa_bigint::{Ibig, Ubig};
+
+/// Values that sit on carry/borrow boundaries.
+fn edge_values() -> Vec<u128> {
+    let mut v = vec![0u128, 1, 2, 3];
+    for shift in [7usize, 31, 32, 33, 63, 64, 65, 95, 127] {
+        let p = 1u128 << shift;
+        v.extend_from_slice(&[p - 1, p, p + 1]);
+    }
+    v.push(u128::MAX - 1);
+    v.push(u128::MAX);
+    v
+}
+
+#[test]
+fn add_matches_u128() {
+    for &a in &edge_values() {
+        for &b in &edge_values() {
+            if let Some(expected) = a.checked_add(b) {
+                assert_eq!(
+                    Ubig::from(a) + Ubig::from(b),
+                    Ubig::from(expected),
+                    "{a} + {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sub_matches_u128() {
+    for &a in &edge_values() {
+        for &b in &edge_values() {
+            if a >= b {
+                assert_eq!(
+                    Ubig::from(a) - Ubig::from(b),
+                    Ubig::from(a - b),
+                    "{a} - {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mul_matches_u128() {
+    for &a in &edge_values() {
+        for &b in &edge_values() {
+            if let Some(expected) = a.checked_mul(b) {
+                assert_eq!(
+                    Ubig::from(a) * Ubig::from(b),
+                    Ubig::from(expected),
+                    "{a} * {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn div_rem_matches_u128() {
+    for &a in &edge_values() {
+        for &b in &edge_values() {
+            if b != 0 {
+                let (q, r) = Ubig::from(a).div_rem(&Ubig::from(b));
+                assert_eq!(q, Ubig::from(a / b), "{a} / {b}");
+                assert_eq!(r, Ubig::from(a % b), "{a} % {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wide_products_reduce_consistently() {
+    // (a*b) mod m computed wide equals ((a mod m)*(b mod m)) mod m.
+    let m = Ubig::from(0xffff_fffb_u64); // prime below 2^32
+    for &a in &edge_values() {
+        for &b in &edge_values() {
+            let wide = (Ubig::from(a) * Ubig::from(b)) % &m;
+            let narrow = mod_mul(&(Ubig::from(a) % &m), &(Ubig::from(b) % &m), &m);
+            assert_eq!(wide, narrow, "{a} * {b} mod p");
+        }
+    }
+}
+
+#[test]
+fn fermat_across_limb_boundaries() {
+    // a^(p-1) ≡ 1 (mod p) for primes chosen at 1-, 2- and 3-limb sizes.
+    let primes = [
+        Ubig::from(0xffff_ffff_ffff_ffc5u64),          // 64-bit prime
+        (Ubig::one() << 127) - Ubig::one(),            // Mersenne 127
+        (Ubig::one() << 107) - Ubig::one(),            // Mersenne 107
+    ];
+    for p in &primes {
+        let exp = p - &Ubig::one();
+        for base in [2u64, 3, 0xdead_beef] {
+            assert_eq!(
+                mod_pow(&Ubig::from(base), &exp, p),
+                Ubig::one(),
+                "base {base}"
+            );
+        }
+    }
+}
+
+#[test]
+fn inverse_of_edge_values() {
+    let p = (Ubig::one() << 127) - Ubig::one();
+    for &a in &edge_values() {
+        let a = Ubig::from(a) % &p;
+        if a.is_zero() {
+            // Multiples of p (including p itself, which is in the edge
+            // set) have no inverse — and must say so.
+            assert_eq!(mod_inverse(&a, &p), None);
+            continue;
+        }
+        let inv = mod_inverse(&a, &p).expect("prime modulus");
+        assert_eq!(mod_mul(&a, &inv, &p), Ubig::one());
+    }
+}
+
+#[test]
+fn gcd_of_shifted_pairs() {
+    // gcd(k·2^i, k·3·2^j) == k·2^min(i,j) for odd k.
+    let k = Ubig::from(0x1234_5677u64); // odd
+    for i in [0usize, 1, 63, 64, 100] {
+        for j in [0usize, 5, 64, 90] {
+            let a = &k << i;
+            let b = (&k * &Ubig::from(3u64)) << j;
+            assert_eq!(gcd(&a, &b), &k << i.min(j), "i={i}, j={j}");
+        }
+    }
+}
+
+#[test]
+fn signed_arithmetic_on_boundaries() {
+    let cases: Vec<i64> = vec![i64::MIN + 1, -(1 << 32), -1, 0, 1, 1 << 32, i64::MAX];
+    for &a in &cases {
+        for &b in &cases {
+            if let Some(sum) = a.checked_add(b) {
+                assert_eq!(Ibig::from(a) + Ibig::from(b), Ibig::from(sum));
+            }
+            if let Some(diff) = a.checked_sub(b) {
+                assert_eq!(Ibig::from(a) - Ibig::from(b), Ibig::from(diff));
+            }
+        }
+    }
+}
+
+#[test]
+fn decimal_and_hex_agree() {
+    for &v in &edge_values() {
+        let u = Ubig::from(v);
+        let via_dec: Ubig = u.to_string().parse().unwrap();
+        let via_hex = Ubig::from_hex(&format!("{u:x}")).unwrap();
+        assert_eq!(via_dec, u);
+        assert_eq!(via_hex, u);
+    }
+}
+
+#[test]
+fn karatsuba_boundary_shapes() {
+    // Exercise the exact limb counts around the Karatsuba threshold (24
+    // limbs) including highly asymmetric operands.
+    let pattern = |n: usize, salt: u64| {
+        Ubig::from_limbs(
+            (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9).rotate_left(13) ^ salt)
+                .collect(),
+        )
+    };
+    for &(la, lb) in &[(23usize, 23usize), (24, 24), (25, 24), (48, 25), (50, 1), (1, 50)] {
+        let a = pattern(la, 7);
+        let b = pattern(lb, 11);
+        let ab = &a * &b;
+        // Verify with the division identity instead of a second
+        // multiplication path: (a*b) / a == b exactly.
+        if !a.is_zero() {
+            let (q, r) = ab.div_rem(&a);
+            assert_eq!(q, b, "la={la}, lb={lb}");
+            assert!(r.is_zero());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Hand-rolled argument parsing (the CLI has four flags; a parser
+//! dependency would outweigh it).
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage: pisa <command> [options]
+
+commands:
+  demo                         run the quickstart protocol flow
+  keygen [--bits N]            generate a Paillier key pair (default 1024)
+  simulate [--hours H] [--pus N] [--sus N] [--seed S]
+                               metro-area churn simulation
+  attack                       curious-SDC inference demo (WATCH vs PISA)
+  info                         print the paper's Table I configuration";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Quickstart flow.
+    Demo,
+    /// Key generation with modulus size.
+    Keygen {
+        /// Paillier modulus bits.
+        bits: usize,
+    },
+    /// Churn simulation.
+    Simulate {
+        /// Simulated hours.
+        hours: usize,
+        /// Number of PUs.
+        pus: usize,
+        /// Number of SUs.
+        sus: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Inference-attack demo.
+    Attack,
+    /// Table I printout.
+    Info,
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let cmd = it.next().ok_or("missing command")?;
+    match cmd.as_str() {
+        "demo" => reject_extras(it).map(|()| Command::Demo),
+        "attack" => reject_extras(it).map(|()| Command::Attack),
+        "info" => reject_extras(it).map(|()| Command::Info),
+        "keygen" => {
+            let mut bits = 1024usize;
+            parse_flags(it, |flag, value| match flag {
+                "--bits" => {
+                    bits = parse_num(flag, value)?;
+                    if bits < 64 || bits % 2 != 0 {
+                        return Err(format!("--bits must be an even number >= 64, got {bits}"));
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unknown flag {other}")),
+            })?;
+            Ok(Command::Keygen { bits })
+        }
+        "simulate" => {
+            let (mut hours, mut pus, mut sus, mut seed) = (4usize, 8usize, 4usize, 2017u64);
+            parse_flags(it, |flag, value| match flag {
+                "--hours" => {
+                    hours = parse_num(flag, value)?;
+                    Ok(())
+                }
+                "--pus" => {
+                    pus = parse_num(flag, value)?;
+                    Ok(())
+                }
+                "--sus" => {
+                    sus = parse_num(flag, value)?;
+                    Ok(())
+                }
+                "--seed" => {
+                    seed = parse_num(flag, value)?;
+                    Ok(())
+                }
+                other => Err(format!("unknown flag {other}")),
+            })?;
+            if hours == 0 || pus == 0 || sus == 0 {
+                return Err("--hours, --pus and --sus must be positive".into());
+            }
+            Ok(Command::Simulate {
+                hours,
+                pus,
+                sus,
+                seed,
+            })
+        }
+        "--help" | "-h" | "help" => Err("help requested".into()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn reject_extras<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), String> {
+    match it.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected argument {extra:?}")),
+    }
+}
+
+fn parse_flags<'a>(
+    mut it: impl Iterator<Item = &'a String>,
+    mut handle: impl FnMut(&str, &str) -> Result<(), String>,
+) -> Result<(), String> {
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        handle(flag, value)?;
+    }
+    Ok(())
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects a number, got {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn simple_commands() {
+        assert_eq!(parse(&argv("demo")).unwrap(), Command::Demo);
+        assert_eq!(parse(&argv("attack")).unwrap(), Command::Attack);
+        assert_eq!(parse(&argv("info")).unwrap(), Command::Info);
+    }
+
+    #[test]
+    fn keygen_defaults_and_flags() {
+        assert_eq!(parse(&argv("keygen")).unwrap(), Command::Keygen { bits: 1024 });
+        assert_eq!(
+            parse(&argv("keygen --bits 512")).unwrap(),
+            Command::Keygen { bits: 512 }
+        );
+        assert!(parse(&argv("keygen --bits 63")).is_err());
+        assert!(parse(&argv("keygen --bits 65")).is_err());
+        assert!(parse(&argv("keygen --bits")).is_err());
+        assert!(parse(&argv("keygen --what 1")).is_err());
+    }
+
+    #[test]
+    fn simulate_flags() {
+        assert_eq!(
+            parse(&argv("simulate")).unwrap(),
+            Command::Simulate {
+                hours: 4,
+                pus: 8,
+                sus: 4,
+                seed: 2017
+            }
+        );
+        assert_eq!(
+            parse(&argv("simulate --hours 2 --pus 3 --sus 5 --seed 7")).unwrap(),
+            Command::Simulate {
+                hours: 2,
+                pus: 3,
+                sus: 5,
+                seed: 7
+            }
+        );
+        assert!(parse(&argv("simulate --hours 0")).is_err());
+        assert!(parse(&argv("simulate --hours x")).is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("bogus")).is_err());
+        assert!(parse(&argv("demo extra")).is_err());
+        assert!(parse(&argv("--help")).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Command implementations.
+
+use crate::args::Command;
+use pisa::adversary;
+use pisa::prelude::*;
+use pisa_watch::{PuInput, SuRequest, WatchSdc};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Dispatches a parsed command.
+pub fn run(cmd: Command) {
+    match cmd {
+        Command::Demo => demo(),
+        Command::Keygen { bits } => keygen(bits),
+        Command::Simulate {
+            hours,
+            pus,
+            sus,
+            seed,
+        } => simulate(hours, pus, sus, seed),
+        Command::Attack => attack(),
+        Command::Info => info(),
+    }
+}
+
+fn demo() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let config = SystemConfig::small_test();
+    println!(
+        "PISA demo: {} channels x {} blocks, {}-bit Paillier keys\n",
+        config.channels(),
+        config.blocks(),
+        config.paillier_bits()
+    );
+    let mut system = PisaSystem::setup(config, &mut rng);
+    system.pu_update(0, BlockId(12), Some(Channel(1)), &mut rng);
+    println!("PU at block 12 tuned to a hidden channel");
+    let su = system.register_su(BlockId(13), &mut rng);
+    for ch in [Channel(1), Channel(0)] {
+        let t = Instant::now();
+        let outcome = system.request(su, &[ch], &mut rng);
+        println!(
+            "SU request on {ch}: {:<7}  ({} KiB request, {} B response, {:.0} ms)",
+            if outcome.granted { "GRANTED" } else { "DENIED" },
+            outcome.request_bytes / 1024,
+            outcome.response_bytes,
+            t.elapsed().as_secs_f64() * 1000.0,
+        );
+    }
+    println!("\nonly the SU learned those decisions.");
+}
+
+fn keygen(bits: usize) {
+    let mut rng = rand::rng();
+    let t = Instant::now();
+    let stp = pisa::StpServer::new(&mut rng, bits);
+    let pk = stp.public_key();
+    println!("generated a {bits}-bit Paillier key pair in {:.2} s", t.elapsed().as_secs_f64());
+    println!("  public key (n):   {} bits", pk.key_bits());
+    println!("  ciphertext width: {} bytes", pk.ciphertext_bytes());
+    println!("  n = 0x{:x}…", pk.modulus() >> (bits.saturating_sub(64)));
+    println!("(secret key held by the in-process STP; use the library API to persist keys)");
+}
+
+fn simulate(hours: usize, pus: usize, sus: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = SystemConfig::small_test();
+    let watch_cfg = config.watch().clone();
+    let channels = config.channels();
+    let blocks = config.blocks();
+    println!("simulating {hours} h: {pus} PUs, {sus} SUs on {channels} channels x {blocks} blocks\n");
+
+    let mut system = PisaSystem::setup(config, &mut rng);
+    let mut mirror = WatchSdc::new(watch_cfg.clone());
+    let su_ids: Vec<_> = (0..sus)
+        .map(|i| system.register_su(BlockId((i * 7 + 2) % blocks), &mut rng))
+        .collect();
+
+    let (mut grants, mut denials, mut mismatches) = (0usize, 0usize, 0usize);
+    for hour in 0..hours {
+        for pu in 0..pus as u64 {
+            let block = BlockId(((pu as usize) * 5) % blocks);
+            let tuned = if rng.next_u64() % 6 == 0 {
+                None
+            } else {
+                Some(Channel((rng.next_u64() as usize) % channels))
+            };
+            system.pu_update(pu, block, tuned, &mut rng);
+            mirror.pu_update(
+                pu,
+                match tuned {
+                    Some(c) => PuInput::tuned(&watch_cfg, block, c),
+                    None => PuInput::off(block),
+                },
+            );
+        }
+        for (i, &su) in su_ids.iter().enumerate() {
+            let ch = Channel((rng.next_u64() as usize) % channels);
+            let dbm = -45.0 + (rng.next_u64() % 35) as f64;
+            let request =
+                SuRequest::with_power_dbm(&watch_cfg, BlockId((i * 7 + 2) % blocks), &[ch], dbm);
+            let outcome = system.request_with(su, &request, &mut rng).unwrap();
+            if outcome.granted != mirror.process_request(&request).is_granted() {
+                mismatches += 1;
+            }
+            if outcome.granted {
+                grants += 1
+            } else {
+                denials += 1
+            }
+        }
+        println!(
+            "hour {hour}: {} active PUs, totals: {grants} granted / {denials} denied",
+            mirror.active_pus()
+        );
+    }
+    println!("\nencrypted/plaintext mismatches: {mismatches} (must be 0)");
+    assert_eq!(mismatches, 0);
+}
+
+fn attack() {
+    let mut rng = StdRng::seed_from_u64(1337);
+    let cfg = SystemConfig::small_test();
+
+    println!("== plaintext WATCH: total leak ==");
+    let mut watch = WatchSdc::new(cfg.watch().clone());
+    watch.pu_update(0, PuInput::tuned(cfg.watch(), BlockId(12), Channel(1)));
+    for (ch, b) in adversary::infer_pu_channels(&watch) {
+        println!("  SDC reads: viewer at {b} watches {ch}");
+    }
+    let request = SuRequest::with_power_dbm(cfg.watch(), BlockId(17), &[Channel(0)], 20.0);
+    let f = request.f_matrix(cfg.watch());
+    println!(
+        "  SDC reads: SU at {} radiating {:.1} mW",
+        adversary::infer_su_block(&f).unwrap(),
+        adversary::infer_su_eirp_mw(cfg.watch(), &f).unwrap()
+    );
+
+    println!("\n== PISA: chance-level guessing ==");
+    let stp = pisa::StpServer::new(&mut rng, cfg.paillier_bits());
+    let mut su = pisa::SuClient::new(pisa::SuId(0), BlockId(17), &cfg, &mut rng);
+    let runs = 30;
+    let hits = (0..runs)
+        .filter(|_| {
+            let msg = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+            adversary::guess_su_block_from_ciphertexts(&msg) == Some(BlockId(17))
+        })
+        .count();
+    println!(
+        "  block triangulation on ciphertexts: {hits}/{runs} (chance ≈ {:.1})",
+        runs as f64 / cfg.blocks() as f64
+    );
+}
+
+fn info() {
+    let cfg = SystemConfig::paper();
+    println!("Table I — Parameter Settings (ICDCS'17)");
+    println!("  Number of PUs                         100");
+    println!("  Number of blocks                      {}", cfg.blocks());
+    println!("  Number of channels                    {}", cfg.channels());
+    println!(
+        "  Bit length of integer representation  {}",
+        cfg.watch().quantizer().total_bits()
+    );
+    println!("  Paillier modulus                      {} bits", cfg.paillier_bits());
+    println!("  Blinding budget                       {} bits", cfg.blind_bits());
+    println!(
+        "  Protection: SINR {} dB + redn {} dB -> X = {}",
+        cfg.watch().params().tv_sinr_db,
+        cfg.watch().params().redn_db,
+        cfg.watch().params().x_integer()
+    );
+    println!(
+        "  Request size at this scale            {:.1} MiB",
+        (cfg.channels() * cfg.blocks() * cfg.paillier_bits() / 4) as f64 / (1024.0 * 1024.0)
+    );
+}

@@ -1,0 +1,30 @@
+//! `pisa` — command-line interface to the PISA reproduction.
+//!
+//! ```text
+//! pisa demo                     run the quickstart protocol flow
+//! pisa keygen [--bits N]        generate a Paillier key pair
+//! pisa simulate [--hours H] [--pus N] [--sus N] [--seed S]
+//!                               metro-area churn simulation
+//! pisa attack                   curious-SDC inference demo (WATCH vs PISA)
+//! pisa info                     print the paper's Table I configuration
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => {
+            commands::run(cmd);
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Ablation baselines: the approaches PISA was designed to avoid.
+//!
+//! §IV-B argues that realizing the comparisons of eqs. (4) and (7) with
+//! existing secure integer-comparison protocols (\[13\], \[12\], \[18\]) would
+//! require bit-by-bit encryption and be "extremely complex and
+//! time-consuming". This module implements that baseline so the claim
+//! can be measured instead of taken on faith (see the
+//! `ablation_comparison` bench).
+
+pub mod bitwise_cmp;
+
+pub use bitwise_cmp::{BitwiseComparison, BitwiseCost};

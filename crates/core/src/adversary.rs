@@ -1,0 +1,177 @@
+//! What a *curious* SDC can actually extract — the attack surface PISA
+//! closes.
+//!
+//! The paper's motivation (§I, §III-B): in plaintext WATCH the SDC
+//! holds every PU's channel reception and every SU's operational
+//! parameters, so an untrusted or breached SDC learns everything. This
+//! module implements that curious-SDC inference concretely:
+//!
+//! * [`infer_pu_channels`] — read every PU's (block, channel) straight
+//!   out of the plaintext budget matrix;
+//! * [`infer_su_block`] / [`infer_su_eirp_mw`] — triangulate an SU's
+//!   position and power from its plaintext interference profile **F**
+//!   (the profile peaks at the SU's own block, and the peak height is
+//!   `EIRP · h(d≈0)`);
+//! * [`guess_su_block_from_ciphertexts`] /
+//!   [`guess_pu_channel_from_ciphertexts`] — the *same* attacks mounted
+//!   on PISA's encrypted messages. Semantic security makes every such
+//!   statistic of the ciphertexts independent of the plaintext, so
+//!   these guesses succeed with chance probability — which the
+//!   `privacy_properties` suite verifies statistically.
+
+use crate::messages::{PuUpdateMsg, SuRequestMsg};
+use pisa_radio::tv::Channel;
+use pisa_radio::BlockId;
+use pisa_watch::{IntMatrix, WatchConfig, WatchSdc};
+
+/// Recovers every active PU's (channel, block) from a plaintext WATCH
+/// SDC: exactly the entries where the budget `N` differs from the
+/// public cap `E`.
+///
+/// This is the total privacy failure of the baseline — no cryptanalysis
+/// required, the state *is* the sensitive data.
+pub fn infer_pu_channels(sdc: &WatchSdc) -> Vec<(Channel, BlockId)> {
+    let n = sdc.n_matrix();
+    let e = sdc.e_matrix();
+    n.iter()
+        .filter(|&(c, b, v)| v != e.get(c, b))
+        .map(|(c, b, _)| (Channel(c), BlockId(b)))
+        .collect()
+}
+
+/// Triangulates an SU's block from its plaintext interference profile:
+/// `F(c, b)` is maximal at the SU's own block (path gain peaks at zero
+/// distance).
+///
+/// Returns `None` for an all-zero profile (no transmission requested).
+pub fn infer_su_block(f: &IntMatrix) -> Option<BlockId> {
+    f.iter()
+        .max_by_key(|&(_, _, v)| v)
+        .filter(|&(_, _, v)| v > 0)
+        .map(|(_, b, _)| BlockId(b))
+}
+
+/// Estimates the SU's EIRP (mW) from the profile peak: the peak equals
+/// `EIRP · h(d_min)` with `d_min` the intra-block distance (clamped to
+/// 1 m by the propagation model).
+pub fn infer_su_eirp_mw(cfg: &WatchConfig, f: &IntMatrix) -> Option<f64> {
+    let (c, b, v) = f.iter().max_by_key(|&(_, _, v)| v)?;
+    if v <= 0 {
+        return None;
+    }
+    let peak_mw = cfg.quantizer().dequantize(v);
+    let self_gain = cfg.path_gain(BlockId(b), BlockId(b), Channel(c));
+    Some(peak_mw / self_gain)
+}
+
+/// Mounts the block-triangulation attack on an **encrypted** request:
+/// treats each ciphertext's raw residue as if it were the profile value
+/// and picks the argmax. Against a semantically secure scheme this is a
+/// uniformly random guess.
+pub fn guess_su_block_from_ciphertexts(msg: &SuRequestMsg) -> Option<BlockId> {
+    msg.f_matrix
+        .ciphertexts()
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.as_raw().cmp(b.as_raw()))
+        .map(|(idx, _)| BlockId(idx % msg.f_matrix.blocks()))
+}
+
+/// Mounts the channel-detection attack on an **encrypted** PU update:
+/// guesses the tuned channel as the entry with the largest raw
+/// ciphertext residue. Chance accuracy `1/C` against PISA.
+pub fn guess_pu_channel_from_ciphertexts(msg: &PuUpdateMsg) -> Option<Channel> {
+    msg.w_column
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.as_raw().cmp(b.as_raw()))
+        .map(|(c, _)| Channel(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::keys::SuId;
+    use crate::pu::PuClient;
+    use crate::stp::StpServer;
+    use crate::su::SuClient;
+    use pisa_watch::{PuInput, SuRequest};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plaintext_watch_leaks_every_pu() {
+        let cfg = SystemConfig::small_test();
+        let mut sdc = WatchSdc::new(cfg.watch().clone());
+        sdc.pu_update(0, PuInput::tuned(cfg.watch(), BlockId(12), Channel(1)));
+        sdc.pu_update(1, PuInput::tuned(cfg.watch(), BlockId(3), Channel(2)));
+
+        let leaked = infer_pu_channels(&sdc);
+        assert!(leaked.contains(&(Channel(1), BlockId(12))));
+        assert!(leaked.contains(&(Channel(2), BlockId(3))));
+        assert_eq!(leaked.len(), 2);
+    }
+
+    #[test]
+    fn plaintext_request_leaks_su_block_and_power() {
+        let cfg = SystemConfig::small_test();
+        let request = SuRequest::with_power_dbm(cfg.watch(), BlockId(17), &[Channel(0)], 20.0);
+        let f = request.f_matrix(cfg.watch());
+
+        assert_eq!(infer_su_block(&f), Some(BlockId(17)));
+        let eirp = infer_su_eirp_mw(cfg.watch(), &f).expect("non-zero profile");
+        // 20 dBm = 100 mW, recovered within quantization error.
+        assert!((eirp - 100.0).abs() / 100.0 < 0.01, "eirp = {eirp}");
+    }
+
+    #[test]
+    fn empty_profile_yields_nothing() {
+        let cfg = SystemConfig::small_test();
+        let request = SuRequest::new(cfg.watch(), BlockId(0), vec![0.0; 4]);
+        let f = request.f_matrix(cfg.watch());
+        assert_eq!(infer_su_block(&f), None);
+        assert_eq!(infer_su_eirp_mw(cfg.watch(), &f), None);
+    }
+
+    #[test]
+    fn encrypted_request_defeats_triangulation() {
+        // Across many fresh encryptions of the same request, the
+        // ciphertext-argmax "block" is near-uniform, not the true block.
+        let mut rng = StdRng::seed_from_u64(0xad5a);
+        let cfg = SystemConfig::small_test();
+        let stp = StpServer::new(&mut rng, cfg.paillier_bits());
+        let mut su = SuClient::new(SuId(0), BlockId(17), &cfg, &mut rng);
+
+        let runs = 40;
+        let mut hits = 0;
+        for _ in 0..runs {
+            let msg = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+            if guess_su_block_from_ciphertexts(&msg) == Some(BlockId(17)) {
+                hits += 1;
+            }
+        }
+        // Chance is 1/25; 40 trials should land well under half hits.
+        assert!(hits <= 8, "ciphertext attack succeeded {hits}/{runs} times");
+    }
+
+    #[test]
+    fn encrypted_update_defeats_channel_detection() {
+        let mut rng = StdRng::seed_from_u64(0xad5b);
+        let cfg = SystemConfig::small_test();
+        let stp = StpServer::new(&mut rng, cfg.paillier_bits());
+        let e = pisa_watch::compute_e_matrix(cfg.watch());
+        let mut pu = PuClient::new(0, BlockId(5));
+
+        let runs = 40;
+        let mut hits = 0;
+        for _ in 0..runs {
+            let msg = pu.tune(Some(Channel(2)), &cfg, &e, stp.public_key(), &mut rng);
+            if guess_pu_channel_from_ciphertexts(&msg) == Some(Channel(2)) {
+                hits += 1;
+            }
+        }
+        // Chance is 1/4; statistically bounded away from certainty.
+        assert!(hits <= 20, "channel attack succeeded {hits}/{runs} times");
+    }
+}

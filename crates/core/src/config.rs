@@ -1,0 +1,136 @@
+//! System-wide configuration: WATCH parameters plus cryptographic
+//! choices.
+
+use pisa_watch::WatchConfig;
+
+/// Full PISA configuration: the WATCH spectrum configuration plus key
+/// sizes and blinding budgets.
+///
+/// # Examples
+///
+/// ```
+/// use pisa::SystemConfig;
+///
+/// let paper = SystemConfig::paper();
+/// assert_eq!(paper.watch().channels(), 100);
+/// assert_eq!(paper.paillier_bits(), 2048);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    watch: WatchConfig,
+    paillier_bits: usize,
+    blind_bits: usize,
+    rsa_slack_bits: usize,
+}
+
+impl SystemConfig {
+    /// Builds a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blinding budget cannot fit the plaintext space:
+    /// `blind_bits + value bits + margin` must stay below
+    /// `paillier_bits − 1` (centered lift). See DESIGN.md, "Blinding
+    /// ranges".
+    pub fn new(
+        watch: WatchConfig,
+        paillier_bits: usize,
+        blind_bits: usize,
+        rsa_slack_bits: usize,
+    ) -> Self {
+        // |α·I − β| < 2^(blind_bits+1) · 2^value_bits + 2^blind_bits
+        //           < 2^(blind_bits + value_bits + 2)
+        // value bits: quantizer width + scalar X (≤ 8 bits) + PU count
+        // headroom (≤ 8 bits).
+        let value_bits = watch.quantizer().total_bits() as usize + 16;
+        assert!(
+            blind_bits + value_bits + 2 < paillier_bits - 1,
+            "blinding budget {blind_bits}+{value_bits} bits does not fit \
+             a {paillier_bits}-bit plaintext space"
+        );
+        SystemConfig {
+            watch,
+            paillier_bits,
+            blind_bits,
+            rsa_slack_bits,
+        }
+    }
+
+    /// The paper's evaluation setting: Table I (C=100, B=600, 60-bit
+    /// integers) with 2048-bit Paillier keys (112-bit security per NIST
+    /// SP 800-57) and 512-bit blinding factors.
+    pub fn paper() -> Self {
+        SystemConfig::new(WatchConfig::paper(), 2048, 512, 64)
+    }
+
+    /// A scaled-down paper configuration for benchmarks that must finish
+    /// in CI: same Table I spectrum shape, smaller keys.
+    pub fn paper_scaled(paillier_bits: usize) -> Self {
+        SystemConfig::new(WatchConfig::paper(), paillier_bits, 128, 64)
+    }
+
+    /// Tiny deterministic configuration for tests: 4 channels, 25
+    /// blocks, 384-bit keys, 64-bit blinds.
+    pub fn small_test() -> Self {
+        SystemConfig::new(WatchConfig::small_test(), 384, 64, 64)
+    }
+
+    /// The WATCH spectrum configuration.
+    pub fn watch(&self) -> &WatchConfig {
+        &self.watch
+    }
+
+    /// Paillier modulus size in bits.
+    pub fn paillier_bits(&self) -> usize {
+        self.paillier_bits
+    }
+
+    /// Bit budget for the α/β blinding factors of eq. (14).
+    pub fn blind_bits(&self) -> usize {
+        self.blind_bits
+    }
+
+    /// How many bits below the SU's Paillier modulus the license-signing
+    /// RSA modulus is generated (so signatures embed as plaintexts).
+    pub fn rsa_slack_bits(&self) -> usize {
+        self.rsa_slack_bits
+    }
+
+    /// Channels `C`.
+    pub fn channels(&self) -> usize {
+        self.watch.channels()
+    }
+
+    /// Blocks `B`.
+    pub fn blocks(&self) -> usize {
+        self.watch.blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings_match_table1() {
+        let cfg = SystemConfig::paper();
+        assert_eq!(cfg.channels(), 100);
+        assert_eq!(cfg.blocks(), 600);
+        assert_eq!(cfg.watch().quantizer().total_bits(), 60);
+        assert_eq!(cfg.paillier_bits(), 2048);
+    }
+
+    #[test]
+    fn small_test_is_consistent() {
+        let cfg = SystemConfig::small_test();
+        assert_eq!(cfg.channels(), 4);
+        assert_eq!(cfg.blocks(), 25);
+        assert!(cfg.blind_bits() + 78 < cfg.paillier_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_blinding_rejected() {
+        let _ = SystemConfig::new(WatchConfig::small_test(), 128, 64, 32);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the PISA protocol.
+
+use crate::keys::SuId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the PISA protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PisaError {
+    /// An SU id is not registered with the STP / SDC.
+    UnknownSu(SuId),
+    /// A message arrived with matrix dimensions that do not match the
+    /// system configuration.
+    DimensionMismatch {
+        /// What the message carried.
+        got: (usize, usize),
+        /// What the configuration requires.
+        want: (usize, usize),
+    },
+    /// A blinded value would overflow the Paillier plaintext space —
+    /// the key is too small for the configured blinding budget.
+    BlindingOverflow,
+    /// Phase-2 state for a request was not found (phase 1 not run, or
+    /// already consumed).
+    MissingRequestState(SuId),
+    /// The region prefix in a request exceeds the service area.
+    BadRegion {
+        /// Requested region size.
+        region_blocks: usize,
+        /// Blocks available.
+        blocks: usize,
+    },
+}
+
+impl fmt::Display for PisaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PisaError::UnknownSu(id) => write!(f, "unknown secondary user {id}"),
+            PisaError::DimensionMismatch { got, want } => write!(
+                f,
+                "matrix dimensions {}x{} do not match configured {}x{}",
+                got.0, got.1, want.0, want.1
+            ),
+            PisaError::BlindingOverflow => {
+                f.write_str("blinded value would exceed the plaintext space; use a larger key")
+            }
+            PisaError::MissingRequestState(id) => {
+                write!(f, "no pending request state for {id}")
+            }
+            PisaError::BadRegion {
+                region_blocks,
+                blocks,
+            } => write!(
+                f,
+                "request region of {region_blocks} blocks exceeds the {blocks}-block area"
+            ),
+        }
+    }
+}
+
+impl Error for PisaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PisaError::DimensionMismatch {
+            got: (4, 25),
+            want: (100, 600),
+        };
+        let s = e.to_string();
+        assert!(s.contains("4x25") && s.contains("100x600"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<PisaError>();
+    }
+}

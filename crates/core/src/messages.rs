@@ -1,0 +1,215 @@
+//! Protocol messages exchanged between the four parties.
+
+use crate::cipher_matrix::CipherMatrix;
+use crate::keys::SuId;
+use crate::license::License;
+use pisa_crypto::paillier::Ciphertext;
+use pisa_net::WireSize;
+use pisa_radio::BlockId;
+
+/// Size of a framing header per message (party ids, lengths, kind tag).
+const HEADER_BYTES: usize = 64;
+
+/// Channel-reception update from a PU (paper Figure 4): the `C`
+/// ciphertexts `W̃(1,i) … W̃(C,i)` for the PU's registered block.
+#[derive(Debug, Clone)]
+pub struct PuUpdateMsg {
+    /// The PU's registered (public) block.
+    pub block: BlockId,
+    /// One ciphertext per channel, encrypted under `pk_G`.
+    pub w_column: Vec<Ciphertext>,
+    /// Width of one ciphertext in bytes (for wire accounting).
+    pub ct_bytes: usize,
+}
+
+impl WireSize for PuUpdateMsg {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.w_column.len() * self.ct_bytes
+    }
+}
+
+/// Transmission request from an SU (paper Figure 5 step 2): the
+/// encrypted interference profile `F̃`, possibly restricted to a region
+/// prefix under the location-privacy trade-off.
+#[derive(Debug, Clone)]
+pub struct SuRequestMsg {
+    /// Requesting SU.
+    pub su_id: SuId,
+    /// Encrypted `F` matrix under `pk_G` (C × region_blocks entries are
+    /// meaningful; the matrix is always C × B shaped).
+    pub f_matrix: CipherMatrix,
+    /// How many leading blocks the request covers (B for full privacy).
+    pub region_blocks: usize,
+    /// Ciphertext width in bytes.
+    pub ct_bytes: usize,
+}
+
+impl WireSize for SuRequestMsg {
+    fn wire_bytes(&self) -> usize {
+        // Only the covered region ships: C × region_blocks ciphertexts.
+        HEADER_BYTES + self.f_matrix.channels() * self.region_blocks * self.ct_bytes
+    }
+}
+
+/// Blinded sign-test query from SDC to STP (Figure 5 step 5): `Ṽ`.
+#[derive(Debug, Clone)]
+pub struct SdcToStpMsg {
+    /// Which SU's request this belongs to (the STP needs `pk_j`).
+    pub su_id: SuId,
+    /// Blinded encrypted indicator entries under `pk_G`.
+    pub v_matrix: CipherMatrix,
+    /// Region size (entries beyond it are not shipped).
+    pub region_blocks: usize,
+    /// Ciphertext width in bytes.
+    pub ct_bytes: usize,
+}
+
+impl WireSize for SdcToStpMsg {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.v_matrix.channels() * self.region_blocks * self.ct_bytes
+    }
+}
+
+/// Key-converted sign bits from STP back to SDC (Figure 5 step 8): `X̃`
+/// under `pk_j`.
+#[derive(Debug, Clone)]
+pub struct StpToSdcMsg {
+    /// Which SU's request this belongs to.
+    pub su_id: SuId,
+    /// Encrypted ±1 signs under the SU's key.
+    pub x_matrix: CipherMatrix,
+    /// Region size.
+    pub region_blocks: usize,
+    /// Ciphertext width in bytes (under `pk_j`).
+    pub ct_bytes: usize,
+}
+
+impl WireSize for StpToSdcMsg {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.x_matrix.channels() * self.region_blocks * self.ct_bytes
+    }
+}
+
+/// The SDC's response to the SU (Figure 5 step 11): the license and the
+/// single gated ciphertext `G̃` — the paper's 4.1 kb response.
+#[derive(Debug, Clone)]
+pub struct SdcResponseMsg {
+    /// The (unsigned) license document.
+    pub license: License,
+    /// `G̃^{pk_j}`: encrypts the valid signature iff granted.
+    pub g_cipher: Ciphertext,
+    /// Ciphertext width in bytes (under `pk_j`).
+    pub ct_bytes: usize,
+}
+
+impl WireSize for SdcResponseMsg {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.license.canonical_bytes().len() + self.ct_bytes
+    }
+}
+
+/// Any PISA message (the payload type of the simulated network).
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum PisaMessage {
+    /// PU → SDC channel update.
+    PuUpdate(PuUpdateMsg),
+    /// SU → SDC transmission request.
+    SuRequest(SuRequestMsg),
+    /// SDC → STP blinded sign test.
+    SdcToStp(SdcToStpMsg),
+    /// STP → SDC key-converted signs.
+    StpToSdc(StpToSdcMsg),
+    /// SDC → SU response.
+    SdcResponse(SdcResponseMsg),
+}
+
+impl WireSize for PisaMessage {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            PisaMessage::PuUpdate(m) => m.wire_bytes(),
+            PisaMessage::SuRequest(m) => m.wire_bytes(),
+            PisaMessage::SdcToStp(m) => m.wire_bytes(),
+            PisaMessage::StpToSdc(m) => m.wire_bytes(),
+            PisaMessage::SdcResponse(m) => m.wire_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisa_bigint::Ubig;
+
+    fn ct() -> Ciphertext {
+        Ciphertext::from_raw(Ubig::from(1u64))
+    }
+
+    #[test]
+    fn pu_update_size_is_linear_in_channels() {
+        // §VI-A: "the size of the encrypted data sent by PU is
+        // independent of the number of blocks … grows linearly with only
+        // the number of channels".
+        let msg = PuUpdateMsg {
+            block: BlockId(0),
+            w_column: vec![ct(); 100],
+            ct_bytes: 512,
+        };
+        assert_eq!(msg.wire_bytes(), HEADER_BYTES + 100 * 512);
+    }
+
+    #[test]
+    fn paper_scale_sizes() {
+        // With |n| = 2048 (512-byte ciphertexts), C = 100, B = 600:
+        // request ≈ 29 MB, PU update ≈ 0.05 MB, response ≈ 4.1 kb.
+        let c = 100;
+        let b = 600;
+        let ct_bytes = 512;
+        let request = SuRequestMsg {
+            su_id: SuId(0),
+            f_matrix: CipherMatrix::from_ciphertexts(c, b, vec![ct(); c * b]),
+            region_blocks: b,
+            ct_bytes,
+        };
+        let mb = request.wire_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((29.0..30.0).contains(&mb), "request = {mb:.2} MB");
+
+        let update = PuUpdateMsg {
+            block: BlockId(0),
+            w_column: vec![ct(); c],
+            ct_bytes,
+        };
+        let update_mb = update.wire_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((0.045..0.055).contains(&update_mb), "update = {update_mb}");
+
+        let response = SdcResponseMsg {
+            license: License {
+                su_id: SuId(0),
+                issuer: "sdc".into(),
+                request_digest: [0; 32],
+                serial: 0,
+            },
+            g_cipher: ct(),
+            ct_bytes,
+        };
+        let kb = response.wire_bytes() as f64 * 8.0 / 1000.0; // kilobits
+        assert!((4.0..6.0).contains(&kb), "response = {kb:.1} kb");
+    }
+
+    #[test]
+    fn region_restriction_shrinks_request() {
+        let c = 4;
+        let b = 25;
+        let full = SuRequestMsg {
+            su_id: SuId(0),
+            f_matrix: CipherMatrix::from_ciphertexts(c, b, vec![ct(); c * b]),
+            region_blocks: b,
+            ct_bytes: 64,
+        };
+        let half = SuRequestMsg {
+            region_blocks: 12,
+            ..full.clone()
+        };
+        assert!(half.wire_bytes() < full.wire_bytes());
+    }
+}

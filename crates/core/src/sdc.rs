@@ -1,0 +1,712 @@
+//! The Spectrum Database Controller server.
+
+use crate::cipher_matrix::{i128_to_ibig, CipherMatrix};
+use crate::config::SystemConfig;
+use crate::error::PisaError;
+use crate::keys::SuId;
+use crate::license::License;
+use crate::messages::{PuUpdateMsg, SdcResponseMsg, SdcToStpMsg, StpToSdcMsg, SuRequestMsg};
+use pisa_bigint::{Ibig, Ubig};
+use pisa_crypto::blind::{sample_eta, Blinder, SignFlip};
+use pisa_crypto::paillier::{Ciphertext, PaillierPublicKey};
+use pisa_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use pisa_radio::BlockId;
+use pisa_watch::{compute_e_matrix, IntMatrix};
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// State the SDC keeps between phase 1 (blinded sign test sent to the
+/// STP) and phase 2 (response built from the STP's answer).
+#[derive(Debug)]
+struct PendingRequest {
+    license: License,
+    epsilons: Vec<SignFlip>,
+    region_blocks: usize,
+}
+
+/// The SDC: aggregates encrypted PU updates into the budget matrix `Ñ`
+/// and processes encrypted SU requests without ever holding a
+/// decryption key.
+///
+/// Everything the SDC stores or computes on is a Paillier ciphertext
+/// under `pk_G` (or `pk_j` in phase 2); compromise of the SDC reveals
+/// no PU channel, SU parameter or decision.
+pub struct SdcServer {
+    cfg: SystemConfig,
+    pk_g: PaillierPublicKey,
+    issuer: String,
+    /// Public matrix **E** in the clear (public regulatory data).
+    e_plain: IntMatrix,
+    /// `Ñ = (⊕ᵢ W̃ᵢ) ⊕ Ẽ`, maintained incrementally (eqs. 9–10).
+    n_matrix: CipherMatrix,
+    /// Latest encrypted `W̃` column per PU, for incremental updates.
+    contributions: HashMap<u64, (BlockId, Vec<Ciphertext>)>,
+    rsa: RsaKeyPair,
+    blinder: Blinder,
+    serial: u64,
+    pending: HashMap<SuId, PendingRequest>,
+}
+
+impl std::fmt::Debug for SdcServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SdcServer({}x{}, {} PUs, {} pending)",
+            self.cfg.channels(),
+            self.cfg.blocks(),
+            self.contributions.len(),
+            self.pending.len()
+        )
+    }
+}
+
+impl SdcServer {
+    /// Initializes the SDC (paper §IV-A1): computes **E** from public
+    /// data, encrypts it, and sets `Ñ = Ẽ`.
+    ///
+    /// The license-signing RSA key is generated strictly below the
+    /// global Paillier modulus so signatures embed as plaintexts for
+    /// every same-sized SU key (see DESIGN.md).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured blinding budget cannot fit the key's
+    /// plaintext space.
+    pub fn new<R: Rng + ?Sized>(
+        cfg: SystemConfig,
+        pk_g: PaillierPublicKey,
+        issuer: &str,
+        rng: &mut R,
+    ) -> Self {
+        let blinder = Blinder::new(cfg.blind_bits());
+        // |ε(αI − β)| must stay below n/2: verify against the worst-case
+        // indicator magnitude (quantizer width + 16 bits of headroom,
+        // the same bound SystemConfig enforces structurally).
+        let max_i = Ubig::one() << (cfg.watch().quantizer().total_bits() as usize + 16);
+        assert!(
+            blinder.max_blinded_magnitude(&max_i) < (pk_g.modulus() >> 1),
+            "blinded values would overflow the plaintext space"
+        );
+
+        let e_plain = compute_e_matrix(cfg.watch());
+        let n_matrix = CipherMatrix::encrypt_public(&e_plain, &pk_g);
+        let rsa = RsaKeyPair::generate_below(rng, pk_g.modulus(), cfg.rsa_slack_bits());
+        SdcServer {
+            cfg,
+            pk_g,
+            issuer: issuer.to_owned(),
+            e_plain,
+            n_matrix,
+            contributions: HashMap::new(),
+            rsa,
+            blinder,
+            serial: 0,
+        pending: HashMap::new(),
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The public matrix **E** (public data; PUs need it to form `W`).
+    pub fn e_matrix(&self) -> &IntMatrix {
+        &self.e_plain
+    }
+
+    /// The SDC's license-verification key (published to SUs).
+    pub fn signing_public_key(&self) -> &RsaPublicKey {
+        self.rsa.public()
+    }
+
+    /// The encrypted budget matrix `Ñ` (diagnostic/test access).
+    pub fn n_matrix(&self) -> &CipherMatrix {
+        &self.n_matrix
+    }
+
+    /// Handles a PU channel-reception update (Figure 4 step 4):
+    /// `Ñ ← Ñ ⊖ W̃_old ⊕ W̃_new` at the PU's block, realizing eqs.
+    /// (8)–(10) incrementally.
+    ///
+    /// # Errors
+    ///
+    /// [`PisaError::DimensionMismatch`] if the update does not carry
+    /// exactly `C` ciphertexts.
+    pub fn handle_pu_update(&mut self, pu_id: u64, msg: PuUpdateMsg) -> Result<(), PisaError> {
+        if msg.w_column.len() != self.cfg.channels() {
+            return Err(PisaError::DimensionMismatch {
+                got: (msg.w_column.len(), 1),
+                want: (self.cfg.channels(), 1),
+            });
+        }
+        self.cfg
+            .watch()
+            .area()
+            .check_block(msg.block)
+            .map_err(|_| PisaError::BadRegion {
+                region_blocks: msg.block.0,
+                blocks: self.cfg.blocks(),
+            })?;
+
+        let b = msg.block.0;
+        // Subtract the PU's previous contribution, if any.
+        if let Some((old_block, old_col)) = self.contributions.remove(&pu_id) {
+            for (c, old) in old_col.iter().enumerate() {
+                let cur = self.pk_g.sub(self.n_matrix.get(c, old_block.0), old);
+                self.n_matrix.set(c, old_block.0, cur);
+            }
+        }
+        // Add the new one.
+        for (c, new) in msg.w_column.iter().enumerate() {
+            let cur = self.pk_g.add(self.n_matrix.get(c, b), new);
+            self.n_matrix.set(c, b, cur);
+        }
+        self.contributions.insert(pu_id, (msg.block, msg.w_column));
+        Ok(())
+    }
+
+    /// Rebuilds `Ñ` from scratch by re-aggregating every stored PU
+    /// contribution over `Ẽ` — the literal realization of eqs. (9)–(10)
+    /// the paper times at ~2.6 s per update. [`handle_pu_update`]
+    /// maintains the same matrix incrementally; this method is the
+    /// recovery path (and the cost baseline for the `fig6_system_eval`
+    /// harness).
+    ///
+    /// [`handle_pu_update`]: Self::handle_pu_update
+    pub fn reaggregate_budget(&mut self) {
+        let mut n = CipherMatrix::encrypt_public(&self.e_plain, &self.pk_g);
+        for (block, col) in self.contributions.values() {
+            for (c, w) in col.iter().enumerate() {
+                n.set(c, block.0, self.pk_g.add(n.get(c, block.0), w));
+            }
+        }
+        self.n_matrix = n;
+    }
+
+    /// Number of PUs with a stored contribution.
+    pub fn registered_pus(&self) -> usize {
+        self.contributions.len()
+    }
+
+    /// Phase 1 of request processing (Figure 5 steps 3–5): computes
+    /// `R̃ = X ⊗ F̃` (eq. 11), `Ĩ = Ñ ⊖ R̃` (eq. 12) and the blinded
+    /// `Ṽ = ε ⊗ (α ⊗ Ĩ ⊖ β̃)` (eq. 14), remembering ε and the license
+    /// for phase 2.
+    ///
+    /// # Errors
+    ///
+    /// [`PisaError::DimensionMismatch`] or [`PisaError::BadRegion`] on a
+    /// malformed request.
+    pub fn process_request_phase1<R: Rng + ?Sized>(
+        &mut self,
+        msg: &SuRequestMsg,
+        rng: &mut R,
+    ) -> Result<SdcToStpMsg, PisaError> {
+        let region = msg.region_blocks;
+        if region == 0 || region > self.cfg.blocks() {
+            return Err(PisaError::BadRegion {
+                region_blocks: region,
+                blocks: self.cfg.blocks(),
+            });
+        }
+        if msg.f_matrix.channels() != self.cfg.channels() || msg.f_matrix.blocks() != region {
+            return Err(PisaError::DimensionMismatch {
+                got: (msg.f_matrix.channels(), msg.f_matrix.blocks()),
+                want: (self.cfg.channels(), region),
+            });
+        }
+
+        let channels = self.cfg.channels();
+        let mut v_entries = Vec::with_capacity(channels * region);
+        let mut epsilons = Vec::with_capacity(channels * region);
+
+        for c in 0..channels {
+            for b in 0..region {
+                let (v, eps) = self.blind_entry(msg.f_matrix.get(c, b), (c, b), rng);
+                v_entries.push(v);
+                epsilons.push(eps);
+            }
+        }
+
+        let license = License {
+            su_id: msg.su_id,
+            issuer: self.issuer.clone(),
+            request_digest: License::digest_request(msg.f_matrix.ciphertexts()),
+            serial: self.serial,
+        };
+        self.serial += 1;
+        self.pending.insert(
+            msg.su_id,
+            PendingRequest {
+                license,
+                epsilons,
+                region_blocks: region,
+            },
+        );
+
+        Ok(SdcToStpMsg {
+            su_id: msg.su_id,
+            v_matrix: CipherMatrix::from_ciphertexts(channels, region, v_entries),
+            region_blocks: region,
+            ct_bytes: self.pk_g.ciphertext_bytes(),
+        })
+    }
+
+    /// Eqs. (11)–(14) for one entry: `R = X ⊗ F`, `I = N ⊖ R`,
+    /// `V = ε ⊗ (α ⊗ I ⊖ β̃)`. Returns the blinded ciphertext and the ε
+    /// needed to unblind in phase 2.
+    fn blind_entry<R: Rng + ?Sized>(
+        &self,
+        f_ct: &Ciphertext,
+        (c, b): (usize, usize),
+        rng: &mut R,
+    ) -> (Ciphertext, SignFlip) {
+        let x = Ibig::from(self.cfg.watch().params().x_integer());
+        // R = X ⊗ F (eq. 11)
+        let r = self.pk_g.scalar_mul(f_ct, &x);
+        // I = N ⊖ R (eq. 12)
+        let i = self.pk_g.sub(self.n_matrix.get(c, b), &r);
+        // V = ε ⊗ (α ⊗ I ⊖ β̃) (eq. 14)
+        let factors = self.blinder.sample(rng);
+        let scaled = self
+            .pk_g
+            .scalar_mul(&i, &Ibig::from(factors.alpha.clone()));
+        let beta_ct = self.pk_g.encrypt(&Ibig::from(factors.beta.clone()), rng);
+        let blinded = self.pk_g.sub(&scaled, &beta_ct);
+        let v = self.pk_g.scalar_mul(&blinded, &factors.epsilon.as_scalar());
+        (v, factors.epsilon)
+    }
+
+    /// Parallel variant of [`process_request_phase1`]: splits the
+    /// entries across `threads` worker threads. The paper notes that a
+    /// production SDC "would normally utilize a much more powerful
+    /// hardware and can process the transmission request much faster" —
+    /// the per-entry work is embarrassingly parallel, so this scales
+    /// nearly linearly with cores.
+    ///
+    /// Each thread derives its own RNG from `rng`, so the output
+    /// distribution matches the sequential path (different ciphertexts,
+    /// identical semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`process_request_phase1`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    ///
+    /// [`process_request_phase1`]: Self::process_request_phase1
+    pub fn process_request_phase1_parallel<R: Rng + ?Sized>(
+        &mut self,
+        msg: &SuRequestMsg,
+        threads: usize,
+        rng: &mut R,
+    ) -> Result<SdcToStpMsg, PisaError> {
+        assert!(threads > 0, "need at least one worker");
+        let region = msg.region_blocks;
+        if region == 0 || region > self.cfg.blocks() {
+            return Err(PisaError::BadRegion {
+                region_blocks: region,
+                blocks: self.cfg.blocks(),
+            });
+        }
+        if msg.f_matrix.channels() != self.cfg.channels() || msg.f_matrix.blocks() != region {
+            return Err(PisaError::DimensionMismatch {
+                got: (msg.f_matrix.channels(), msg.f_matrix.blocks()),
+                want: (self.cfg.channels(), region),
+            });
+        }
+
+        let channels = self.cfg.channels();
+        let indices: Vec<(usize, usize)> = (0..channels)
+            .flat_map(|c| (0..region).map(move |b| (c, b)))
+            .collect();
+        let chunk_len = indices.len().div_ceil(threads);
+        let seeds: Vec<u64> = (0..threads).map(|_| rng.next_u64()).collect();
+
+        // Immutable fan-out over &self; results keep entry order.
+        let results: Vec<(Ciphertext, SignFlip)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = indices
+                .chunks(chunk_len.max(1))
+                .zip(&seeds)
+                .map(|(chunk, &seed)| {
+                    let this = &*self;
+                    let f = &msg.f_matrix;
+                    scope.spawn(move || {
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                        chunk
+                            .iter()
+                            .map(|&(c, b)| this.blind_entry(f.get(c, b), (c, b), &mut rng))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker healthy"))
+                .collect()
+        });
+
+        let (v_entries, epsilons): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let license = License {
+            su_id: msg.su_id,
+            issuer: self.issuer.clone(),
+            request_digest: License::digest_request(msg.f_matrix.ciphertexts()),
+            serial: self.serial,
+        };
+        self.serial += 1;
+        self.pending.insert(
+            msg.su_id,
+            PendingRequest {
+                license,
+                epsilons,
+                region_blocks: region,
+            },
+        );
+        Ok(SdcToStpMsg {
+            su_id: msg.su_id,
+            v_matrix: CipherMatrix::from_ciphertexts(channels, region, v_entries),
+            region_blocks: region,
+            ct_bytes: self.pk_g.ciphertext_bytes(),
+        })
+    }
+
+    /// Phase 2 (Figure 5 steps 9–11): unblinds the STP's signs into
+    /// `Q̃ ∈ {0, −2}` (eqs. 13, 16), signs the license, and gates the
+    /// signature with `G̃ = S̃G ⊕ η ⊗ ΣQ̃` (eq. 17).
+    ///
+    /// # Errors
+    ///
+    /// [`PisaError::MissingRequestState`] if phase 1 did not run, and
+    /// [`PisaError::DimensionMismatch`] if the STP reply shape is wrong.
+    pub fn process_request_phase2<R: Rng + ?Sized>(
+        &mut self,
+        msg: &StpToSdcMsg,
+        su_pk: &PaillierPublicKey,
+        rng: &mut R,
+    ) -> Result<SdcResponseMsg, PisaError> {
+        let pending = self
+            .pending
+            .remove(&msg.su_id)
+            .ok_or(PisaError::MissingRequestState(msg.su_id))?;
+        let channels = self.cfg.channels();
+        if msg.x_matrix.channels() != channels || msg.x_matrix.blocks() != pending.region_blocks {
+            // Put the state back: the STP may retry with a fixed reply.
+            let su_id = msg.su_id;
+            let err = PisaError::DimensionMismatch {
+                got: (msg.x_matrix.channels(), msg.x_matrix.blocks()),
+                want: (channels, pending.region_blocks),
+            };
+            self.pending.insert(su_id, pending);
+            return Err(err);
+        }
+
+        let one = su_pk.encrypt_public_constant(&Ibig::from(1i64));
+        let mut sum_q: Option<Ciphertext> = None;
+        for (idx, x_ct) in msg.x_matrix.ciphertexts().iter().enumerate() {
+            // Q = ε ⊗ X̃ ⊖ 1̃ (eq. 16)
+            let eps = pending.epsilons[idx];
+            let unblinded = su_pk.scalar_mul(x_ct, &eps.as_scalar());
+            let q = su_pk.sub(&unblinded, &one);
+            sum_q = Some(match sum_q {
+                None => q,
+                Some(acc) => su_pk.add(&acc, &q),
+            });
+        }
+        let sum_q = sum_q.expect("region has at least one entry");
+
+        // License signature, encrypted under the SU's key.
+        let signature = pending.license.sign(&self.rsa);
+        let sg_plain = Ibig::from(signature.as_integer().clone());
+        let sg_cipher = su_pk.encrypt(&sg_plain, rng);
+
+        // G = S̃G ⊕ η ⊗ ΣQ (eq. 17): ΣQ = 0 ⇒ G decrypts to SG;
+        // ΣQ = −2k ⇒ G decrypts to SG − 2kη, an invalid signature.
+        let eta = sample_eta(rng, su_pk.modulus());
+        let gated = su_pk.scalar_mul(&sum_q, &Ibig::from(eta));
+        let g_cipher = su_pk.add(&sg_cipher, &gated);
+
+        Ok(SdcResponseMsg {
+            license: pending.license,
+            g_cipher,
+            ct_bytes: su_pk.ciphertext_bytes(),
+        })
+    }
+
+    /// Serializes the SDC's durable state — issuer, license serial,
+    /// signing key and every stored PU contribution — for crash
+    /// recovery. Pending (in-flight) requests are intentionally not
+    /// persisted: SUs simply retry them.
+    ///
+    /// Treat the snapshot as sensitive: it contains the license-signing
+    /// private key (the budget ciphertexts, by contrast, are exactly
+    /// what a breached SDC would expose anyway — which is the point of
+    /// PISA).
+    pub fn snapshot(&self) -> bytes::Bytes {
+        use pisa_net::codec::Writer;
+        let ct_bytes = self.pk_g.ciphertext_bytes();
+        let mut w = Writer::with_capacity(1024 + self.contributions.len() * self.cfg.channels() * ct_bytes);
+        w.put_u8(1); // snapshot format version
+        w.put_bytes(self.issuer.as_bytes());
+        w.put_u64(self.serial);
+        let rsa = self.rsa.to_parts();
+        w.put_bytes(&rsa.n.to_be_bytes());
+        w.put_bytes(&rsa.d.to_be_bytes());
+        w.put_u32(ct_bytes as u32);
+        // Deterministic order for reproducible snapshots.
+        let mut ids: Vec<_> = self.contributions.keys().copied().collect();
+        ids.sort_unstable();
+        w.put_u32(ids.len() as u32);
+        for id in ids {
+            let (block, col) = &self.contributions[&id];
+            w.put_u64(id);
+            w.put_u64(block.0 as u64);
+            w.put_u32(col.len() as u32);
+            for ct in col {
+                w.put_raw(&ct.as_raw().to_be_bytes_padded(ct_bytes));
+            }
+        }
+        w.finish()
+    }
+
+    /// Reconstructs an SDC from a [`snapshot`](Self::snapshot): recomputes
+    /// the public matrix **E**, restores the signing key and PU
+    /// contributions, and re-aggregates `Ñ` (eqs. 9–10).
+    ///
+    /// # Errors
+    ///
+    /// Any [`pisa_net::codec::CodecError`] on a malformed frame.
+    pub fn restore(
+        cfg: SystemConfig,
+        pk_g: PaillierPublicKey,
+        frame: &[u8],
+    ) -> Result<Self, pisa_net::codec::CodecError> {
+        use pisa_net::codec::{CodecError, Reader};
+        let mut r = Reader::new(frame);
+        let version = r.get_u8()?;
+        if version != 1 {
+            return Err(CodecError::Invalid(format!(
+                "unknown snapshot version {version}"
+            )));
+        }
+        let issuer = String::from_utf8(r.get_bytes()?.to_vec())
+            .map_err(|e| CodecError::Invalid(format!("issuer not UTF-8: {e}")))?;
+        let serial = r.get_u64()?;
+        let rsa_n = Ubig::from_be_bytes(r.get_bytes()?);
+        let rsa_d = Ubig::from_be_bytes(r.get_bytes()?);
+        let ct_bytes = r.get_u32()? as usize;
+        if ct_bytes == 0 || ct_bytes != pk_g.ciphertext_bytes() {
+            return Err(CodecError::Invalid(format!(
+                "ciphertext width {ct_bytes} does not match the key"
+            )));
+        }
+        let count = r.get_u32()? as usize;
+        let mut contributions = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let id = r.get_u64()?;
+            let block = BlockId(r.get_u64()? as usize);
+            let cols = r.get_u32()? as usize;
+            if cols != cfg.channels() {
+                return Err(CodecError::Invalid(format!(
+                    "contribution has {cols} channels, config has {}",
+                    cfg.channels()
+                )));
+            }
+            let col = (0..cols)
+                .map(|_| {
+                    Ok(Ciphertext::from_raw(Ubig::from_be_bytes(
+                        r.get_raw(ct_bytes)?,
+                    )))
+                })
+                .collect::<Result<Vec<_>, CodecError>>()?;
+            contributions.insert(id, (block, col));
+        }
+        r.finish()?;
+
+        let e_plain = compute_e_matrix(cfg.watch());
+        let n_matrix = CipherMatrix::encrypt_public(&e_plain, &pk_g);
+        let blinder = Blinder::new(cfg.blind_bits());
+        let mut sdc = SdcServer {
+            cfg,
+            pk_g,
+            issuer,
+            e_plain,
+            n_matrix,
+            contributions,
+            rsa: RsaKeyPair::from_parts(pisa_crypto::rsa::RsaKeyParts { n: rsa_n, d: rsa_d }),
+            blinder,
+            serial,
+            pending: HashMap::new(),
+        };
+        sdc.reaggregate_budget();
+        Ok(sdc)
+    }
+
+    /// Builds the deterministic encryption of a plaintext matrix under
+    /// `pk_G` — used by tests to cross-check `Ñ`.
+    pub fn encrypt_public_matrix(&self, m: &IntMatrix) -> CipherMatrix {
+        CipherMatrix::encrypt_public(m, &self.pk_g)
+    }
+
+    /// Test/diagnostic: the plaintext the budget matrix *should* hold
+    /// given the plaintext mirror state (E only; PU contributions are
+    /// encrypted and unknown to the SDC).
+    pub fn expected_initial_n(&self) -> IntMatrix {
+        self.e_plain.clone()
+    }
+
+    /// Converts a plaintext value into the signed domain used
+    /// throughout the protocol (helper for benches).
+    pub fn to_plain_domain(v: i128) -> Ibig {
+        i128_to_ibig(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::messages::SuRequestMsg;
+    use crate::stp::StpServer;
+    use crate::su::SuClient;
+    use pisa_radio::tv::Channel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SystemConfig, StpServer, SdcServer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x5dc);
+        let cfg = SystemConfig::small_test();
+        let stp = StpServer::new(&mut rng, cfg.paillier_bits());
+        let sdc = SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc.unit", &mut rng);
+        (cfg, stp, sdc, rng)
+    }
+
+    #[test]
+    fn rejects_wrong_update_width() {
+        let (cfg, stp, mut sdc, mut rng) = setup();
+        let msg = PuUpdateMsg {
+            block: BlockId(0),
+            w_column: vec![stp.public_key().trivial_zero(); cfg.channels() + 1],
+            ct_bytes: stp.public_key().ciphertext_bytes(),
+        };
+        let _ = &mut rng;
+        assert!(matches!(
+            sdc.handle_pu_update(0, msg),
+            Err(PisaError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_update_for_unknown_block() {
+        let (cfg, stp, mut sdc, _rng) = setup();
+        let msg = PuUpdateMsg {
+            block: BlockId(cfg.blocks() + 5),
+            w_column: vec![stp.public_key().trivial_zero(); cfg.channels()],
+            ct_bytes: stp.public_key().ciphertext_bytes(),
+        };
+        assert!(matches!(
+            sdc.handle_pu_update(0, msg),
+            Err(PisaError::BadRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized_regions() {
+        let (cfg, stp, mut sdc, mut rng) = setup();
+        let mut su = SuClient::new(SuId(0), BlockId(0), &cfg, &mut rng);
+        let mut msg = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+        msg.region_blocks = 0;
+        assert!(matches!(
+            sdc.process_request_phase1(&msg, &mut rng),
+            Err(PisaError::BadRegion { .. })
+        ));
+        let mut msg = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+        msg.region_blocks = cfg.blocks() + 1;
+        assert!(matches!(
+            sdc.process_request_phase1(&msg, &mut rng),
+            Err(PisaError::BadRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_matrix_shape_mismatch() {
+        let (cfg, stp, mut sdc, mut rng) = setup();
+        let pk = stp.public_key();
+        let msg = SuRequestMsg {
+            su_id: SuId(1),
+            f_matrix: crate::CipherMatrix::zeros(cfg.channels() + 1, cfg.blocks(), pk),
+            region_blocks: cfg.blocks(),
+            ct_bytes: pk.ciphertext_bytes(),
+        };
+        assert!(matches!(
+            sdc.process_request_phase1(&msg, &mut rng),
+            Err(PisaError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn phase2_without_phase1_is_an_error() {
+        let (cfg, mut stp, mut sdc, mut rng) = setup();
+        let su = SuClient::new(SuId(2), BlockId(0), &cfg, &mut rng);
+        stp.register_su(SuId(2), su.public_key().clone());
+        let reply = crate::messages::StpToSdcMsg {
+            su_id: SuId(2),
+            x_matrix: crate::CipherMatrix::zeros(cfg.channels(), cfg.blocks(), su.public_key()),
+            region_blocks: cfg.blocks(),
+            ct_bytes: su.public_key().ciphertext_bytes(),
+        };
+        assert_eq!(
+            sdc.process_request_phase2(&reply, su.public_key(), &mut rng)
+                .unwrap_err(),
+            PisaError::MissingRequestState(SuId(2))
+        );
+    }
+
+    #[test]
+    fn phase2_shape_mismatch_preserves_state_for_retry() {
+        let (cfg, mut stp, mut sdc, mut rng) = setup();
+        let mut su = SuClient::new(SuId(3), BlockId(0), &cfg, &mut rng);
+        stp.register_su(SuId(3), su.public_key().clone());
+        let request = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+        let to_stp = sdc.process_request_phase1(&request, &mut rng).unwrap();
+
+        // Malformed STP reply: wrong dims.
+        let bad = crate::messages::StpToSdcMsg {
+            su_id: SuId(3),
+            x_matrix: crate::CipherMatrix::zeros(1, 1, su.public_key()),
+            region_blocks: 1,
+            ct_bytes: su.public_key().ciphertext_bytes(),
+        };
+        assert!(matches!(
+            sdc.process_request_phase2(&bad, su.public_key(), &mut rng),
+            Err(PisaError::DimensionMismatch { .. })
+        ));
+
+        // A correct retry still succeeds: the pending state survived.
+        let (good, _) = stp.key_convert(&to_stp, &mut rng).unwrap();
+        let response = sdc
+            .process_request_phase2(&good, su.public_key(), &mut rng)
+            .unwrap();
+        assert!(su.handle_response(&response, sdc.signing_public_key()));
+    }
+
+    #[test]
+    fn serials_are_monotone() {
+        let (cfg, mut stp, mut sdc, mut rng) = setup();
+        let mut su = SuClient::new(SuId(4), BlockId(0), &cfg, &mut rng);
+        stp.register_su(SuId(4), su.public_key().clone());
+        let mut serials = Vec::new();
+        for _ in 0..3 {
+            let request = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+            let to_stp = sdc.process_request_phase1(&request, &mut rng).unwrap();
+            let (reply, _) = stp.key_convert(&to_stp, &mut rng).unwrap();
+            let response = sdc
+                .process_request_phase2(&reply, su.public_key(), &mut rng)
+                .unwrap();
+            serials.push(response.license.serial);
+        }
+        assert!(serials.windows(2).all(|w| w[1] > w[0]), "{serials:?}");
+    }
+}

@@ -1,0 +1,272 @@
+//! The Semi-trusted Third Party: key generation and key conversion.
+
+use crate::cipher_matrix::CipherMatrix;
+use crate::error::PisaError;
+use crate::keys::{GlobalKeys, SuId, SuKeyDirectory};
+use crate::messages::{SdcToStpMsg, StpToSdcMsg};
+use pisa_bigint::Ibig;
+use pisa_crypto::paillier::PaillierPublicKey;
+use rand::Rng;
+
+/// Everything the STP observes while serving one key-conversion request —
+/// exactly the blinded values `V(c,i)` of eq. (14). Exposed so the
+/// privacy tests can verify that these observations carry (statistically)
+/// no information about the true indicator signs.
+#[derive(Debug, Clone)]
+pub struct StpObservation {
+    /// The decrypted blinded values, in entry order.
+    pub v_values: Vec<Ibig>,
+}
+
+/// The STP: holds the global secret key `sk_G` and the directory of SU
+/// public keys, and converts blinded ciphertexts from `pk_G` to `pk_j`
+/// (Figure 5 steps 6–8).
+///
+/// The STP never sees `Ñ`, `F̃` or any unblinded value; by Lemma V.1 the
+/// blinded `V` values give it only negligible advantage over guessing.
+pub struct StpServer {
+    global: GlobalKeys,
+    directory: SuKeyDirectory,
+}
+
+impl std::fmt::Debug for StpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StpServer({} SUs registered)", self.directory.len())
+    }
+}
+
+impl StpServer {
+    /// Creates the STP with a fresh global key pair of `bits` bits.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        StpServer {
+            global: GlobalKeys::generate(rng, bits),
+            directory: SuKeyDirectory::new(),
+        }
+    }
+
+    /// The global public key `pk_G` (anyone can retrieve it).
+    pub fn public_key(&self) -> &PaillierPublicKey {
+        self.global.public()
+    }
+
+    /// Registers an SU's public key (SUs upload `pk_j` on joining).
+    pub fn register_su(&mut self, id: SuId, pk: PaillierPublicKey) {
+        self.directory.publish(id, pk);
+    }
+
+    /// Looks up a registered SU key (the directory is public).
+    pub fn su_key(&self, id: SuId) -> Option<&PaillierPublicKey> {
+        self.directory.lookup(id)
+    }
+
+    /// Audit interface: decrypts a `pk_G` cipher matrix.
+    ///
+    /// This models a capability the STP genuinely has (it holds `sk_G`)
+    /// and is used by the equivalence tests to check that the SDC's
+    /// encrypted budget matrix `Ñ` tracks the plaintext WATCH baseline.
+    /// PISA's privacy argument rests on the SDC never *sending* `Ñ` to
+    /// the STP — not on the STP being unable to decrypt.
+    pub fn audit_decrypt_matrix(&self, m: &CipherMatrix) -> pisa_watch::IntMatrix {
+        m.decrypt(self.global.secret())
+    }
+
+    /// Key conversion (Figure 5 steps 6–8): decrypts each blinded
+    /// `Ṽ(c,i)`, maps it to `X = ±1` by sign (eq. 15), and re-encrypts
+    /// `X` under the SU's own key.
+    ///
+    /// Returns the reply for the SDC together with the observation
+    /// record (what a curious STP would have learned).
+    ///
+    /// # Errors
+    ///
+    /// [`PisaError::UnknownSu`] if the SU never registered a key.
+    pub fn key_convert<R: Rng + ?Sized>(
+        &self,
+        msg: &SdcToStpMsg,
+        rng: &mut R,
+    ) -> Result<(StpToSdcMsg, StpObservation), PisaError> {
+        let su_pk = self
+            .directory
+            .lookup(msg.su_id)
+            .ok_or(PisaError::UnknownSu(msg.su_id))?;
+
+        let mut v_values = Vec::with_capacity(msg.v_matrix.len());
+        let mut x_entries = Vec::with_capacity(msg.v_matrix.len());
+        for ct in msg.v_matrix.ciphertexts() {
+            let v = self.global.secret().decrypt(ct);
+            let x = if v.is_positive() {
+                Ibig::from(1i64)
+            } else {
+                Ibig::from(-1i64)
+            };
+            x_entries.push(su_pk.encrypt(&x, rng));
+            v_values.push(v);
+        }
+
+        Ok((
+            StpToSdcMsg {
+                su_id: msg.su_id,
+                x_matrix: CipherMatrix::from_ciphertexts(
+                    msg.v_matrix.channels(),
+                    msg.v_matrix.blocks(),
+                    x_entries,
+                ),
+                region_blocks: msg.region_blocks,
+                ct_bytes: su_pk.ciphertext_bytes(),
+            },
+            StpObservation { v_values },
+        ))
+    }
+
+    /// Parallel key conversion: the per-entry decrypt + re-encrypt work
+    /// is independent, so it splits across `threads` worker threads
+    /// (each with an RNG derived from `rng`). Entry order is preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`PisaError::UnknownSu`] if the SU never registered a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn key_convert_parallel<R: Rng + ?Sized>(
+        &self,
+        msg: &SdcToStpMsg,
+        threads: usize,
+        rng: &mut R,
+    ) -> Result<(StpToSdcMsg, StpObservation), PisaError> {
+        use rand::SeedableRng;
+        assert!(threads > 0, "need at least one worker");
+        let su_pk = self
+            .directory
+            .lookup(msg.su_id)
+            .ok_or(PisaError::UnknownSu(msg.su_id))?;
+
+        let cts = msg.v_matrix.ciphertexts();
+        let chunk_len = cts.len().div_ceil(threads).max(1);
+        let seeds: Vec<u64> = (0..threads).map(|_| rng.next_u64()).collect();
+
+        let results: Vec<(pisa_crypto::paillier::Ciphertext, Ibig)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = cts
+                    .chunks(chunk_len)
+                    .zip(&seeds)
+                    .map(|(chunk, &seed)| {
+                        let sk = self.global.secret();
+                        scope.spawn(move || {
+                            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                            chunk
+                                .iter()
+                                .map(|ct| {
+                                    let v = sk.decrypt(ct);
+                                    let x = if v.is_positive() {
+                                        Ibig::from(1i64)
+                                    } else {
+                                        Ibig::from(-1i64)
+                                    };
+                                    (su_pk.encrypt(&x, &mut rng), v)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker healthy"))
+                    .collect()
+            });
+
+        let (x_entries, v_values): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        Ok((
+            StpToSdcMsg {
+                su_id: msg.su_id,
+                x_matrix: CipherMatrix::from_ciphertexts(
+                    msg.v_matrix.channels(),
+                    msg.v_matrix.blocks(),
+                    x_entries,
+                ),
+                region_blocks: msg.region_blocks,
+                ct_bytes: su_pk.ciphertext_bytes(),
+            },
+            StpObservation { v_values },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisa_crypto::paillier::PaillierKeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unknown_su_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let stp = StpServer::new(&mut rng, 256);
+        let msg = SdcToStpMsg {
+            su_id: SuId(9),
+            v_matrix: CipherMatrix::zeros(1, 1, stp.public_key()),
+            region_blocks: 1,
+            ct_bytes: 64,
+        };
+        assert_eq!(
+            stp.key_convert(&msg, &mut rng).unwrap_err(),
+            PisaError::UnknownSu(SuId(9))
+        );
+    }
+
+    #[test]
+    fn key_conversion_signs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut stp = StpServer::new(&mut rng, 256);
+        let su_keys = PaillierKeyPair::generate(&mut rng, 256);
+        stp.register_su(SuId(0), su_keys.public().clone());
+
+        // Build V ciphertexts for known plaintexts.
+        let pk_g = stp.public_key().clone();
+        let values = [5i64, -3, 1, -1];
+        let cts: Vec<_> = values
+            .iter()
+            .map(|&v| pk_g.encrypt(&Ibig::from(v), &mut rng))
+            .collect();
+        let msg = SdcToStpMsg {
+            su_id: SuId(0),
+            v_matrix: CipherMatrix::from_ciphertexts(2, 2, cts),
+            region_blocks: 2,
+            ct_bytes: pk_g.ciphertext_bytes(),
+        };
+        let (reply, obs) = stp.key_convert(&msg, &mut rng).unwrap();
+
+        // Observation is the plaintext V values.
+        assert_eq!(obs.v_values, values.map(Ibig::from).to_vec());
+        // Reply decrypts (under the SU key) to the signs.
+        let expected_signs = [1i64, -1, 1, -1];
+        for (ct, want) in reply.x_matrix.ciphertexts().iter().zip(expected_signs) {
+            assert_eq!(su_keys.secret().decrypt(ct), Ibig::from(want));
+        }
+        assert_eq!(reply.ct_bytes, su_keys.public().ciphertext_bytes());
+    }
+
+    #[test]
+    fn zero_maps_to_minus_one() {
+        // eq. (15): V ≤ 0 ⇒ X = −1 (β > 0 ensures V = 0 cannot occur for
+        // honest SDCs, but the mapping must still be total).
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stp = StpServer::new(&mut rng, 256);
+        let su_keys = PaillierKeyPair::generate(&mut rng, 256);
+        stp.register_su(SuId(0), su_keys.public().clone());
+        let ct = stp.public_key().encrypt(&Ibig::zero(), &mut rng);
+        let msg = SdcToStpMsg {
+            su_id: SuId(0),
+            v_matrix: CipherMatrix::from_ciphertexts(1, 1, vec![ct]),
+            region_blocks: 1,
+            ct_bytes: 64,
+        };
+        let (reply, _) = stp.key_convert(&msg, &mut rng).unwrap();
+        assert_eq!(
+            su_keys.secret().decrypt(&reply.x_matrix.ciphertexts()[0]),
+            Ibig::from(-1i64)
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! A facade wiring all four parties together.
+
+use crate::config::SystemConfig;
+use crate::error::PisaError;
+use crate::keys::SuId;
+use crate::privacy::LocationPrivacy;
+use crate::protocol::{run_request_direct, RequestOutcome};
+use crate::pu::PuClient;
+use crate::sdc::SdcServer;
+use crate::stp::StpServer;
+use crate::su::SuClient;
+use pisa_radio::tv::Channel;
+use pisa_radio::BlockId;
+use pisa_watch::SuRequest;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A complete PISA deployment: one STP, one SDC, any number of PUs and
+/// SUs — the easiest way to drive the protocol.
+///
+/// # Examples
+///
+/// ```
+/// use pisa::prelude::*;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut rng);
+/// let su = system.register_su(BlockId(0), &mut rng);
+/// let outcome = system.request(su, &[Channel(0)], &mut rng);
+/// assert!(outcome.granted);
+/// ```
+pub struct PisaSystem {
+    cfg: SystemConfig,
+    stp: StpServer,
+    sdc: SdcServer,
+    pus: HashMap<u64, PuClient>,
+    sus: HashMap<SuId, SuClient>,
+    next_su: u32,
+}
+
+impl std::fmt::Debug for PisaSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PisaSystem({} PUs, {} SUs)",
+            self.pus.len(),
+            self.sus.len()
+        )
+    }
+}
+
+impl PisaSystem {
+    /// Generates keys and initializes the STP and SDC.
+    pub fn setup<R: Rng + ?Sized>(cfg: SystemConfig, rng: &mut R) -> Self {
+        let stp = StpServer::new(rng, cfg.paillier_bits());
+        let sdc = SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc.pisa", rng);
+        PisaSystem {
+            cfg,
+            stp,
+            sdc,
+            pus: HashMap::new(),
+            sus: HashMap::new(),
+            next_su: 0,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The SDC (for inspection in tests and benches).
+    pub fn sdc(&self) -> &SdcServer {
+        &self.sdc
+    }
+
+    /// The STP (for inspection in tests and benches).
+    pub fn stp(&self) -> &StpServer {
+        &self.stp
+    }
+
+    /// Registers a new SU at `block` (generates its key pair and
+    /// publishes `pk_j` to the STP), returning its id.
+    pub fn register_su<R: Rng + ?Sized>(&mut self, block: BlockId, rng: &mut R) -> SuId {
+        let id = SuId(self.next_su);
+        self.next_su += 1;
+        let su = SuClient::new(id, block, &self.cfg, rng);
+        self.stp.register_su(id, su.public_key().clone());
+        self.sus.insert(id, su);
+        id
+    }
+
+    /// Sets an SU's location-privacy level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SU is unknown.
+    pub fn set_su_privacy(&mut self, id: SuId, privacy: LocationPrivacy) {
+        self.sus
+            .get_mut(&id)
+            .expect("registered SU")
+            .set_privacy(privacy);
+    }
+
+    /// Tunes a PU (creating it on first use) and applies its encrypted
+    /// update at the SDC. `channel = None` means the receiver turned
+    /// off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing PU is re-registered at a different block
+    /// (receiver locations are fixed), or the update is malformed.
+    pub fn pu_update<R: Rng + ?Sized>(
+        &mut self,
+        pu_id: u64,
+        block: BlockId,
+        channel: Option<Channel>,
+        rng: &mut R,
+    ) {
+        let pu = self
+            .pus
+            .entry(pu_id)
+            .or_insert_with(|| PuClient::new(pu_id, block));
+        assert_eq!(
+            pu.block(),
+            block,
+            "TV receiver locations are fixed and registered"
+        );
+        let e = self.sdc.e_matrix().clone();
+        let msg = pu.tune(channel, &self.cfg, &e, self.stp.public_key(), rng);
+        self.sdc
+            .handle_pu_update(pu_id, msg)
+            .expect("well-formed PU update");
+    }
+
+    /// Runs a full-power transmission request for `su` on `channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SU is unknown or the protocol fails (programming
+    /// errors in a self-consistent system).
+    pub fn request<R: Rng + ?Sized>(
+        &mut self,
+        su: SuId,
+        channels: &[Channel],
+        rng: &mut R,
+    ) -> RequestOutcome {
+        let su_client = self.sus.get_mut(&su).expect("registered SU");
+        run_request_direct(su_client, &mut self.sdc, &self.stp, channels, rng)
+            .expect("self-consistent system")
+    }
+
+    /// Runs a request with explicit per-channel EIRP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors.
+    pub fn request_with<R: Rng + ?Sized>(
+        &mut self,
+        su: SuId,
+        request: &SuRequest,
+        rng: &mut R,
+    ) -> Result<RequestOutcome, PisaError> {
+        let su_client = self.sus.get_mut(&su).ok_or(PisaError::UnknownSu(su))?;
+        let cfg = self.cfg.clone();
+        let msg = su_client.build_request_from(&cfg, self.stp.public_key(), request, rng);
+        let request_bytes = pisa_net::WireSize::wire_bytes(&msg);
+
+        let to_stp = self.sdc.process_request_phase1(&msg, rng)?;
+        let sdc_to_stp_bytes = pisa_net::WireSize::wire_bytes(&to_stp);
+        let (to_sdc, observation) = self.stp.key_convert(&to_stp, rng)?;
+        let stp_to_sdc_bytes = pisa_net::WireSize::wire_bytes(&to_sdc);
+        let su_pk = self.stp.su_key(su).ok_or(PisaError::UnknownSu(su))?.clone();
+        let response = self.sdc.process_request_phase2(&to_sdc, &su_pk, rng)?;
+        let response_bytes = pisa_net::WireSize::wire_bytes(&response);
+        let su_client = self.sus.get(&su).expect("registered SU");
+        let granted = su_client.handle_response(&response, self.sdc.signing_public_key());
+        Ok(RequestOutcome {
+            granted,
+            license: response.license,
+            request_bytes,
+            sdc_to_stp_bytes,
+            stp_to_sdc_bytes,
+            response_bytes,
+            stp_observation: observation,
+        })
+    }
+}

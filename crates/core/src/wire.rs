@@ -1,0 +1,352 @@
+//! Binary wire format for PISA messages.
+//!
+//! Every message serializes to a real byte frame (ciphertexts padded to
+//! the fixed `2·|n|` width, exactly as the paper sizes its traffic), so
+//! the communication numbers of Figure 6 are measured over actual
+//! encodings, not estimates. Format: one tag byte, then fixed-width
+//! big-endian fields and length-prefixed strings via
+//! [`pisa_net::codec`].
+
+use crate::cipher_matrix::CipherMatrix;
+use crate::keys::SuId;
+use crate::license::License;
+use crate::messages::{
+    PisaMessage, PuUpdateMsg, SdcResponseMsg, SdcToStpMsg, StpToSdcMsg, SuRequestMsg,
+};
+use pisa_bigint::Ubig;
+use pisa_crypto::paillier::Ciphertext;
+use pisa_net::codec::{CodecError, Reader, Writer};
+use pisa_radio::BlockId;
+
+const TAG_PU_UPDATE: u8 = 1;
+const TAG_SU_REQUEST: u8 = 2;
+const TAG_SDC_TO_STP: u8 = 3;
+const TAG_STP_TO_SDC: u8 = 4;
+const TAG_SDC_RESPONSE: u8 = 5;
+
+/// Upper bound on plausible ciphertext width (64 KiB ≫ any real key).
+const MAX_CT_BYTES: usize = 1 << 16;
+/// Upper bound on matrix entries per message (paper scale is 60 000).
+const MAX_ENTRIES: usize = 1 << 24;
+
+impl PisaMessage {
+    /// Serializes to a wire frame.
+    pub fn encode(&self) -> bytes::Bytes {
+        let mut w = Writer::with_capacity(1024);
+        match self {
+            PisaMessage::PuUpdate(m) => {
+                w.put_u8(TAG_PU_UPDATE);
+                w.put_u64(m.block.0 as u64);
+                w.put_u32(m.ct_bytes as u32);
+                w.put_u32(m.w_column.len() as u32);
+                for ct in &m.w_column {
+                    put_ciphertext(&mut w, ct, m.ct_bytes);
+                }
+            }
+            PisaMessage::SuRequest(m) => {
+                w.put_u8(TAG_SU_REQUEST);
+                w.put_u32(m.su_id.0);
+                w.put_u32(m.region_blocks as u32);
+                put_matrix(&mut w, &m.f_matrix, m.ct_bytes);
+            }
+            PisaMessage::SdcToStp(m) => {
+                w.put_u8(TAG_SDC_TO_STP);
+                w.put_u32(m.su_id.0);
+                w.put_u32(m.region_blocks as u32);
+                put_matrix(&mut w, &m.v_matrix, m.ct_bytes);
+            }
+            PisaMessage::StpToSdc(m) => {
+                w.put_u8(TAG_STP_TO_SDC);
+                w.put_u32(m.su_id.0);
+                w.put_u32(m.region_blocks as u32);
+                put_matrix(&mut w, &m.x_matrix, m.ct_bytes);
+            }
+            PisaMessage::SdcResponse(m) => {
+                w.put_u8(TAG_SDC_RESPONSE);
+                w.put_u32(m.license.su_id.0);
+                w.put_bytes(m.license.issuer.as_bytes());
+                w.put_raw(&m.license.request_digest);
+                w.put_u64(m.license.serial);
+                w.put_u32(m.ct_bytes as u32);
+                put_ciphertext(&mut w, &m.g_cipher, m.ct_bytes);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a wire frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on truncated, oversized or malformed frames.
+    pub fn decode(frame: &[u8]) -> Result<PisaMessage, CodecError> {
+        let mut r = Reader::new(frame);
+        let tag = r.get_u8()?;
+        let msg = match tag {
+            TAG_PU_UPDATE => {
+                let block = BlockId(r.get_u64()? as usize);
+                let ct_bytes = checked_ct_bytes(r.get_u32()?)?;
+                let count = r.get_u32()? as usize;
+                if count > MAX_ENTRIES {
+                    return Err(CodecError::BadLength(count as u64));
+                }
+                let w_column = (0..count)
+                    .map(|_| get_ciphertext(&mut r, ct_bytes))
+                    .collect::<Result<Vec<_>, _>>()?;
+                PisaMessage::PuUpdate(PuUpdateMsg {
+                    block,
+                    w_column,
+                    ct_bytes,
+                })
+            }
+            TAG_SU_REQUEST => {
+                let su_id = SuId(r.get_u32()?);
+                let region_blocks = r.get_u32()? as usize;
+                let (f_matrix, ct_bytes) = get_matrix(&mut r)?;
+                PisaMessage::SuRequest(SuRequestMsg {
+                    su_id,
+                    f_matrix,
+                    region_blocks,
+                    ct_bytes,
+                })
+            }
+            TAG_SDC_TO_STP => {
+                let su_id = SuId(r.get_u32()?);
+                let region_blocks = r.get_u32()? as usize;
+                let (v_matrix, ct_bytes) = get_matrix(&mut r)?;
+                PisaMessage::SdcToStp(SdcToStpMsg {
+                    su_id,
+                    v_matrix,
+                    region_blocks,
+                    ct_bytes,
+                })
+            }
+            TAG_STP_TO_SDC => {
+                let su_id = SuId(r.get_u32()?);
+                let region_blocks = r.get_u32()? as usize;
+                let (x_matrix, ct_bytes) = get_matrix(&mut r)?;
+                PisaMessage::StpToSdc(StpToSdcMsg {
+                    su_id,
+                    x_matrix,
+                    region_blocks,
+                    ct_bytes,
+                })
+            }
+            TAG_SDC_RESPONSE => {
+                let su_id = SuId(r.get_u32()?);
+                let issuer = String::from_utf8(r.get_bytes()?.to_vec())
+                    .map_err(|e| CodecError::Invalid(format!("issuer not UTF-8: {e}")))?;
+                let mut request_digest = [0u8; 32];
+                request_digest.copy_from_slice(r.get_raw(32)?);
+                let serial = r.get_u64()?;
+                let ct_bytes = checked_ct_bytes(r.get_u32()?)?;
+                let g_cipher = get_ciphertext(&mut r, ct_bytes)?;
+                PisaMessage::SdcResponse(SdcResponseMsg {
+                    license: License {
+                        su_id,
+                        issuer,
+                        request_digest,
+                        serial,
+                    },
+                    g_cipher,
+                    ct_bytes,
+                })
+            }
+            other => return Err(CodecError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+fn put_ciphertext(w: &mut Writer, ct: &Ciphertext, ct_bytes: usize) {
+    w.put_raw(&ct.as_raw().to_be_bytes_padded(ct_bytes));
+}
+
+fn get_ciphertext(r: &mut Reader<'_>, ct_bytes: usize) -> Result<Ciphertext, CodecError> {
+    Ok(Ciphertext::from_raw(Ubig::from_be_bytes(
+        r.get_raw(ct_bytes)?,
+    )))
+}
+
+fn put_matrix(w: &mut Writer, m: &CipherMatrix, ct_bytes: usize) {
+    w.put_u32(m.channels() as u32);
+    w.put_u32(m.blocks() as u32);
+    w.put_u32(ct_bytes as u32);
+    for ct in m.ciphertexts() {
+        put_ciphertext(w, ct, ct_bytes);
+    }
+}
+
+fn get_matrix(r: &mut Reader<'_>) -> Result<(CipherMatrix, usize), CodecError> {
+    let channels = r.get_u32()? as usize;
+    let blocks = r.get_u32()? as usize;
+    let ct_bytes = checked_ct_bytes(r.get_u32()?)?;
+    let entries = channels
+        .checked_mul(blocks)
+        .filter(|&n| n > 0 && n <= MAX_ENTRIES)
+        .ok_or_else(|| CodecError::BadLength(channels.saturating_mul(blocks.max(1)) as u64))?;
+    let cts = (0..entries)
+        .map(|_| get_ciphertext(r, ct_bytes))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((CipherMatrix::from_ciphertexts(channels, blocks, cts), ct_bytes))
+}
+
+fn checked_ct_bytes(v: u32) -> Result<usize, CodecError> {
+    let v = v as usize;
+    if v == 0 || v > MAX_CT_BYTES {
+        Err(CodecError::BadLength(v as u64))
+    } else {
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisa_net::WireSize;
+
+    fn ct(v: u64) -> Ciphertext {
+        Ciphertext::from_raw(Ubig::from(v))
+    }
+
+    fn sample_messages() -> Vec<PisaMessage> {
+        let matrix = CipherMatrix::from_ciphertexts(2, 3, (0..6).map(|i| ct(100 + i)).collect());
+        vec![
+            PisaMessage::PuUpdate(PuUpdateMsg {
+                block: BlockId(7),
+                w_column: (0..4).map(ct).collect(),
+                ct_bytes: 64,
+            }),
+            PisaMessage::SuRequest(SuRequestMsg {
+                su_id: SuId(3),
+                f_matrix: matrix.clone(),
+                region_blocks: 3,
+                ct_bytes: 64,
+            }),
+            PisaMessage::SdcToStp(SdcToStpMsg {
+                su_id: SuId(3),
+                v_matrix: matrix.clone(),
+                region_blocks: 3,
+                ct_bytes: 64,
+            }),
+            PisaMessage::StpToSdc(StpToSdcMsg {
+                su_id: SuId(3),
+                x_matrix: matrix,
+                region_blocks: 3,
+                ct_bytes: 64,
+            }),
+            PisaMessage::SdcResponse(SdcResponseMsg {
+                license: License {
+                    su_id: SuId(3),
+                    issuer: "sdc.example".into(),
+                    request_digest: [0x5a; 32],
+                    serial: 99,
+                },
+                g_cipher: ct(424242),
+                ct_bytes: 64,
+            }),
+        ]
+    }
+
+    fn assert_same(a: &PisaMessage, b: &PisaMessage) {
+        // Compare via re-encoding (messages don't implement PartialEq to
+        // avoid accidental ciphertext comparisons in product code).
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        for msg in sample_messages() {
+            let frame = msg.encode();
+            let decoded = PisaMessage::decode(&frame).expect("roundtrip");
+            assert_same(&msg, &decoded);
+        }
+    }
+
+    #[test]
+    fn encoded_size_tracks_wire_size() {
+        // WireSize budgets a fixed 64-byte header; actual framing is
+        // leaner but every ciphertext is exactly ct_bytes on the wire.
+        for msg in sample_messages() {
+            let frame = msg.encode();
+            let budget = msg.wire_bytes();
+            assert!(frame.len() <= budget, "frame {} > budget {budget}", frame.len());
+            assert!(
+                frame.len() >= budget / 2,
+                "frame {} too far below budget {budget}",
+                frame.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut frame = sample_messages()[0].encode().to_vec();
+        frame[0] = 0xee;
+        assert_eq!(
+            PisaMessage::decode(&frame).unwrap_err(),
+            CodecError::BadTag(0xee)
+        );
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let frame = sample_messages()[1].encode();
+        for cut in [1usize, 8, frame.len() / 2, frame.len() - 1] {
+            assert!(
+                PisaMessage::decode(&frame[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut frame = sample_messages()[0].encode().to_vec();
+        frame.push(0);
+        assert!(matches!(
+            PisaMessage::decode(&frame).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        ));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// Decoding never panics on arbitrary bytes — it returns an
+        /// error or a structurally valid message.
+        #[test]
+        fn decode_never_panics(frame in proptest::collection::vec(
+            proptest::prelude::any::<u8>(), 0..512,
+        )) {
+            let _ = PisaMessage::decode(&frame);
+        }
+
+        /// Mutating any single byte of a valid frame either still
+        /// decodes (payload bytes are free) or errors — never panics.
+        #[test]
+        fn single_byte_corruption_is_safe(idx in 0usize..4096, val in proptest::prelude::any::<u8>()) {
+            for msg in sample_messages() {
+                let mut frame = msg.encode().to_vec();
+                let i = idx % frame.len();
+                frame[i] = val;
+                let _ = PisaMessage::decode(&frame);
+            }
+        }
+    }
+
+    #[test]
+    fn implausible_dimensions_rejected() {
+        // Hand-craft a SuRequest frame claiming a gigantic matrix.
+        let mut w = Writer::new();
+        w.put_u8(TAG_SU_REQUEST);
+        w.put_u32(0); // su id
+        w.put_u32(10); // region
+        w.put_u32(u32::MAX); // channels
+        w.put_u32(u32::MAX); // blocks
+        w.put_u32(64); // ct bytes
+        let frame = w.finish();
+        assert!(PisaMessage::decode(&frame).is_err());
+    }
+}

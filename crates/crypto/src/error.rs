@@ -1,0 +1,80 @@
+//! Error type for cryptographic operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A ciphertext was not a unit modulo `n²` (malformed or corrupted).
+    MalformedCiphertext,
+    /// A plaintext magnitude does not fit the message space `Z_n`.
+    PlaintextTooLarge {
+        /// Bits of the offending plaintext.
+        have_bits: usize,
+        /// Bits of the modulus bounding the message space.
+        modulus_bits: usize,
+    },
+    /// Key generation was asked for an unsupported size.
+    InvalidKeySize(usize),
+    /// A signature failed verification.
+    InvalidSignature,
+    /// The scalar of a homomorphic scalar multiplication is not invertible
+    /// (only possible for adversarial scalars sharing a factor with `n`).
+    NonInvertibleScalar,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MalformedCiphertext => f.write_str("ciphertext is not a unit modulo n^2"),
+            CryptoError::PlaintextTooLarge {
+                have_bits,
+                modulus_bits,
+            } => write!(
+                f,
+                "plaintext of {have_bits} bits exceeds the {modulus_bits}-bit message space"
+            ),
+            CryptoError::InvalidKeySize(bits) => {
+                write!(f, "unsupported key size of {bits} bits")
+            }
+            CryptoError::InvalidSignature => f.write_str("signature verification failed"),
+            CryptoError::NonInvertibleScalar => {
+                f.write_str("scalar shares a factor with the modulus")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            CryptoError::MalformedCiphertext,
+            CryptoError::PlaintextTooLarge {
+                have_bits: 100,
+                modulus_bits: 64,
+            },
+            CryptoError::InvalidKeySize(7),
+            CryptoError::InvalidSignature,
+            CryptoError::NonInvertibleScalar,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

@@ -1,0 +1,451 @@
+//! Paillier key generation, encryption and decryption.
+
+use super::ops::{Ciphertext, Randomizer};
+use pisa_bigint::modular::{lcm, mod_inverse, MontCtx};
+use pisa_bigint::random::random_coprime;
+use pisa_bigint::{prime, Ibig, Sign, Ubig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Minimum supported modulus size in bits (small enough to admit
+/// classroom test vectors; production keys are 2048 bits per the paper).
+pub const MIN_KEY_BITS: usize = 16;
+
+/// A Paillier public key `(n, g = n + 1)` with precomputed Montgomery
+/// context for `n²`.
+///
+/// All homomorphic operations (paper Figure 2) live here; see
+/// [`PaillierPublicKey::add`], [`sub`](PaillierPublicKey::sub) and
+/// [`scalar_mul`](PaillierPublicKey::scalar_mul).
+#[derive(Debug, Clone)]
+pub struct PaillierPublicKey {
+    n: Ubig,
+    n_squared: Ubig,
+    half_n: Ubig,
+    ctx_n2: MontCtx,
+}
+
+impl PartialEq for PaillierPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+    }
+}
+
+impl Eq for PaillierPublicKey {}
+
+impl PaillierPublicKey {
+    /// Reconstructs a public key from its modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or smaller than [`MIN_KEY_BITS`].
+    pub fn from_modulus(n: Ubig) -> Self {
+        assert!(
+            n.bit_len() >= MIN_KEY_BITS,
+            "modulus below minimum key size"
+        );
+        assert!(n.is_odd(), "Paillier modulus must be odd");
+        let n_squared = n.square();
+        let ctx_n2 = MontCtx::new(&n_squared).expect("odd n² modulus");
+        let half_n = &n >> 1;
+        PaillierPublicKey {
+            n,
+            n_squared,
+            half_n,
+            ctx_n2,
+        }
+    }
+
+    /// The modulus `n` defining the plaintext space `Z_n`.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// `n²`, the ciphertext-space modulus.
+    pub fn modulus_squared(&self) -> &Ubig {
+        &self.n_squared
+    }
+
+    /// Modulus size in bits (the paper's `|n| = 2048`).
+    pub fn key_bits(&self) -> usize {
+        self.n.bit_len()
+    }
+
+    /// Size of one serialized ciphertext in bytes (`2·|n|/8`).
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.n_squared.bit_len().div_ceil(8)
+    }
+
+    /// Encodes a signed plaintext into `Z_n` by centered lift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|m| > n/2` (the value would alias another residue).
+    pub fn encode(&self, m: &Ibig) -> Ubig {
+        assert!(
+            m.magnitude() <= &self.half_n,
+            "plaintext magnitude exceeds n/2: cannot center-lift"
+        );
+        m.rem_euclid(&self.n)
+    }
+
+    /// Decodes a residue in `Z_n` back to the signed domain
+    /// `(-n/2, n/2]`.
+    pub fn decode(&self, v: Ubig) -> Ibig {
+        if v > self.half_n {
+            Ibig::from_sign_magnitude(Sign::Negative, &self.n - &v)
+        } else {
+            Ibig::from(v)
+        }
+    }
+
+    /// Encrypts a signed plaintext with a fresh random factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|m| > n/2`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &Ibig, rng: &mut R) -> Ciphertext {
+        let r = random_coprime(rng, &self.n);
+        self.encrypt_with_r(m, &r)
+    }
+
+    /// Encrypts with an explicit random factor `r ∈ Z_n*` (deterministic;
+    /// used by tests and by the re-randomization benchmarks).
+    pub fn encrypt_with_r(&self, m: &Ibig, r: &Ubig) -> Ciphertext {
+        let encoded = self.encode(m);
+        // g^m = (n+1)^m = 1 + m·n (mod n²)
+        let g_m = (Ubig::one() + &encoded * &self.n) % &self.n_squared;
+        let r_n = self.ctx_n2.pow(r, &self.n);
+        Ciphertext::from_raw((&g_m * &r_n) % &self.n_squared)
+    }
+
+    /// Re-randomizes a ciphertext: multiplies by `rⁿ` for fresh `r`,
+    /// changing the ciphertext without changing the plaintext.
+    ///
+    /// This online variant computes `rⁿ` on the spot (one
+    /// exponentiation). The paper's 221 s → 11 s request-refresh trick
+    /// (§VI-A) precomputes the `rⁿ` factors offline and pays only one
+    /// multiplication per entry online — see
+    /// [`precompute_randomizer`](Self::precompute_randomizer) and
+    /// [`rerandomize_precomputed`](Self::rerandomize_precomputed).
+    pub fn rerandomize<R: Rng + ?Sized>(&self, c: &Ciphertext, rng: &mut R) -> Ciphertext {
+        let factor = self.precompute_randomizer(rng);
+        self.rerandomize_precomputed(c, &factor)
+    }
+
+    /// Offline phase of request refresh: samples `r ∈ Z_n*` and computes
+    /// the re-randomization factor `rⁿ mod n²` (the expensive
+    /// exponentiation, done ahead of time).
+    pub fn precompute_randomizer<R: Rng + ?Sized>(&self, rng: &mut R) -> Randomizer {
+        let r = random_coprime(rng, &self.n);
+        Randomizer(self.ctx_n2.pow(&r, &self.n))
+    }
+
+    /// Online phase of request refresh: one modular multiplication —
+    /// "the same amount of time as homomorphic addition" (§VI-A).
+    ///
+    /// Each factor must be used for at most one ciphertext; reuse would
+    /// correlate the refreshed entries.
+    pub fn rerandomize_precomputed(&self, c: &Ciphertext, factor: &Randomizer) -> Ciphertext {
+        Ciphertext::from_raw((c.as_raw() * &factor.0) % &self.n_squared)
+    }
+
+    /// Homomorphic addition ⊕: `D(add(E(a), E(b))) = a + b`.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext::from_raw((a.as_raw() * b.as_raw()) % &self.n_squared)
+    }
+
+    /// Homomorphic subtraction ⊖: `D(sub(E(a), E(b))) = a - b`.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let b_inv = self.invert(b);
+        Ciphertext::from_raw((a.as_raw() * &b_inv) % &self.n_squared)
+    }
+
+    /// Homomorphic scalar multiplication ⊗: `D(scalar_mul(E(m), k)) = k·m`.
+    ///
+    /// Negative scalars go through the ciphertext inverse, exactly like ⊖.
+    pub fn scalar_mul(&self, c: &Ciphertext, k: &Ibig) -> Ciphertext {
+        let powed = self.ctx_n2.pow(c.as_raw(), k.magnitude());
+        if k.is_negative() {
+            let inv = pisa_bigint::modular::mod_inverse(&powed, &self.n_squared)
+                .expect("ciphertext is a unit mod n²");
+            Ciphertext::from_raw(inv)
+        } else {
+            Ciphertext::from_raw(powed)
+        }
+    }
+
+    /// Encryption of zero with `r = 1`; the homomorphic identity.
+    pub fn trivial_zero(&self) -> Ciphertext {
+        Ciphertext::from_raw(Ubig::one())
+    }
+
+    /// Encryption of `m` with `r = 1` — deterministic, **not**
+    /// semantically secure; used only for public constants such as the
+    /// paper's matrix `E` (maximum SU EIRP is public data).
+    pub fn encrypt_public_constant(&self, m: &Ibig) -> Ciphertext {
+        let encoded = self.encode(m);
+        Ciphertext::from_raw((Ubig::one() + &encoded * &self.n) % &self.n_squared)
+    }
+
+    fn invert(&self, c: &Ciphertext) -> Ubig {
+        mod_inverse(c.as_raw(), &self.n_squared).expect("ciphertext is a unit mod n²")
+    }
+}
+
+/// A Paillier secret key `(λ, μ)` with CRT acceleration data.
+#[derive(Debug, Clone)]
+pub struct PaillierSecretKey {
+    pk: PaillierPublicKey,
+    lambda: Ubig,
+    mu: Ubig,
+    crt: CrtParams,
+}
+
+#[derive(Debug, Clone)]
+struct CrtParams {
+    p: Ubig,
+    q: Ubig,
+    ctx_p2: MontCtx,
+    ctx_q2: MontCtx,
+    /// `hp = L_p(g^(p-1) mod p²)⁻¹ mod p`
+    hp: Ubig,
+    /// `hq = L_q(g^(q-1) mod q²)⁻¹ mod q`
+    hq: Ubig,
+    /// `q⁻¹ mod p`
+    q_inv_p: Ubig,
+}
+
+impl PaillierSecretKey {
+    /// The matching public key.
+    pub fn public(&self) -> &PaillierPublicKey {
+        &self.pk
+    }
+
+    /// Decrypts via the CRT fast path (the default; ~4× standard
+    /// decryption).
+    pub fn decrypt(&self, c: &Ciphertext) -> Ibig {
+        let crt = &self.crt;
+        let mp = {
+            let cp = crt.ctx_p2.pow(c.as_raw(), &(&crt.p - &Ubig::one()));
+            let lp = l_function(&cp, &crt.p);
+            (&lp * &crt.hp) % &crt.p
+        };
+        let mq = {
+            let cq = crt.ctx_q2.pow(c.as_raw(), &(&crt.q - &Ubig::one()));
+            let lq = l_function(&cq, &crt.q);
+            (&lq * &crt.hq) % &crt.q
+        };
+        // CRT combine: m = mq + q · ((mp − mq) · q⁻¹ mod p)
+        let diff = (Ibig::from(mp) - Ibig::from(mq.clone())).rem_euclid(&crt.p);
+        let m = (&mq + &(&crt.q * &((&diff * &crt.q_inv_p) % &crt.p))) % &self.pk.n;
+        self.pk.decode(m)
+    }
+
+    /// Decrypts via the textbook formula `m = L(c^λ mod n²)·μ mod n`.
+    ///
+    /// Kept public for the CRT-vs-standard ablation benchmark.
+    pub fn decrypt_standard(&self, c: &Ciphertext) -> Ibig {
+        let c_lambda = self.pk.ctx_n2.pow(c.as_raw(), &self.lambda);
+        let l = l_function(&c_lambda, &self.pk.n);
+        let m = (&l * &self.mu) % &self.pk.n;
+        self.pk.decode(m)
+    }
+}
+
+/// `L(x) = (x - 1) / d` — exact division by construction.
+fn l_function(x: &Ubig, d: &Ubig) -> Ubig {
+    (x - &Ubig::one()) / d
+}
+
+/// A freshly generated Paillier key pair.
+#[derive(Debug, Clone)]
+pub struct PaillierKeyPair {
+    sk: PaillierSecretKey,
+}
+
+impl PaillierKeyPair {
+    /// Generates a key pair with a modulus of exactly `bits` bits.
+    ///
+    /// The paper's evaluation uses `bits = 2048` (112-bit security per
+    /// NIST SP 800-57); tests use smaller sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 64` or `bits` is odd.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= MIN_KEY_BITS, "key size below {MIN_KEY_BITS} bits");
+        assert!(bits % 2 == 0, "key size must be even");
+        loop {
+            let p = prime::gen_prime(rng, bits / 2);
+            let q = prime::gen_prime(rng, bits / 2);
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            if n.bit_len() != bits {
+                continue;
+            }
+            if let Some(kp) = Self::from_primes(p, q) {
+                return kp;
+            }
+        }
+    }
+
+    /// Builds a key pair from explicit primes; `None` if the primes are
+    /// unusable (`gcd(n, λ) ≠ 1` or `p == q`).
+    pub fn from_primes(p: Ubig, q: Ubig) -> Option<Self> {
+        if p == q {
+            return None;
+        }
+        let n = &p * &q;
+        let lambda = lcm(&(&p - &Ubig::one()), &(&q - &Ubig::one()));
+        if !pisa_bigint::modular::gcd(&n, &lambda).is_one() {
+            return None;
+        }
+        let pk = PaillierPublicKey::from_modulus(n.clone());
+
+        // μ = L(g^λ mod n²)⁻¹ mod n; with g = n+1, g^λ = 1 + λn (mod n²),
+        // so L(g^λ) = λ mod n.
+        let mu = mod_inverse(&(&lambda % &n), &n)?;
+
+        let p_squared = p.square();
+        let q_squared = q.square();
+        let ctx_p2 = MontCtx::new(&p_squared)?;
+        let ctx_q2 = MontCtx::new(&q_squared)?;
+        let hp = {
+            let g = (Ubig::one() + &n) % &p_squared;
+            let powed = ctx_p2.pow(&g, &(&p - &Ubig::one()));
+            mod_inverse(&l_function(&powed, &p), &p)?
+        };
+        let hq = {
+            let g = (Ubig::one() + &n) % &q_squared;
+            let powed = ctx_q2.pow(&g, &(&q - &Ubig::one()));
+            mod_inverse(&l_function(&powed, &q), &q)?
+        };
+        let q_inv_p = mod_inverse(&q, &p)?;
+
+        Some(PaillierKeyPair {
+            sk: PaillierSecretKey {
+                pk,
+                lambda,
+                mu,
+                crt: CrtParams {
+                    p,
+                    q,
+                    ctx_p2,
+                    ctx_q2,
+                    hp,
+                    hq,
+                    q_inv_p,
+                },
+            },
+        })
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PaillierPublicKey {
+        self.sk.public()
+    }
+
+    /// The secret half.
+    pub fn secret(&self) -> &PaillierSecretKey {
+        &self.sk
+    }
+
+    /// Consumes the pair, returning the secret key (which contains the
+    /// public key).
+    pub fn into_secret(self) -> PaillierSecretKey {
+        self.sk
+    }
+}
+
+/// Serialized form of a public key (just the modulus).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PublicKeyBytes {
+    /// Big-endian modulus bytes.
+    pub n: Ubig,
+}
+
+impl From<&PaillierPublicKey> for PublicKeyBytes {
+    fn from(pk: &PaillierPublicKey) -> Self {
+        PublicKeyBytes { n: pk.n.clone() }
+    }
+}
+
+impl From<PublicKeyBytes> for PaillierPublicKey {
+    fn from(b: PublicKeyBytes) -> Self {
+        PaillierPublicKey::from_modulus(b.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_primes_known_small() {
+        // p = 293, q = 433 (classic Paillier test vector primes)
+        let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64))
+            .expect("valid primes");
+        assert_eq!(kp.public().modulus(), &Ubig::from(293u64 * 433));
+        let m = Ibig::from(521i64);
+        let c = kp.public().encrypt_with_r(&m, &Ubig::from(7u64));
+        assert_eq!(kp.secret().decrypt(&c), m);
+        assert_eq!(kp.secret().decrypt_standard(&c), m);
+    }
+
+    #[test]
+    fn equal_primes_rejected() {
+        assert!(PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(293u64)).is_none());
+    }
+
+    #[test]
+    fn generated_modulus_exact_bits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = PaillierKeyPair::generate(&mut rng, 128);
+        assert_eq!(kp.public().key_bits(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "center-lift")]
+    fn oversized_plaintext_panics() {
+        let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).unwrap();
+        let too_big = Ibig::from(kp.public().modulus().clone());
+        let _ = kp.public().encode(&too_big);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_extremes() {
+        let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).unwrap();
+        let pk = kp.public();
+        let half = Ibig::from(pk.modulus() >> 1);
+        for m in [
+            Ibig::zero(),
+            half.clone(),
+            -half.clone() + Ibig::from(1i64),
+        ] {
+            assert_eq!(pk.decode(pk.encode(&m)), m);
+        }
+    }
+
+    #[test]
+    fn trivial_zero_is_identity() {
+        let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = kp.public().encrypt(&Ibig::from(5i64), &mut rng);
+        let same = kp.public().add(&c, &kp.public().trivial_zero());
+        assert_eq!(kp.secret().decrypt(&same), Ibig::from(5i64));
+    }
+
+    #[test]
+    fn public_constant_encryption_deterministic() {
+        let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).unwrap();
+        let a = kp.public().encrypt_public_constant(&Ibig::from(9i64));
+        let b = kp.public().encrypt_public_constant(&Ibig::from(9i64));
+        assert_eq!(a, b);
+        assert_eq!(kp.secret().decrypt(&a), Ibig::from(9i64));
+    }
+}

@@ -1,0 +1,75 @@
+//! The ciphertext type.
+
+use pisa_bigint::Ubig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Paillier ciphertext: an element of `Z_{n²}*`.
+///
+/// Ciphertexts are plain data — all homomorphic operations live on
+/// [`PaillierPublicKey`](super::PaillierPublicKey), which holds the
+/// modulus and the precomputed Montgomery context. This keeps ciphertexts
+/// cheap to serialize and ship between the PISA parties.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ciphertext(Ubig);
+
+impl Ciphertext {
+    /// Wraps a raw residue (assumed already reduced modulo `n²`).
+    pub fn from_raw(v: Ubig) -> Self {
+        Ciphertext(v)
+    }
+
+    /// The raw residue.
+    pub fn as_raw(&self) -> &Ubig {
+        &self.0
+    }
+
+    /// Serialized size in bytes when padded to the full `n²` width.
+    pub fn byte_len(&self, n_squared_bits: usize) -> usize {
+        n_squared_bits.div_ceil(8)
+    }
+}
+
+impl fmt::Debug for Ciphertext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print full ciphertexts (multi-kilobit); show a short tag.
+        let bytes = self.0.to_be_bytes();
+        let tag: String = bytes.iter().take(4).map(|b| format!("{b:02x}")).collect();
+        write!(f, "Ciphertext({tag}…, {} bits)", self.0.bit_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_is_short_and_nonempty() {
+        let c = Ciphertext::from_raw(Ubig::from(0xdeadbeefu64) << 512);
+        let s = format!("{c:?}");
+        assert!(s.starts_with("Ciphertext("));
+        assert!(s.len() < 40);
+    }
+
+    #[test]
+    fn byte_len_rounds_up() {
+        let c = Ciphertext::from_raw(Ubig::one());
+        assert_eq!(c.byte_len(4096), 512);
+        assert_eq!(c.byte_len(4097), 513);
+    }
+}
+
+/// A precomputed re-randomization factor `rⁿ mod n²`.
+///
+/// Produced offline by
+/// [`PaillierPublicKey::precompute_randomizer`](super::PaillierPublicKey::precompute_randomizer)
+/// and consumed (once!) by
+/// [`PaillierPublicKey::rerandomize_precomputed`](super::PaillierPublicKey::rerandomize_precomputed).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Randomizer(pub(crate) Ubig);
+
+impl std::fmt::Debug for Randomizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Randomizer({} bits)", self.0.bit_len())
+    }
+}

@@ -1,0 +1,277 @@
+//! Binary wire codec primitives.
+//!
+//! A minimal length-prefixed framing layer on [`bytes`]: big-endian
+//! fixed-width integers and `u32`-length-prefixed byte strings. The PISA
+//! message types in `pisa-core` build their wire format from these
+//! primitives, so the 29 MB request of Figure 6 is a real byte string,
+//! not just an accounting fiction.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// Bytes remained after the frame was fully decoded.
+    TrailingBytes(usize),
+    /// An unknown message tag.
+    BadTag(u8),
+    /// A length prefix exceeded the remaining buffer (or a sanity cap).
+    BadLength(u64),
+    /// A decoded value violated an invariant (context in the message).
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => f.write_str("unexpected end of frame"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            CodecError::BadLength(n) => write!(f, "implausible length prefix {n}"),
+            CodecError::Invalid(msg) => write!(f, "invalid field: {msg}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// A frame writer.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_net::codec::{Writer, Reader};
+///
+/// let mut w = Writer::new();
+/// w.put_u32(7);
+/// w.put_bytes(b"abc");
+/// let frame = w.finish();
+///
+/// let mut r = Reader::new(&frame);
+/// assert_eq!(r.get_u32().unwrap(), 7);
+/// assert_eq!(r.get_bytes().unwrap(), b"abc");
+/// r.finish().unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// An empty frame.
+    pub fn new() -> Self {
+        Writer {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// A frame with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Appends a byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    /// Appends a `u32`-length-prefixed byte string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds `u32::MAX` bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(u32::try_from(v.len()).expect("field under 4 GiB"));
+        self.buf.put_slice(v);
+    }
+
+    /// Appends raw bytes without a length prefix (fixed-width fields).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Current frame length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` before anything was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freezes the frame.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// A frame reader over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a received frame.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if empty.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        if self.buf.remaining() < 1 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] on a short buffer.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        if self.buf.remaining() < 4 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u32())
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] on a short buffer.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        if self.buf.remaining() < 8 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u64())
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadLength`] if the prefix overruns the buffer.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_u32()? as usize;
+        if self.buf.remaining() < len {
+            return Err(CodecError::BadLength(len as u64));
+        }
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads exactly `len` raw bytes (fixed-width fields).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] on a short buffer.
+    pub fn get_raw(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.remaining() < len {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Asserts the frame was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] if bytes remain.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.buf.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(0xab);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX);
+        w.put_bytes(b"hello");
+        w.put_bytes(b"");
+        w.put_raw(&[1, 2, 3]);
+        let frame = w.finish();
+
+        let mut r = Reader::new(&frame);
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_bytes().unwrap(), b"");
+        assert_eq!(r.get_raw(3).unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn eof_detection() {
+        let frame = {
+            let mut w = Writer::new();
+            w.put_u32(5);
+            w.finish()
+        };
+        let mut r = Reader::new(&frame);
+        assert_eq!(r.get_u64().unwrap_err(), CodecError::UnexpectedEof);
+        // The u32 length prefix claims 5 bytes but none follow.
+        let mut r = Reader::new(&frame);
+        assert_eq!(r.get_bytes().unwrap_err(), CodecError::BadLength(5));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let frame = w.finish();
+        let mut r = Reader::new(&frame);
+        let _ = r.get_u8().unwrap();
+        assert_eq!(r.finish().unwrap_err(), CodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(CodecError::BadTag(7).to_string().contains("0x07"));
+        assert!(CodecError::TrailingBytes(3).to_string().contains('3'));
+    }
+}

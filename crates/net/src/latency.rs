@@ -1,0 +1,90 @@
+//! Link latency model.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A simple affine latency model: per-message overhead plus serialization
+/// time proportional to bytes.
+///
+/// Used to translate the byte counts of [`NetMetrics`](crate::NetMetrics)
+/// into an end-to-end latency estimate for the protocol round (the paper
+/// reports computation times and message sizes separately; the latency
+/// model ties them together for the system-level figures).
+///
+/// # Examples
+///
+/// ```
+/// use pisa_net::LatencyModel;
+/// use std::time::Duration;
+///
+/// let lan = LatencyModel::lan();
+/// let t = lan.transfer_time(1_000_000, 1); // 1 MB over ~1 Gb/s
+/// assert!(t > Duration::from_millis(7) && t < Duration::from_millis(12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-message latency.
+    pub per_message: Duration,
+    /// Nanoseconds per payload byte (inverse bandwidth).
+    pub ns_per_byte: f64,
+}
+
+impl LatencyModel {
+    /// A LAN-class link: 0.2 ms RTT budget per message, ~1 Gb/s.
+    pub fn lan() -> Self {
+        LatencyModel {
+            per_message: Duration::from_micros(200),
+            ns_per_byte: 8.0, // 1 Gb/s
+        }
+    }
+
+    /// A WAN-class link: 20 ms per message, ~100 Mb/s.
+    pub fn wan() -> Self {
+        LatencyModel {
+            per_message: Duration::from_millis(20),
+            ns_per_byte: 80.0, // 100 Mb/s
+        }
+    }
+
+    /// An ideal link with zero latency (isolates computation time).
+    pub fn ideal() -> Self {
+        LatencyModel {
+            per_message: Duration::ZERO,
+            ns_per_byte: 0.0,
+        }
+    }
+
+    /// Time to move `bytes` across the link in `messages` messages.
+    pub fn transfer_time(&self, bytes: u64, messages: u64) -> Duration {
+        let serialization = Duration::from_nanos((bytes as f64 * self.ns_per_byte) as u64);
+        self.per_message * (messages as u32) + serialization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_zero() {
+        assert_eq!(LatencyModel::ideal().transfer_time(1 << 30, 100), Duration::ZERO);
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        let bytes = 29 * 1024 * 1024; // the paper's request size
+        let lan = LatencyModel::lan().transfer_time(bytes, 1);
+        let wan = LatencyModel::wan().transfer_time(bytes, 1);
+        assert!(wan > lan);
+        // 29 MB over 1 Gb/s ≈ 0.24 s
+        assert!(lan > Duration::from_millis(200) && lan < Duration::from_millis(300));
+    }
+
+    #[test]
+    fn per_message_overhead_scales() {
+        let m = LatencyModel::lan();
+        let one = m.transfer_time(0, 1);
+        let ten = m.transfer_time(0, 10);
+        assert_eq!(ten, one * 10);
+    }
+}

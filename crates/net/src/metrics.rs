@@ -1,0 +1,140 @@
+//! Per-link traffic accounting.
+
+use crate::transport::Party;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Traffic counters for one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+}
+
+/// Shared traffic metrics for a [`Network`](crate::Network).
+///
+/// Cloning shares the counters.
+#[derive(Clone, Default)]
+pub struct NetMetrics {
+    inner: Arc<Mutex<HashMap<(Party, Party), LinkStats>>>,
+}
+
+impl NetMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one delivered message.
+    pub fn record(&self, from: Party, to: Party, bytes: usize) {
+        let mut inner = self.inner.lock();
+        let stats = inner.entry((from, to)).or_default();
+        stats.messages += 1;
+        stats.bytes += bytes as u64;
+    }
+
+    /// Counters for one directed link, if any traffic flowed.
+    pub fn link(&self, from: Party, to: Party) -> Option<LinkStats> {
+        self.inner.lock().get(&(from, to)).copied()
+    }
+
+    /// Total bytes across all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().values().map(|s| s.bytes).sum()
+    }
+
+    /// Total messages across all links.
+    pub fn total_messages(&self) -> u64 {
+        self.inner.lock().values().map(|s| s.messages).sum()
+    }
+
+    /// Bytes sent *to* a party (e.g. everything the SDC received).
+    pub fn bytes_to(&self, to: Party) -> u64 {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|((_, t), _)| *t == to)
+            .map(|(_, s)| s.bytes)
+            .sum()
+    }
+
+    /// Bytes sent *by* a party.
+    pub fn bytes_from(&self, from: Party) -> u64 {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|((f, _), _)| *f == from)
+            .map(|(_, s)| s.bytes)
+            .sum()
+    }
+
+    /// Snapshot of every link, sorted by address pair.
+    pub fn snapshot(&self) -> Vec<((Party, Party), LinkStats)> {
+        let mut v: Vec<_> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(k, s)| (*k, *s))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Resets all counters (start of a new measured phase).
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+impl fmt::Debug for NetMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NetMetrics({} msgs, {} bytes)",
+            self.total_messages(),
+            self.total_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let m = NetMetrics::new();
+        m.record(Party::Su(0), Party::Sdc, 100);
+        m.record(Party::Su(0), Party::Sdc, 50);
+        m.record(Party::Sdc, Party::Stp, 10);
+        assert_eq!(m.total_bytes(), 160);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.bytes_to(Party::Sdc), 150);
+        assert_eq!(m.bytes_from(Party::Sdc), 10);
+        assert_eq!(m.link(Party::Stp, Party::Sdc), None);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_reset() {
+        let m = NetMetrics::new();
+        m.record(Party::Su(1), Party::Sdc, 1);
+        m.record(Party::Pu(0), Party::Sdc, 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].0 < snap[1].0);
+        m.reset();
+        assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_between_clones() {
+        let m = NetMetrics::new();
+        let m2 = m.clone();
+        m.record(Party::Sdc, Party::Stp, 5);
+        assert_eq!(m2.total_bytes(), 5);
+    }
+}

@@ -1,0 +1,287 @@
+//! Party addressing and in-memory message delivery.
+
+use crate::metrics::NetMetrics;
+use crate::{NetError, WireSize};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Address of a protocol party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Party {
+    /// The spectrum database controller.
+    Sdc,
+    /// The semi-trusted third party (key conversion service).
+    Stp,
+    /// A primary user (TV receiver) by index.
+    Pu(u32),
+    /// A secondary user by index.
+    Su(u32),
+}
+
+impl fmt::Display for Party {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Party::Sdc => f.write_str("SDC"),
+            Party::Stp => f.write_str("STP"),
+            Party::Pu(i) => write!(f, "PU{i}"),
+            Party::Su(i) => write!(f, "SU{i}"),
+        }
+    }
+}
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sender address.
+    pub from: Party,
+    /// Recipient address.
+    pub to: Party,
+    /// The message itself.
+    pub payload: M,
+}
+
+struct Mailboxes<M> {
+    senders: HashMap<Party, Sender<Envelope<M>>>,
+    receivers: HashMap<Party, Receiver<Envelope<M>>>,
+}
+
+/// An in-memory network connecting PISA parties.
+///
+/// Cloning shares the underlying mailboxes and metrics, so a network can
+/// be handed to several threads.
+pub struct Network<M> {
+    boxes: Arc<Mutex<Mailboxes<M>>>,
+    metrics: NetMetrics,
+}
+
+impl<M> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network {
+            boxes: Arc::clone(&self.boxes),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+impl<M> Default for Network<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network({} bytes total)", self.metrics.total_bytes())
+    }
+}
+
+impl<M> Network<M> {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network {
+            boxes: Arc::new(Mutex::new(Mailboxes {
+                senders: HashMap::new(),
+                receivers: HashMap::new(),
+            })),
+            metrics: NetMetrics::new(),
+        }
+    }
+}
+
+impl<M: WireSize> Network<M> {
+    /// Returns (creating on first use) the endpoint for `party`.
+    pub fn endpoint(&self, party: Party) -> Endpoint<M> {
+        let mut boxes = self.boxes.lock();
+        if !boxes.senders.contains_key(&party) {
+            let (tx, rx) = unbounded();
+            boxes.senders.insert(party, tx);
+            boxes.receivers.insert(party, rx);
+        }
+        Endpoint {
+            party,
+            net: self.clone(),
+            rx: boxes.receivers[&party].clone(),
+        }
+    }
+
+    /// The shared traffic metrics.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    fn deliver(&self, env: Envelope<M>) -> Result<(), NetError> {
+        let bytes = env.payload.wire_bytes();
+        let sender = {
+            let boxes = self.boxes.lock();
+            boxes
+                .senders
+                .get(&env.to)
+                .cloned()
+                .ok_or(NetError::UnknownParty(env.to))?
+        };
+        self.metrics.record(env.from, env.to, bytes);
+        sender
+            .send(env)
+            .map_err(|e| NetError::Disconnected(e.into_inner().to))
+    }
+}
+
+/// One party's handle onto the network.
+pub struct Endpoint<M> {
+    party: Party,
+    net: Network<M>,
+    rx: Receiver<Envelope<M>>,
+}
+
+impl<M: WireSize> Endpoint<M> {
+    /// This endpoint's address.
+    pub fn party(&self) -> Party {
+        self.party
+    }
+
+    /// Sends `payload` to `to`, recording its wire size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recipient endpoint was never created — PISA wires
+    /// all four parties up front, so an unknown party is a programming
+    /// error.
+    pub fn send(&self, to: Party, payload: M) {
+        self.try_send(to, payload).expect("recipient registered");
+    }
+
+    /// Sends, reporting unknown/disconnected recipients as errors.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownParty`] if `to` has no endpoint.
+    pub fn try_send(&self, to: Party, payload: M) -> Result<(), NetError> {
+        self.net.deliver(Envelope {
+            from: self.party,
+            to,
+            payload,
+        })
+    }
+
+    /// Receives the next message, blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if every sender is gone.
+    pub fn recv(&self) -> Result<Envelope<M>, NetError> {
+        self.rx
+            .recv()
+            .map_err(|_| NetError::Disconnected(self.party))
+    }
+
+    /// Receives without blocking; `None` when the mailbox is empty.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Receives with a deadline; `None` if nothing arrives in time (the
+    /// caller decides whether that is a retry or a protocol failure).
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Envelope<M>> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl<M> fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Endpoint({})", self.party)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn party_display() {
+        assert_eq!(Party::Sdc.to_string(), "SDC");
+        assert_eq!(Party::Pu(3).to_string(), "PU3");
+        assert_eq!(Party::Su(0).to_string(), "SU0");
+        assert_eq!(Party::Stp.to_string(), "STP");
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let net: Network<Vec<u8>> = Network::new();
+        let a = net.endpoint(Party::Su(1));
+        let b = net.endpoint(Party::Sdc);
+        a.send(Party::Sdc, vec![1, 2, 3]);
+        let env = b.recv().unwrap();
+        assert_eq!(env.from, Party::Su(1));
+        assert_eq!(env.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let net: Network<Vec<u8>> = Network::new();
+        let a = net.endpoint(Party::Pu(0));
+        let b = net.endpoint(Party::Sdc);
+        for i in 0..10u8 {
+            a.send(Party::Sdc, vec![i]);
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.recv().unwrap().payload, vec![i]);
+        }
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn unknown_recipient_is_error() {
+        let net: Network<Vec<u8>> = Network::new();
+        let a = net.endpoint(Party::Sdc);
+        assert_eq!(
+            a.try_send(Party::Su(9), vec![1]),
+            Err(NetError::UnknownParty(Party::Su(9)))
+        );
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let net: Network<Vec<u8>> = Network::new();
+        let a = net.endpoint(Party::Su(0));
+        let _b = net.endpoint(Party::Sdc);
+        a.send(Party::Sdc, vec![0; 100]);
+        a.send(Party::Sdc, vec![0; 28]);
+        assert_eq!(net.metrics().total_bytes(), 128);
+        assert_eq!(net.metrics().total_messages(), 2);
+        let link = net.metrics().link(Party::Su(0), Party::Sdc).unwrap();
+        assert_eq!(link.bytes, 128);
+        assert_eq!(link.messages, 2);
+    }
+
+    #[test]
+    fn recv_timeout_behaviour() {
+        let net: Network<Vec<u8>> = Network::new();
+        let a = net.endpoint(Party::Sdc);
+        let b = net.endpoint(Party::Stp);
+        assert!(b
+            .recv_timeout(std::time::Duration::from_millis(5))
+            .is_none());
+        a.send(Party::Stp, vec![9]);
+        let env = b
+            .recv_timeout(std::time::Duration::from_millis(100))
+            .expect("delivered");
+        assert_eq!(env.payload, vec![9]);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let net: Network<Vec<u8>> = Network::new();
+        let sdc = net.endpoint(Party::Sdc);
+        let su = net.endpoint(Party::Su(0));
+        let handle = std::thread::spawn(move || {
+            su.send(Party::Sdc, vec![42; 7]);
+        });
+        let env = sdc.recv().unwrap();
+        assert_eq!(env.payload.len(), 7);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the radio substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the radio substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RadioError {
+    /// A block index is outside the service area.
+    BlockOutOfRange {
+        /// Offending index.
+        block: usize,
+        /// Number of blocks in the area.
+        blocks: usize,
+    },
+    /// A channel index is outside the configured channel count.
+    ChannelOutOfRange {
+        /// Offending index.
+        channel: usize,
+        /// Number of channels.
+        channels: usize,
+    },
+    /// A quantized value overflowed the configured integer width.
+    QuantizationOverflow {
+        /// The linear value that overflowed.
+        value_mw: f64,
+        /// Configured integer width in bits.
+        bits: u32,
+    },
+    /// A model was evaluated outside its validity range and strict mode
+    /// is on.
+    ModelDomain(String),
+}
+
+impl fmt::Display for RadioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RadioError::BlockOutOfRange { block, blocks } => {
+                write!(f, "block {block} out of range (area has {blocks} blocks)")
+            }
+            RadioError::ChannelOutOfRange { channel, channels } => {
+                write!(f, "channel {channel} out of range ({channels} channels)")
+            }
+            RadioError::QuantizationOverflow { value_mw, bits } => {
+                write!(f, "value {value_mw} mW overflows {bits}-bit representation")
+            }
+            RadioError::ModelDomain(msg) => write!(f, "model domain violation: {msg}"),
+        }
+    }
+}
+
+impl Error for RadioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_detail() {
+        let e = RadioError::BlockOutOfRange {
+            block: 700,
+            blocks: 600,
+        };
+        assert!(e.to_string().contains("700"));
+        assert!(e.to_string().contains("600"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RadioError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! Radio propagation, terrain and spectrum-geometry substrate for the
+//! PISA reproduction.
+//!
+//! The PISA paper evaluates over the WATCH spectrum-sharing system, which
+//! in turn needs a propagation substrate: path-loss models, terrain data,
+//! a quantized service-area grid, and TV transmitter/receiver signal
+//! computations. The original work used the Extended Hata model, the
+//! Longley–Rice irregular terrain model and USGS terrain databases; this
+//! crate rebuilds those pieces (with a synthetic terrain generator
+//! standing in for USGS data — see DESIGN.md).
+//!
+//! * [`units`] — dB / dBm / milliwatt newtypes and conversions.
+//! * [`quantize`] — the fixed-point integer representation of Table I
+//!   (60-bit integers).
+//! * [`grid`] — the block quantization of the service area.
+//! * [`pathloss`] — free-space, Extended Hata (sub-urban) and a
+//!   terrain-roughness-adjusted irregular-terrain model.
+//! * [`terrain`] — deterministic synthetic heightmaps.
+//! * [`tv`] — TV transmitters, receivers and channel frequencies.
+//! * [`protection`] — protection distance `d^c` (paper eq. 1) and the
+//!   public matrix **E** of maximum SU EIRP per block and channel.
+//! * [`airsim`] — a signal-level simulator reproducing the paper's SDR
+//!   experiment scenarios (Figures 8–11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airsim;
+mod error;
+pub mod grid;
+pub mod pathloss;
+pub mod protection;
+pub mod quantize;
+pub mod terrain;
+pub mod tv;
+pub mod units;
+pub mod viewer;
+
+pub use error::RadioError;
+pub use grid::{BlockId, ServiceArea};
+pub use quantize::Quantizer;
+pub use units::{Db, Dbm, MilliWatts};

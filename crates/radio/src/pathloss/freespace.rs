@@ -1,0 +1,68 @@
+//! Free-space path loss.
+
+use super::{LinkGeometry, PathLossModel};
+use crate::units::Db;
+
+/// Friis free-space path loss:
+/// `L = 20·log₁₀(d_km) + 20·log₁₀(f_MHz) + 32.45` dB.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_radio::pathloss::{FreeSpace, LinkGeometry, PathLossModel};
+///
+/// let geom = LinkGeometry::secondary_default(600.0);
+/// let l = FreeSpace.path_loss_db(1000.0, &geom);
+/// assert!((l.0 - 88.0).abs() < 1.0); // ~88 dB at 1 km, 600 MHz
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FreeSpace;
+
+impl PathLossModel for FreeSpace {
+    fn path_loss_db(&self, distance_m: f64, geom: &LinkGeometry) -> Db {
+        let d_km = (distance_m.max(1.0)) / 1000.0;
+        Db(20.0 * d_km.log10() + 20.0 * geom.freq_mhz.log10() + 32.45)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_value_2_4ghz_100m() {
+        // FSPL(100 m, 2400 MHz) ≈ 80.05 dB
+        let geom = LinkGeometry::secondary_default(2400.0);
+        let l = FreeSpace.path_loss_db(100.0, &geom).0;
+        assert!((l - 80.05).abs() < 0.1, "l = {l}");
+    }
+
+    #[test]
+    fn inverse_square_law() {
+        // Doubling distance adds ~6.02 dB.
+        let geom = LinkGeometry::secondary_default(600.0);
+        let l1 = FreeSpace.path_loss_db(500.0, &geom).0;
+        let l2 = FreeSpace.path_loss_db(1000.0, &geom).0;
+        assert!((l2 - l1 - 6.0206).abs() < 0.001);
+    }
+
+    #[test]
+    fn monotone_in_distance() {
+        let geom = LinkGeometry::secondary_default(600.0);
+        let mut prev = f64::NEG_INFINITY;
+        for d in [1.0, 10.0, 100.0, 1000.0, 10_000.0] {
+            let l = FreeSpace.path_loss_db(d, &geom).0;
+            assert!(l > prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn sub_meter_clamped() {
+        let geom = LinkGeometry::secondary_default(600.0);
+        assert_eq!(
+            FreeSpace.path_loss_db(0.01, &geom),
+            FreeSpace.path_loss_db(1.0, &geom)
+        );
+    }
+}

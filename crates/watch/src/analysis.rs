@@ -1,0 +1,178 @@
+//! Physical-layer analysis: does the protection model actually protect?
+//!
+//! WATCH's grant rule checks each SU *individually* against the budget
+//! `N`, and absorbs the multiplicity of simultaneous SUs into the
+//! `Δ_redn` margin of eq. (1)/(6) ("the situation of multiple SUs is
+//! handled by the value Δ_redn"). This module computes the *actual*
+//! signal-to-interference ratio a TV receiver experiences when a set of
+//! granted SUs transmits simultaneously, so that claim can be tested
+//! instead of assumed.
+
+use crate::{SuRequest, WatchConfig};
+use pisa_radio::tv::Channel;
+use pisa_radio::units::Db;
+use pisa_radio::BlockId;
+
+/// A transmitting secondary: where it is and what it radiates per
+/// channel (a granted [`SuRequest`] put on the air).
+#[derive(Debug, Clone)]
+pub struct ActiveSecondary {
+    /// The SU's block.
+    pub block: BlockId,
+    /// Radiated power in mW per channel (0 = silent on that channel).
+    pub eirp_mw: Vec<f64>,
+}
+
+impl ActiveSecondary {
+    /// An active secondary transmitting exactly its granted request.
+    pub fn from_request(request: &SuRequest) -> Self {
+        ActiveSecondary {
+            block: request.block(),
+            eirp_mw: request.eirp_mw().to_vec(),
+        }
+    }
+}
+
+/// Aggregate secondary interference (linear mW) deposited at `pu_block`
+/// on `channel` by a set of simultaneously active SUs.
+pub fn aggregate_interference_mw(
+    cfg: &WatchConfig,
+    pu_block: BlockId,
+    channel: Channel,
+    active: &[ActiveSecondary],
+) -> f64 {
+    active
+        .iter()
+        .map(|su| {
+            let power = su.eirp_mw.get(channel.0).copied().unwrap_or(0.0);
+            if power == 0.0 {
+                0.0
+            } else {
+                power * cfg.path_gain(su.block, pu_block, channel)
+            }
+        })
+        .sum()
+}
+
+/// The signal-to-interference ratio at a PU watching `channel` in
+/// `pu_block` while `active` SUs transmit. `None` when there is no
+/// interference at all (infinite SIR).
+pub fn sir_at_pu(
+    cfg: &WatchConfig,
+    pu_block: BlockId,
+    channel: Channel,
+    active: &[ActiveSecondary],
+) -> Option<Db> {
+    let interference = aggregate_interference_mw(cfg, pu_block, channel, active);
+    if interference <= 0.0 {
+        return None;
+    }
+    let signal = cfg.pu_signal_mw(pu_block, channel);
+    Some(Db(10.0 * (signal / interference).log10()))
+}
+
+/// How many simultaneously transmitting SUs the `Δ_redn` margin covers
+/// (to the nearest integer): each individually granted SU deposits at
+/// most `budget / X` where `X = Δ_SINR + Δ_redn`, so `Δ_redn` dB of
+/// margin absorbs ≈`10^(Δ_redn/10)` worst-case interferers (3 dB ≈ 2).
+pub fn covered_multiplicity(cfg: &WatchConfig) -> usize {
+    Db(cfg.params().redn_db).as_ratio().round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PuInput, WatchSdc};
+
+    #[test]
+    fn single_granted_su_leaves_full_margin() {
+        // One granted SU's interference keeps the PU's SIR above even
+        // Δ_SINR + Δ_redn (the individual check uses the full X).
+        let cfg = WatchConfig::small_test();
+        let mut sdc = WatchSdc::new(cfg.clone());
+        sdc.pu_update(0, PuInput::tuned(&cfg, BlockId(12), Channel(0)));
+
+        let request = SuRequest::with_power_dbm(&cfg, BlockId(20), &[Channel(0)], -25.0);
+        assert!(sdc.process_request(&request).is_granted());
+
+        let active = [ActiveSecondary::from_request(&request)];
+        let sir = sir_at_pu(&cfg, BlockId(12), Channel(0), &active).expect("interference exists");
+        let required = cfg.params().tv_sinr_db + cfg.params().redn_db;
+        assert!(
+            sir.0 >= required,
+            "granted SU leaves SIR {sir} < required {required} dB"
+        );
+    }
+
+    #[test]
+    fn redn_margin_covers_two_simultaneous_sus() {
+        // Δ_redn = 3 dB covers a doubling of interference: two SUs that
+        // are *each* granted may transmit together and the PU still
+        // meets its base Δ_SINR requirement.
+        let cfg = WatchConfig::small_test();
+        assert!(covered_multiplicity(&cfg) >= 2);
+        let mut sdc = WatchSdc::new(cfg.clone());
+        sdc.pu_update(0, PuInput::tuned(&cfg, BlockId(12), Channel(0)));
+
+        let r1 = SuRequest::with_power_dbm(&cfg, BlockId(20), &[Channel(0)], -25.0);
+        let r2 = SuRequest::with_power_dbm(&cfg, BlockId(4), &[Channel(0)], -25.0);
+        assert!(sdc.process_request(&r1).is_granted());
+        assert!(sdc.process_request(&r2).is_granted());
+
+        let active = [
+            ActiveSecondary::from_request(&r1),
+            ActiveSecondary::from_request(&r2),
+        ];
+        let sir = sir_at_pu(&cfg, BlockId(12), Channel(0), &active).expect("interference exists");
+        assert!(
+            sir.0 >= cfg.params().tv_sinr_db,
+            "aggregate of two granted SUs broke the PU: SIR {sir}"
+        );
+    }
+
+    #[test]
+    fn denied_su_would_have_broken_the_pu() {
+        // The deny decision is physically meaningful: had the denied SU
+        // transmitted anyway, the PU's SIR would violate even the base
+        // requirement — denial is not over-conservatism here.
+        let cfg = WatchConfig::small_test();
+        let mut sdc = WatchSdc::new(cfg.clone());
+        sdc.pu_update(0, PuInput::tuned(&cfg, BlockId(12), Channel(0)));
+
+        let rogue = SuRequest::full_power(&cfg, BlockId(13), &[Channel(0)]);
+        assert!(sdc.process_request(&rogue).is_denied());
+
+        let active = [ActiveSecondary::from_request(&rogue)];
+        let sir = sir_at_pu(&cfg, BlockId(12), Channel(0), &active).expect("interference exists");
+        assert!(
+            sir.0 < cfg.params().tv_sinr_db,
+            "denied SU was actually harmless (SIR {sir}) — threshold miscalibrated"
+        );
+    }
+
+    #[test]
+    fn silence_means_infinite_sir() {
+        let cfg = WatchConfig::small_test();
+        let active = [ActiveSecondary {
+            block: BlockId(0),
+            eirp_mw: vec![0.0; 4],
+        }];
+        assert!(sir_at_pu(&cfg, BlockId(12), Channel(0), &active).is_none());
+        assert_eq!(
+            aggregate_interference_mw(&cfg, BlockId(12), Channel(0), &active),
+            0.0
+        );
+    }
+
+    #[test]
+    fn interference_adds_linearly() {
+        let cfg = WatchConfig::small_test();
+        let su = |b: usize| ActiveSecondary {
+            block: BlockId(b),
+            eirp_mw: vec![1.0, 0.0, 0.0, 0.0],
+        };
+        let one = aggregate_interference_mw(&cfg, BlockId(12), Channel(0), &[su(3)]);
+        let both = aggregate_interference_mw(&cfg, BlockId(12), Channel(0), &[su(3), su(3)]);
+        assert!((both - 2.0 * one).abs() < 1e-18);
+    }
+}

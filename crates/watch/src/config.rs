@@ -1,0 +1,226 @@
+//! Shared system configuration for WATCH (and reused by PISA).
+
+use pisa_radio::grid::Point;
+use pisa_radio::pathloss::{IrregularTerrain, LinkGeometry};
+use pisa_radio::protection::{protection_distance, ProtectionParams};
+use pisa_radio::terrain::Terrain;
+use pisa_radio::tv::{Channel, TvTransmitter};
+use pisa_radio::{Quantizer, ServiceArea};
+
+/// Full WATCH system configuration: geometry, channels, regulatory
+/// parameters, propagation model and quantization.
+///
+/// The same configuration object drives the plaintext baseline and the
+/// encrypted PISA protocol, guaranteeing that both compute over
+/// identical inputs.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    area: ServiceArea,
+    channels: usize,
+    params: ProtectionParams,
+    quantizer: Quantizer,
+    model: IrregularTerrain,
+    transmitters: Vec<TvTransmitter>,
+    /// Pre-computed protection distance `d^c` per channel (eq. 1).
+    dc_m: Vec<f64>,
+}
+
+/// Fallback mean TV signal for a PU tuned to a channel with no modeled
+/// broadcaster: 20 dB above the protection threshold (a healthy indoor
+/// signal). Keeps small test scenarios meaningful without modeling
+/// transmitters.
+const FALLBACK_SIGNAL_MARGIN_DB: f64 = 20.0;
+
+/// Cap on the protection-distance search (beyond ~50 km the entire area
+/// of any realistic SDC is covered anyway).
+const MAX_PROTECTION_DISTANCE_M: f64 = 50_000.0;
+
+impl WatchConfig {
+    /// Builds a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(
+        area: ServiceArea,
+        channels: usize,
+        params: ProtectionParams,
+        quantizer: Quantizer,
+        terrain: Terrain,
+        transmitters: Vec<TvTransmitter>,
+    ) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        let model = IrregularTerrain::new(terrain);
+        let dc_m = (0..channels)
+            .map(|c| {
+                protection_distance(&model, &params, Channel(c), MAX_PROTECTION_DISTANCE_M)
+            })
+            .collect();
+        WatchConfig {
+            area,
+            channels,
+            params,
+            quantizer,
+            model,
+            transmitters,
+            dc_m,
+        }
+    }
+
+    /// The paper's Table I configuration: 100 channels, 600 blocks,
+    /// 60-bit integers, ATSC protection defaults, gentle terrain and two
+    /// full-power TV stations outside the service area.
+    pub fn paper() -> Self {
+        let area = ServiceArea::paper();
+        let transmitters = vec![
+            TvTransmitter::full_power(Point { x: -20_000.0, y: 5_000.0 }, Channel(3)),
+            TvTransmitter::full_power(Point { x: 25_000.0, y: -8_000.0 }, Channel(7)),
+        ];
+        WatchConfig::new(
+            area,
+            100,
+            ProtectionParams::atsc_defaults(),
+            Quantizer::paper(),
+            Terrain::new(2017, 80.0),
+            transmitters,
+        )
+    }
+
+    /// A tiny deterministic configuration for unit tests: 4 channels,
+    /// 5 × 5 blocks, flat terrain, no broadcasters.
+    pub fn small_test() -> Self {
+        WatchConfig::new(
+            ServiceArea::new(5, 5, 10.0),
+            4,
+            ProtectionParams::atsc_defaults(),
+            Quantizer::paper(),
+            Terrain::flat(),
+            Vec::new(),
+        )
+    }
+
+    /// The service area grid.
+    pub fn area(&self) -> &ServiceArea {
+        &self.area
+    }
+
+    /// Number of channels `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of blocks `B`.
+    pub fn blocks(&self) -> usize {
+        self.area.num_blocks()
+    }
+
+    /// Regulatory protection parameters.
+    pub fn params(&self) -> &ProtectionParams {
+        &self.params
+    }
+
+    /// Fixed-point quantizer (Table I's 60-bit integer representation).
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The propagation model.
+    pub fn model(&self) -> &IrregularTerrain {
+        &self.model
+    }
+
+    /// Modeled TV broadcast transmitters (public data).
+    pub fn transmitters(&self) -> &[TvTransmitter] {
+        &self.transmitters
+    }
+
+    /// Protection distance `d^c` for a channel, meters (eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is out of range.
+    pub fn protection_distance_m(&self, c: Channel) -> f64 {
+        self.dc_m[c.0]
+    }
+
+    /// Link geometry for a secondary transmission on channel `c`.
+    pub fn su_geometry(&self, c: Channel) -> LinkGeometry {
+        LinkGeometry::secondary_default(c.center_freq_mhz())
+    }
+
+    /// Mean TV signal strength `S^PU` (linear mW) at a block for a PU
+    /// tuned to `c`: strongest modeled broadcaster on that channel, or a
+    /// healthy fallback signal when no broadcaster is modeled.
+    pub fn pu_signal_mw(&self, block: pisa_radio::BlockId, c: Channel) -> f64 {
+        let rx = self.area.block_center(block);
+        let best = self
+            .transmitters
+            .iter()
+            .filter(|t| t.channel == c)
+            .map(|t| t.signal_at(&self.model, rx).0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let dbm = if best.is_finite() {
+            best
+        } else {
+            self.params.pu_min_signal_dbm + FALLBACK_SIGNAL_MARGIN_DB
+        };
+        pisa_radio::Dbm(dbm).to_milliwatts().0
+    }
+
+    /// Linear path gain `h(d)` between two blocks on channel `c` — the
+    /// `h(d^c_{i,j})` of equations (2) and (5).
+    pub fn path_gain(&self, from: pisa_radio::BlockId, to: pisa_radio::BlockId, c: Channel) -> f64 {
+        let a = self.area.block_center(from);
+        let b = self.area.block_center(to);
+        self.model.path_gain_between(a, b, &self.su_geometry(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisa_radio::BlockId;
+
+    #[test]
+    fn paper_config_dimensions() {
+        let cfg = WatchConfig::paper();
+        assert_eq!(cfg.channels(), 100);
+        assert_eq!(cfg.blocks(), 600);
+        assert_eq!(cfg.quantizer().total_bits(), 60);
+    }
+
+    #[test]
+    fn protection_distances_precomputed() {
+        let cfg = WatchConfig::small_test();
+        for c in 0..cfg.channels() {
+            let d = cfg.protection_distance_m(Channel(c));
+            assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn pu_signal_uses_fallback_without_transmitters() {
+        let cfg = WatchConfig::small_test();
+        let mw = cfg.pu_signal_mw(BlockId(0), Channel(0));
+        let expected = pisa_radio::Dbm(-64.0).to_milliwatts().0;
+        assert!((mw - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn pu_signal_uses_transmitter_when_present() {
+        let cfg = WatchConfig::paper();
+        // Channel 3 has a broadcaster; channel 4 does not.
+        let with_tx = cfg.pu_signal_mw(BlockId(0), Channel(3));
+        let fallback = cfg.pu_signal_mw(BlockId(0), Channel(4));
+        assert_ne!(with_tx, fallback);
+    }
+
+    #[test]
+    fn path_gain_decreases_with_distance() {
+        let cfg = WatchConfig::small_test();
+        let near = cfg.path_gain(BlockId(0), BlockId(1), Channel(0));
+        let far = cfg.path_gain(BlockId(0), BlockId(24), Channel(0));
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+}

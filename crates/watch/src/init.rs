@@ -1,0 +1,107 @@
+//! WATCH initialization: the public matrix **E** of maximum SU EIRP
+//! (§IV-A1).
+//!
+//! The SDC precomputes, for every (channel, block), the maximum EIRP a
+//! secondary transmitter in that block may radiate without degrading TV
+//! reception at the *service contour* of any broadcaster on that
+//! channel — the TVWS-style protection that applies even before any
+//! actual receiver registers. Blocks on channels with no broadcaster get
+//! the regulatory cap `S^SU_max`.
+
+use crate::{IntMatrix, WatchConfig};
+use pisa_radio::pathloss::PathLossModel;
+use pisa_radio::tv::Channel;
+
+/// Computes **E** = `{E_S(c, b)}` in quantized milliwatts.
+///
+/// Every entry is clamped to at least 1 quantum so the interference
+/// indicator `I = N − R` can never be exactly zero merely because a
+/// budget quantized to nothing (see DESIGN.md).
+pub fn compute_e_matrix(cfg: &WatchConfig) -> IntMatrix {
+    let q = cfg.quantizer();
+    let su_max_mw = cfg.params().su_max_eirp_mw();
+    IntMatrix::from_fn(cfg.channels(), cfg.blocks(), |c, b| {
+        let channel = Channel(c);
+        let block = pisa_radio::BlockId(b);
+        let block_center = cfg.area().block_center(block);
+        let mut allowed_mw = su_max_mw;
+        for tx in cfg.transmitters().iter().filter(|t| t.channel == channel) {
+            // Interference budget at the nearest point of the service
+            // contour: the weakest protected signal divided by the SINR
+            // requirement.
+            let d_to_tower = block_center.distance_m(&tx.location);
+            let d_to_contour = (d_to_tower - tx.service_radius_m).abs().max(10.0);
+            let gain = cfg
+                .model()
+                .path_gain(d_to_contour, &cfg.su_geometry(channel));
+            let budget_mw = cfg.params().pu_min_signal_mw() / cfg.params().x_linear();
+            allowed_mw = allowed_mw.min(budget_mw / gain);
+        }
+        q.quantize_saturating(allowed_mw).max(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisa_radio::grid::Point;
+    use pisa_radio::protection::ProtectionParams;
+    use pisa_radio::terrain::Terrain;
+    use pisa_radio::tv::TvTransmitter;
+    use pisa_radio::{Quantizer, ServiceArea};
+
+    #[test]
+    fn no_transmitters_means_full_power_everywhere() {
+        let cfg = WatchConfig::small_test();
+        let e = compute_e_matrix(&cfg);
+        let expected = cfg
+            .quantizer()
+            .quantize_saturating(cfg.params().su_max_eirp_mw());
+        for (_, _, v) in e.iter() {
+            assert_eq!(v, expected);
+        }
+    }
+
+    #[test]
+    fn nearby_transmitter_reduces_budget() {
+        // Put a broadcaster's contour right at the service area.
+        let tx = TvTransmitter {
+            location: Point { x: -100.0, y: 25.0 },
+            eirp_dbm: 90.0,
+            antenna_height_m: 200.0,
+            channel: Channel(1),
+            service_radius_m: 50.0,
+        };
+        let cfg = WatchConfig::new(
+            ServiceArea::new(5, 5, 10.0),
+            4,
+            ProtectionParams::atsc_defaults(),
+            Quantizer::paper(),
+            Terrain::flat(),
+            vec![tx],
+        );
+        let e = compute_e_matrix(&cfg);
+        let cap = cfg
+            .quantizer()
+            .quantize_saturating(cfg.params().su_max_eirp_mw());
+        // Channel 1 near the contour is constrained below the cap…
+        assert!(e.get(1, 0) < cap, "E(1,0) = {}", e.get(1, 0));
+        // …while a channel without a broadcaster keeps the cap.
+        assert_eq!(e.get(0, 0), cap);
+    }
+
+    #[test]
+    fn entries_strictly_positive() {
+        let cfg = WatchConfig::paper();
+        let e = compute_e_matrix(&cfg);
+        assert!(e.iter().all(|(_, _, v)| v >= 1));
+    }
+
+    #[test]
+    fn dimensions_match_config() {
+        let cfg = WatchConfig::small_test();
+        let e = compute_e_matrix(&cfg);
+        assert_eq!(e.channels(), cfg.channels());
+        assert_eq!(e.blocks(), cfg.blocks());
+    }
+}

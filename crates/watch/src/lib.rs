@@ -1,0 +1,56 @@
+//! Plaintext WATCH: the dynamic spectrum-sharing baseline PISA secures.
+//!
+//! WATCH (Zhang & Knightly, MobiHoc'15) coordinates secondary WiFi
+//! transmissions in *active* TV channels: instead of excluding secondary
+//! users from every channel with a broadcaster, the Spectrum Database
+//! Controller (SDC) tracks which TV receivers are actually watching
+//! which channel and bounds secondary EIRP only where it would hurt a
+//! real receiver.
+//!
+//! This crate implements WATCH's spectrum computation in the clear —
+//! §IV-A of the PISA paper:
+//!
+//! 1. **Initialization** — precompute the public matrix **E** of maximum
+//!    SU EIRP per (channel, block) from TV transmitter data.
+//! 2. **Update from PU** (eqs. 3–4) — aggregate PU inputs into **T′**
+//!    and build the interference budget matrix **N**.
+//! 3. **Transmission request from SU** (eqs. 5–7) — scale the SU's
+//!    interference profile **F**, subtract from **N**, and grant iff
+//!    every entry of the indicator **I** stays positive.
+//!
+//! PISA (in `pisa-core`) runs the same arithmetic homomorphically; the
+//! integration test `watch_equivalence` pins the two together.
+//!
+//! # Examples
+//!
+//! ```
+//! use pisa_watch::{WatchConfig, WatchSdc, PuInput, SuRequest};
+//! use pisa_radio::{grid::BlockId, tv::Channel};
+//!
+//! let cfg = WatchConfig::small_test(); // 4 channels × 25 blocks
+//! let mut sdc = WatchSdc::new(cfg.clone());
+//! sdc.pu_update(0, PuInput::tuned(&cfg, BlockId(12), Channel(1)));
+//! let request = SuRequest::full_power(&cfg, BlockId(13), &[Channel(1)]);
+//! let decision = sdc.process_request(&request);
+//! assert!(decision.is_denied()); // SU right next to an active PU
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod config;
+mod decision;
+mod init;
+mod matrices;
+mod pu;
+mod sdc;
+mod su;
+
+pub use config::WatchConfig;
+pub use decision::Decision;
+pub use init::compute_e_matrix;
+pub use matrices::IntMatrix;
+pub use pu::PuInput;
+pub use sdc::WatchSdc;
+pub use su::SuRequest;

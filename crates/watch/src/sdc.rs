@@ -1,0 +1,219 @@
+//! The plaintext Spectrum Database Controller.
+
+use crate::{compute_e_matrix, Decision, IntMatrix, PuInput, SuRequest, WatchConfig};
+use std::collections::HashMap;
+
+/// Identifier of a registered PU.
+pub type PuId = u64;
+
+/// The plaintext WATCH SDC: holds **E**, the per-PU contributions **Wᵢ**
+/// and the interference budget matrix **N**, and decides transmission
+/// requests (§IV-A).
+///
+/// # Examples
+///
+/// ```
+/// use pisa_watch::{WatchConfig, WatchSdc, PuInput, SuRequest};
+/// use pisa_radio::{grid::BlockId, tv::Channel};
+///
+/// let cfg = WatchConfig::small_test();
+/// let mut sdc = WatchSdc::new(cfg.clone());
+/// // No PUs: a request sails through.
+/// let su = SuRequest::full_power(&cfg, BlockId(0), &[Channel(0)]);
+/// assert!(sdc.process_request(&su).is_granted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WatchSdc {
+    cfg: WatchConfig,
+    e: IntMatrix,
+    /// Latest **Wᵢ** per PU (eq. 9 keeps the running aggregate).
+    contributions: HashMap<PuId, IntMatrix>,
+    /// Interference budget **N** = Σᵢ **Wᵢ** + **E** (eq. 10).
+    n: IntMatrix,
+}
+
+impl WatchSdc {
+    /// Initializes the SDC: computes **E** and sets **N = E** (no PUs
+    /// yet) — §IV-A1.
+    pub fn new(cfg: WatchConfig) -> Self {
+        let e = compute_e_matrix(&cfg);
+        let n = e.clone();
+        WatchSdc {
+            cfg,
+            e,
+            contributions: HashMap::new(),
+            n,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WatchConfig {
+        &self.cfg
+    }
+
+    /// The public matrix **E**.
+    pub fn e_matrix(&self) -> &IntMatrix {
+        &self.e
+    }
+
+    /// The current budget matrix **N** (eq. 4 / 10).
+    pub fn n_matrix(&self) -> &IntMatrix {
+        &self.n
+    }
+
+    /// Number of PUs with a live contribution.
+    pub fn active_pus(&self) -> usize {
+        self.contributions
+            .values()
+            .filter(|w| w.iter().any(|(_, _, v)| v != 0))
+            .count()
+    }
+
+    /// Handles a PU update (channel switch, power-on or power-off):
+    /// replaces the PU's contribution and updates **N** incrementally
+    /// (eqs. 3–4 via the comparison-free eqs. 9–10).
+    pub fn pu_update(&mut self, id: PuId, input: PuInput) {
+        let w_new = input.w_matrix(&self.cfg, &self.e);
+        let w_old = self
+            .contributions
+            .insert(id, w_new.clone())
+            .unwrap_or_else(|| IntMatrix::zeros(self.cfg.channels(), self.cfg.blocks()));
+        self.n = &(&self.n - &w_old) + &w_new;
+    }
+
+    /// Processes an SU transmission request (eqs. 5–7): computes
+    /// **R = X ⊗ F**, the indicator **I = N − R**, and grants iff every
+    /// entry of **I** is strictly positive.
+    pub fn process_request(&self, su: &SuRequest) -> Decision {
+        self.decide(&su.f_matrix(&self.cfg))
+    }
+
+    /// Processes a request from an explicit **F** matrix (used by the
+    /// equivalence tests against the encrypted pipeline).
+    pub fn decide(&self, f: &IntMatrix) -> Decision {
+        let x = self.cfg.params().x_integer() as i128;
+        let r = f.scale(x);
+        let i = &self.n - &r;
+        let violations = i.non_positive_entries();
+        if violations.is_empty() {
+            Decision::Granted
+        } else {
+            Decision::Denied { violations }
+        }
+    }
+
+    /// The indicator matrix **I** for a request — exposed so the
+    /// encrypted pipeline can be checked entry-by-entry.
+    pub fn indicator(&self, f: &IntMatrix) -> IntMatrix {
+        let x = self.cfg.params().x_integer() as i128;
+        &self.n - &f.scale(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisa_radio::tv::Channel;
+    use pisa_radio::BlockId;
+
+    fn cfg() -> WatchConfig {
+        WatchConfig::small_test()
+    }
+
+    #[test]
+    fn initial_n_equals_e() {
+        let sdc = WatchSdc::new(cfg());
+        assert_eq!(sdc.n_matrix(), sdc.e_matrix());
+        assert_eq!(sdc.active_pus(), 0);
+    }
+
+    #[test]
+    fn pu_update_sets_budget_to_signal() {
+        let cfg = cfg();
+        let mut sdc = WatchSdc::new(cfg.clone());
+        let pu = PuInput::tuned(&cfg, BlockId(12), Channel(1));
+        sdc.pu_update(7, pu.clone());
+        assert_eq!(sdc.n_matrix().get(1, 12), pu.signal_q());
+        assert_eq!(sdc.active_pus(), 1);
+        // Other entries untouched.
+        assert_eq!(sdc.n_matrix().get(0, 12), sdc.e_matrix().get(0, 12));
+    }
+
+    #[test]
+    fn switching_channels_restores_old_budget() {
+        let cfg = cfg();
+        let mut sdc = WatchSdc::new(cfg.clone());
+        sdc.pu_update(1, PuInput::tuned(&cfg, BlockId(6), Channel(0)));
+        sdc.pu_update(1, PuInput::tuned(&cfg, BlockId(6), Channel(2)));
+        // Old channel back to E, new channel at signal.
+        assert_eq!(sdc.n_matrix().get(0, 6), sdc.e_matrix().get(0, 6));
+        assert!(sdc.n_matrix().get(2, 6) > 0);
+        assert_eq!(sdc.active_pus(), 1);
+    }
+
+    #[test]
+    fn turn_off_restores_e() {
+        let cfg = cfg();
+        let mut sdc = WatchSdc::new(cfg.clone());
+        sdc.pu_update(1, PuInput::tuned(&cfg, BlockId(6), Channel(0)));
+        sdc.pu_update(1, PuInput::off(BlockId(6)));
+        assert_eq!(sdc.n_matrix(), sdc.e_matrix());
+        assert_eq!(sdc.active_pus(), 0);
+    }
+
+    #[test]
+    fn nearby_su_denied_far_su_granted() {
+        let cfg = cfg();
+        let mut sdc = WatchSdc::new(cfg.clone());
+        sdc.pu_update(1, PuInput::tuned(&cfg, BlockId(12), Channel(1)));
+
+        // Full power right next to the active PU exceeds the budget…
+        let near = SuRequest::full_power(&cfg, BlockId(13), &[Channel(1)]);
+        assert!(sdc.process_request(&near).is_denied());
+
+        // …while a whisper-power SU is fine.
+        let quiet = SuRequest::with_power_dbm(&cfg, BlockId(13), &[Channel(1)], -40.0);
+        assert!(sdc.process_request(&quiet).is_granted());
+
+        // And a full-power SU on an unwatched channel is fine too.
+        let other = SuRequest::full_power(&cfg, BlockId(13), &[Channel(3)]);
+        assert!(sdc.process_request(&other).is_granted());
+    }
+
+    #[test]
+    fn denial_lists_violated_budget() {
+        let cfg = cfg();
+        let mut sdc = WatchSdc::new(cfg.clone());
+        sdc.pu_update(1, PuInput::tuned(&cfg, BlockId(12), Channel(1)));
+        let near = SuRequest::full_power(&cfg, BlockId(12), &[Channel(1)]);
+        match sdc.process_request(&near) {
+            Decision::Denied { violations } => {
+                assert!(violations.contains(&(1, 12)));
+            }
+            Decision::Granted => panic!("co-located full-power SU must be denied"),
+        }
+    }
+
+    #[test]
+    fn indicator_matches_decision() {
+        let cfg = cfg();
+        let mut sdc = WatchSdc::new(cfg.clone());
+        sdc.pu_update(1, PuInput::tuned(&cfg, BlockId(0), Channel(0)));
+        let su = SuRequest::full_power(&cfg, BlockId(1), &[Channel(0)]);
+        let f = su.f_matrix(&cfg);
+        let i = sdc.indicator(&f);
+        assert_eq!(i.all_positive(), sdc.decide(&f).is_granted());
+    }
+
+    #[test]
+    fn multiple_pus_on_different_blocks() {
+        let cfg = cfg();
+        let mut sdc = WatchSdc::new(cfg.clone());
+        sdc.pu_update(1, PuInput::tuned(&cfg, BlockId(0), Channel(0)));
+        sdc.pu_update(2, PuInput::tuned(&cfg, BlockId(24), Channel(0)));
+        assert_eq!(sdc.active_pus(), 2);
+        // Both budgets present simultaneously.
+        assert!(sdc.n_matrix().get(0, 0) < sdc.e_matrix().get(0, 0));
+        assert!(sdc.n_matrix().get(0, 24) < sdc.e_matrix().get(0, 24));
+    }
+}

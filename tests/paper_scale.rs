@@ -1,0 +1,55 @@
+//! Paper-scale (Table I) runs — expensive, so ignored by default:
+//!
+//! ```sh
+//! cargo test --release -p pisa-core --test paper_scale -- --ignored
+//! ```
+
+use pisa::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The full Table I shape (C=100, B=600) at a reduced key size so the
+/// run finishes in minutes rather than the hour the 2048-bit prototype
+/// needs. Exercises every code path at true matrix scale.
+#[test]
+#[ignore = "several minutes; run explicitly with --ignored --release"]
+fn table1_shape_full_matrix() {
+    let mut rng = StdRng::seed_from_u64(0x9a9e7);
+    let cfg = SystemConfig::paper_scaled(256);
+    assert_eq!(cfg.channels(), 100);
+    assert_eq!(cfg.blocks(), 600);
+
+    let mut system = PisaSystem::setup(cfg, &mut rng);
+    // A modest PU population.
+    for i in 0..10u64 {
+        system.pu_update(i, BlockId((i as usize * 61) % 600), Some(Channel((i as usize * 7) % 100)), &mut rng);
+    }
+    let su = system.register_su(BlockId(300), &mut rng);
+    let outcome = system.request(su, &[Channel(7)], &mut rng);
+    // 100 × 600 entries at 256-bit keys: the request is 64 B × 60 000.
+    assert_eq!(outcome.request_bytes, 60_000 * 64 + 64);
+    // Decision matches the plaintext oracle.
+    let mut mirror = pisa_watch::WatchSdc::new(system.config().watch().clone());
+    for i in 0..10u64 {
+        mirror.pu_update(
+            i,
+            pisa_watch::PuInput::tuned(
+                system.config().watch(),
+                BlockId((i as usize * 61) % 600),
+                Channel((i as usize * 7) % 100),
+            ),
+        );
+    }
+    let request = pisa_watch::SuRequest::full_power(system.config().watch(), BlockId(300), &[Channel(7)]);
+    assert_eq!(outcome.granted, mirror.process_request(&request).is_granted());
+}
+
+/// The true 2048-bit Table II keygen at paper scale — slow but bounded.
+#[test]
+#[ignore = "tens of seconds; run explicitly with --ignored --release"]
+fn paper_keygen_2048() {
+    let mut rng = StdRng::seed_from_u64(0x2048);
+    let stp = pisa::StpServer::new(&mut rng, 2048);
+    assert_eq!(stp.public_key().key_bits(), 2048);
+    assert_eq!(stp.public_key().ciphertext_bytes(), 512);
+}

@@ -1,0 +1,270 @@
+//! Privacy properties: what each party can (not) learn.
+//!
+//! These tests pin the observable guarantees of Lemma V.1: the STP's
+//! view is statistically independent of the true indicator signs, the
+//! SDC's view is ciphertext-only and size-invariant, and only the
+//! right SU can read its decision.
+
+use pisa::prelude::*;
+use pisa_watch::SuRequest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn stp_observed_signs_are_independent_of_decision() {
+    // ε ∈ {−1,+1} uniformly flips every blinded value, so across many
+    // requests the STP's observed sign for a *fixed* true-positive entry
+    // must be ~50/50. We run the same granted request repeatedly and
+    // count positive observations per entry.
+    let mut r = rng(200);
+    let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut r);
+    let su = system.register_su(BlockId(5), &mut r);
+
+    let rounds = 60;
+    let entries = system.config().channels() * system.config().blocks();
+    let mut positive_counts = vec![0u32; entries];
+    for _ in 0..rounds {
+        let outcome = system.request(su, &[Channel(0)], &mut r);
+        assert!(outcome.granted);
+        for (i, v) in outcome.stp_observation.v_values.iter().enumerate() {
+            if v.is_positive() {
+                positive_counts[i] += 1;
+            }
+        }
+    }
+    // Aggregate balance: overall positive fraction near 1/2.
+    let total_positive: u32 = positive_counts.iter().sum();
+    let frac = total_positive as f64 / (rounds * entries as u32) as f64;
+    assert!(
+        (0.45..0.55).contains(&frac),
+        "STP sees biased signs: {frac:.3}"
+    );
+    // No entry is deterministic (always / never positive) — that would
+    // leak its true sign to the STP.
+    for (i, &c) in positive_counts.iter().enumerate() {
+        assert!(
+            c > 0 && c < rounds,
+            "entry {i} leaks its sign to the STP ({c}/{rounds} positive)"
+        );
+    }
+}
+
+#[test]
+fn stp_view_statistics_match_between_grant_and_deny() {
+    // The STP must not be able to tell a granted request from a denied
+    // one: compare the positive-sign fraction of its view across both.
+    let mut r = rng(201);
+    let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut r);
+    system.pu_update(0, BlockId(12), Some(Channel(1)), &mut r);
+    let su = system.register_su(BlockId(13), &mut r);
+
+    let mut fractions = Vec::new();
+    for channel in [Channel(1), Channel(0)] {
+        // Channel 1 → denied, channel 0 → granted.
+        let mut positives = 0usize;
+        let mut total = 0usize;
+        for _ in 0..30 {
+            let outcome = system.request(su, &[channel], &mut r);
+            for v in &outcome.stp_observation.v_values {
+                total += 1;
+                if v.is_positive() {
+                    positives += 1;
+                }
+            }
+        }
+        fractions.push(positives as f64 / total as f64);
+    }
+    let diff = (fractions[0] - fractions[1]).abs();
+    assert!(
+        diff < 0.05,
+        "grant/deny distinguishable from STP sign fractions: {fractions:?}"
+    );
+}
+
+#[test]
+fn request_size_is_independent_of_content() {
+    // The SDC sees the same number of same-width ciphertexts whatever
+    // the SU's power, channel set or position — its view leaks nothing
+    // through size.
+    let mut r = rng(202);
+    let cfg = SystemConfig::small_test();
+    let mut system = PisaSystem::setup(cfg.clone(), &mut r);
+    let su_a = system.register_su(BlockId(0), &mut r);
+    let su_b = system.register_su(BlockId(24), &mut r);
+
+    let quiet = SuRequest::with_power_dbm(cfg.watch(), BlockId(0), &[Channel(0)], -30.0);
+    let loud = SuRequest::full_power(
+        cfg.watch(),
+        BlockId(24),
+        &[Channel(0), Channel(1), Channel(2), Channel(3)],
+    );
+    let a = system.request_with(su_a, &quiet, &mut r).unwrap();
+    let b = system.request_with(su_b, &loud, &mut r).unwrap();
+    assert_eq!(a.request_bytes, b.request_bytes);
+    assert_eq!(a.response_bytes, b.response_bytes);
+}
+
+#[test]
+fn response_size_is_independent_of_decision() {
+    let mut r = rng(203);
+    let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut r);
+    system.pu_update(0, BlockId(12), Some(Channel(1)), &mut r);
+    let su = system.register_su(BlockId(13), &mut r);
+
+    let denied = system.request(su, &[Channel(1)], &mut r);
+    let granted = system.request(su, &[Channel(0)], &mut r);
+    assert!(!denied.granted && granted.granted);
+    assert_eq!(denied.response_bytes, granted.response_bytes);
+    assert_eq!(denied.sdc_to_stp_bytes, granted.sdc_to_stp_bytes);
+}
+
+#[test]
+fn pu_update_size_is_independent_of_channel_and_state() {
+    // Figure 4: a PU update is always C ciphertexts — whether tuning in,
+    // switching or turning off, and regardless of which channel.
+    let mut r = rng(204);
+    let cfg = SystemConfig::small_test();
+    let stp = pisa::StpServer::new(&mut r, cfg.paillier_bits());
+    let sdc = pisa::SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc", &mut r);
+    let e = sdc.e_matrix().clone();
+    let mut pu = pisa::PuClient::new(0, BlockId(7));
+
+    let mut sizes = Vec::new();
+    for ch in [Some(Channel(0)), Some(Channel(3)), None, Some(Channel(1))] {
+        let msg = pu.tune(ch, &cfg, &e, stp.public_key(), &mut r);
+        sizes.push(pisa_net::WireSize::wire_bytes(&msg));
+        assert_eq!(msg.w_column.len(), cfg.channels());
+    }
+    assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes: {sizes:?}");
+}
+
+#[test]
+fn wrong_su_cannot_read_the_decision() {
+    // The response is encrypted under pk_j; another SU's key recovers
+    // garbage that fails license verification.
+    let mut r = rng(205);
+    let cfg = SystemConfig::small_test();
+    let mut stp = pisa::StpServer::new(&mut r, cfg.paillier_bits());
+    let mut sdc = pisa::SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc", &mut r);
+
+    let mut alice = pisa::SuClient::new(pisa::SuId(0), BlockId(5), &cfg, &mut r);
+    let eve = pisa::SuClient::new(pisa::SuId(1), BlockId(6), &cfg, &mut r);
+    stp.register_su(pisa::SuId(0), alice.public_key().clone());
+    stp.register_su(pisa::SuId(1), eve.public_key().clone());
+
+    let request = alice.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut r);
+    let to_stp = sdc.process_request_phase1(&request, &mut r).unwrap();
+    let (to_sdc, _) = stp.key_convert(&to_stp, &mut r).unwrap();
+    let alice_pk = stp.su_key(pisa::SuId(0)).unwrap().clone();
+    let response = sdc
+        .process_request_phase2(&to_sdc, &alice_pk, &mut r)
+        .unwrap();
+
+    assert!(alice.handle_response(&response, sdc.signing_public_key()));
+    assert!(
+        !eve.handle_response(&response, sdc.signing_public_key()),
+        "Eve decrypted Alice's decision"
+    );
+}
+
+#[test]
+fn denied_su_cannot_forge_a_license() {
+    // A denied SU holds the license document and a garbled signature;
+    // it must not be able to turn that into a valid signature (RSA-FDH
+    // unforgeability smoke test: perturbations don't verify).
+    let mut r = rng(206);
+    let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut r);
+    system.pu_update(0, BlockId(12), Some(Channel(1)), &mut r);
+    let su = system.register_su(BlockId(13), &mut r);
+    let outcome = system.request(su, &[Channel(1)], &mut r);
+    assert!(!outcome.granted);
+
+    // Try a few trivial forgeries of the (unknown) signature.
+    let pk = system.sdc().signing_public_key().clone();
+    for guess in 0u64..50 {
+        let sig = pisa_crypto::rsa::Signature(pisa_bigint::Ubig::from(guess));
+        assert!(outcome.license.verify(&pk, &sig).is_err());
+    }
+}
+
+#[test]
+fn identical_requests_produce_distinct_ciphertext_streams() {
+    // Semantic-security smoke test across the full protocol: running
+    // the same request twice must never reuse a ciphertext anywhere.
+    let mut r = rng(207);
+    let cfg = SystemConfig::small_test();
+    let mut stp = pisa::StpServer::new(&mut r, cfg.paillier_bits());
+    let mut sdc = pisa::SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc", &mut r);
+    let mut su = pisa::SuClient::new(pisa::SuId(0), BlockId(5), &cfg, &mut r);
+    stp.register_su(pisa::SuId(0), su.public_key().clone());
+
+    let req1 = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut r);
+    let req2 = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut r);
+    for (a, b) in req1
+        .f_matrix
+        .ciphertexts()
+        .iter()
+        .zip(req2.f_matrix.ciphertexts())
+    {
+        assert_ne!(a, b);
+    }
+    let v1 = sdc.process_request_phase1(&req1, &mut r).unwrap();
+    let v2 = sdc.process_request_phase1(&req2, &mut r).unwrap();
+    for (a, b) in v1
+        .v_matrix
+        .ciphertexts()
+        .iter()
+        .zip(v2.v_matrix.ciphertexts())
+    {
+        assert_ne!(a, b);
+    }
+}
+
+#[test]
+fn stp_cannot_rank_indicator_magnitudes() {
+    // Protocol-level check of the log-uniform blinding: across repeated
+    // identical requests, the STP's observed |V| for a given entry
+    // varies over many octaves, so magnitudes cannot be compared across
+    // entries or rounds.
+    let mut r = rng(208);
+    let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut r);
+    let su = system.register_su(BlockId(5), &mut r);
+
+    let mut bit_lengths = Vec::new();
+    for _ in 0..20 {
+        let outcome = system.request(su, &[Channel(0)], &mut r);
+        // Track entry 0 (same plaintext indicator every round).
+        bit_lengths.push(outcome.stp_observation.v_values[0].magnitude().bit_len());
+    }
+    let min = *bit_lengths.iter().min().unwrap();
+    let max = *bit_lengths.iter().max().unwrap();
+    assert!(
+        max - min > 8,
+        "blinded magnitudes too stable ({min}..{max}): the STP could fingerprint entries"
+    );
+}
+
+#[test]
+fn collusion_breaks_privacy_as_assumed() {
+    // Lemma V.1 assumes the SDC and STP do NOT collude. This test shows
+    // the assumption is necessary: if the SDC hands its budget matrix to
+    // the STP, every PU channel falls out immediately.
+    let mut r = rng(209);
+    let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut r);
+    system.pu_update(0, BlockId(12), Some(Channel(1)), &mut r);
+
+    // Colluding STP decrypts the SDC's Ñ…
+    let n = system.stp().audit_decrypt_matrix(system.sdc().n_matrix());
+    // …and reads the PU's channel as the entry differing from E.
+    let e = system.sdc().e_matrix();
+    let leaked: Vec<_> = n
+        .iter()
+        .filter(|&(c, b, v)| v != e.get(c, b))
+        .map(|(c, b, _)| (c, b))
+        .collect();
+    assert_eq!(leaked, vec![(1, 12)], "collusion must reveal the PU");
+}

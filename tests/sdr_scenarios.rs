@@ -1,0 +1,142 @@
+//! The paper's §VI-B SDR experiment (Figures 7–11), reproduced over the
+//! signal-level simulator: two SUs and one PU share one channel; after
+//! the PU claims it, exactly the SU that will not disturb the PU is
+//! granted — and only through the privacy-preserving protocol.
+
+use pisa::prelude::*;
+use pisa_radio::airsim::{AirSim, Node};
+use pisa_radio::grid::Point;
+use pisa_watch::SuRequest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The testbed layout: PU at the origin, SU1 close by (strong received
+/// signal), SU2 farther away (weak), matching the unequal distances of
+/// Figure 7/8.
+fn testbed() -> (AirSim, usize, usize, usize) {
+    let mut sim = AirSim::wifi_channel6();
+    let su1 = sim.add_node(Node::usrp("SU1", Point { x: 3.0, y: 0.0 }));
+    let su2 = sim.add_node(Node::usrp("SU2", Point { x: 40.0, y: 0.0 }));
+    let pu = sim.add_node(Node::usrp("PU", Point { x: 0.0, y: 0.0 }));
+    (sim, su1, su2, pu)
+}
+
+#[test]
+fn scenario1_both_sus_transmit_with_distinct_amplitudes() {
+    // Figure 8: PU monitors while SU1/SU2 transmit; the two packets
+    // arrive with clearly different amplitudes because of distance.
+    let (mut sim, su1, su2, pu) = testbed();
+    sim.transmit(su1, 0.0, 120.0);
+    sim.transmit(su2, 200.0, 120.0);
+    let seen = sim.observe(pu);
+    assert_eq!(seen.len(), 2);
+    assert_eq!(seen[0].from, "SU1");
+    assert_eq!(seen[1].from, "SU2");
+    assert!(
+        seen[0].amplitude > 2.0 * seen[1].amplitude,
+        "amplitudes: {} vs {}",
+        seen[0].amplitude,
+        seen[1].amplitude
+    );
+}
+
+#[test]
+fn scenario2_pu_claims_channel() {
+    // The PU sends its (encrypted) update; the SDC's budget matrix
+    // changes — modeled at protocol level: after the update, a co-located
+    // full-power request flips from granted to denied.
+    let mut r = StdRng::seed_from_u64(301);
+    let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut r);
+    let su = system.register_su(BlockId(1), &mut r);
+
+    assert!(system.request(su, &[Channel(0)], &mut r).granted);
+    system.pu_update(0, BlockId(0), Some(Channel(0)), &mut r);
+    assert!(!system.request(su, &[Channel(0)], &mut r).granted);
+}
+
+#[test]
+fn scenario3_and_4_only_the_harmless_su_is_granted() {
+    // Scenario 3: both SUs request the PU's channel. Scenario 4: the
+    // SDC (blindly!) grants exactly the one whose interference at the PU
+    // stays under budget. SU1 is adjacent to the PU; SU2 is far away and
+    // asks for modest power.
+    let mut r = StdRng::seed_from_u64(302);
+    let cfg = SystemConfig::small_test();
+    let mut system = PisaSystem::setup(cfg.clone(), &mut r);
+    system.pu_update(0, BlockId(0), Some(Channel(0)), &mut r);
+
+    let su1 = system.register_su(BlockId(1), &mut r); // 10 m from PU
+    let su2 = system.register_su(BlockId(24), &mut r); // ~57 m away
+
+    let req1 = SuRequest::full_power(cfg.watch(), BlockId(1), &[Channel(0)]);
+    let req2 = SuRequest::with_power_dbm(cfg.watch(), BlockId(24), &[Channel(0)], -30.0);
+
+    let out1 = system.request_with(su1, &req1, &mut r).unwrap();
+    let out2 = system.request_with(su2, &req2, &mut r).unwrap();
+
+    assert!(!out1.granted, "SU1 beside the PU must be denied");
+    assert!(out2.granted, "far, quiet SU2 must be granted");
+
+    // Ground truth agrees (the decision was made blindly but correctly).
+    let mut watch = pisa_watch::WatchSdc::new(cfg.watch().clone());
+    watch.pu_update(0, pisa_watch::PuInput::tuned(cfg.watch(), BlockId(0), Channel(0)));
+    assert!(watch.process_request(&req1).is_denied());
+    assert!(watch.process_request(&req2).is_granted());
+}
+
+#[test]
+fn scenario4_granted_su_transmits_visibly() {
+    // After the grant, SU2 transmits its packet burst (the "11 packets
+    // within 20 ms" of Figure 9) and the PU observes exactly SU2's
+    // packets, none from the denied SU1.
+    let (mut sim, _su1, su2, pu) = testbed();
+    for i in 0..11 {
+        sim.transmit(su2, i as f64 * 1800.0, 300.0);
+    }
+    let seen = sim.observe(pu);
+    assert_eq!(seen.len(), 11);
+    assert!(seen.iter().all(|p| p.from == "SU2"));
+    // All 11 packets fall within a 20 ms window.
+    let last = seen.last().unwrap();
+    assert!(last.time_us + last.duration_us <= 20_000.0);
+}
+
+#[test]
+fn full_timeline_replay() {
+    // The four scenarios in sequence on one simulator + one protocol
+    // instance, as the experiment ran them.
+    let mut r = StdRng::seed_from_u64(303);
+    let cfg = SystemConfig::small_test();
+    let mut system = PisaSystem::setup(cfg.clone(), &mut r);
+    let (mut sim, su1_node, su2_node, pu_node) = testbed();
+
+    // Scenario 1: free channel, both SUs transmit.
+    sim.transmit(su1_node, 0.0, 100.0);
+    sim.transmit(su2_node, 150.0, 100.0);
+    assert_eq!(sim.observe(pu_node).len(), 2);
+
+    // Scenario 2: PU claims the channel (encrypted update).
+    system.pu_update(0, BlockId(0), Some(Channel(0)), &mut r);
+    sim.clear_schedule();
+
+    // Scenario 3: both SUs request.
+    let su1 = system.register_su(BlockId(1), &mut r);
+    let su2 = system.register_su(BlockId(24), &mut r);
+    let req1 = SuRequest::full_power(cfg.watch(), BlockId(1), &[Channel(0)]);
+    let req2 = SuRequest::with_power_dbm(cfg.watch(), BlockId(24), &[Channel(0)], -30.0);
+    let out1 = system.request_with(su1, &req1, &mut r).unwrap();
+    let out2 = system.request_with(su2, &req2, &mut r).unwrap();
+
+    // Scenario 4: only the granted SU transmits.
+    if out1.granted {
+        sim.transmit(su1_node, 0.0, 100.0);
+    }
+    if out2.granted {
+        for i in 0..11 {
+            sim.transmit(su2_node, i as f64 * 1800.0, 300.0);
+        }
+    }
+    let seen = sim.observe(pu_node);
+    assert_eq!(seen.len(), 11, "exactly SU2's burst is on the air");
+    assert!(seen.iter().all(|p| p.from == "SU2"));
+}

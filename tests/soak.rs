@@ -1,0 +1,65 @@
+//! Randomized soak test: a long interleaved sequence of PU churn and SU
+//! requests, with every decision checked against the plaintext oracle
+//! and the encrypted budget audited periodically.
+
+use pisa::prelude::*;
+use pisa_watch::{PuInput, SuRequest, WatchSdc};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn interleaved_churn_and_requests_stay_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x50a5);
+    let cfg = SystemConfig::small_test();
+    let mut system = PisaSystem::setup(cfg.clone(), &mut rng);
+    let mut mirror = WatchSdc::new(cfg.watch().clone());
+
+    let blocks = cfg.blocks();
+    let channels = cfg.channels();
+    let su = system.register_su(BlockId(7), &mut rng);
+    // Fixed PU home blocks (receiver locations are registered).
+    let pu_homes: Vec<BlockId> = (0..4).map(|i| BlockId((i * 6 + 1) % blocks)).collect();
+
+    let mut requests = 0;
+    for step in 0..40 {
+        match rng.next_u64() % 3 {
+            // PU churn: tune, switch or turn off a random PU.
+            0 | 1 => {
+                let pu = (rng.next_u64() % pu_homes.len() as u64) as usize;
+                let tuned = if rng.next_u64() % 5 == 0 {
+                    None
+                } else {
+                    Some(Channel((rng.next_u64() as usize) % channels))
+                };
+                system.pu_update(pu as u64, pu_homes[pu], tuned, &mut rng);
+                mirror.pu_update(
+                    pu as u64,
+                    match tuned {
+                        Some(c) => PuInput::tuned(cfg.watch(), pu_homes[pu], c),
+                        None => PuInput::off(pu_homes[pu]),
+                    },
+                );
+            }
+            // SU request at random channel/power.
+            _ => {
+                let ch = Channel((rng.next_u64() as usize) % channels);
+                let dbm = -45.0 + (rng.next_u64() % 80) as f64;
+                let request = SuRequest::with_power_dbm(cfg.watch(), BlockId(7), &[ch], dbm);
+                let outcome = system.request_with(su, &request, &mut rng).unwrap();
+                let truth = mirror.process_request(&request);
+                assert_eq!(
+                    outcome.granted,
+                    truth.is_granted(),
+                    "diverged at step {step} ({ch}, {dbm} dBm)"
+                );
+                requests += 1;
+            }
+        }
+        // Periodic audit: the encrypted budget tracks the plaintext one.
+        if step % 10 == 9 {
+            let decrypted = system.stp().audit_decrypt_matrix(system.sdc().n_matrix());
+            assert_eq!(&decrypted, mirror.n_matrix(), "budget diverged at {step}");
+        }
+    }
+    assert!(requests >= 5, "soak exercised only {requests} requests");
+}

@@ -1,0 +1,196 @@
+//! PISA ⇔ plaintext-WATCH equivalence: the encrypted pipeline must
+//! reach exactly the decision the plaintext baseline reaches, and the
+//! SDC's encrypted budget matrix must track the plaintext one.
+
+use pisa::prelude::*;
+use pisa_radio::BlockId;
+use pisa_watch::{PuInput, SuRequest, WatchSdc};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Drives the same scenario through both systems and compares.
+struct TwinSystems {
+    pisa: PisaSystem,
+    watch: WatchSdc,
+    rng: StdRng,
+}
+
+impl TwinSystems {
+    fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SystemConfig::small_test();
+        let pisa = PisaSystem::setup(cfg.clone(), &mut rng);
+        let watch = WatchSdc::new(cfg.watch().clone());
+        TwinSystems { pisa, watch, rng }
+    }
+
+    fn pu_update(&mut self, id: u64, block: BlockId, channel: Option<Channel>) {
+        self.pisa.pu_update(id, block, channel, &mut self.rng);
+        let input = match channel {
+            Some(c) => PuInput::tuned(self.pisa.config().watch(), block, c),
+            None => PuInput::off(block),
+        };
+        self.watch.pu_update(id, input);
+    }
+
+    fn check_request(&mut self, su: pisa::SuId, request: &SuRequest) {
+        let encrypted = self
+            .pisa
+            .request_with(su, request, &mut self.rng)
+            .expect("protocol runs");
+        let plaintext = self.watch.process_request(request);
+        assert_eq!(
+            encrypted.granted,
+            plaintext.is_granted(),
+            "encrypted and plaintext decisions diverged for request at {:?} on {:?}",
+            request.block(),
+            request.requested_channels(),
+        );
+    }
+
+    fn check_n_matrix(&self) {
+        // The STP can decrypt pk_G material: audit that Ñ == N.
+        let decrypted = self
+            .pisa
+            .stp()
+            .audit_decrypt_matrix(self.pisa.sdc().n_matrix());
+        assert_eq!(&decrypted, self.watch.n_matrix(), "Ñ diverged from N");
+    }
+}
+
+#[test]
+fn budget_matrix_tracks_plaintext_through_updates() {
+    let mut twins = TwinSystems::new(100);
+    twins.check_n_matrix(); // initial: N = E
+
+    twins.pu_update(0, BlockId(12), Some(Channel(1)));
+    twins.check_n_matrix();
+
+    twins.pu_update(1, BlockId(3), Some(Channel(0)));
+    twins.check_n_matrix();
+
+    twins.pu_update(0, BlockId(12), Some(Channel(2))); // switch
+    twins.check_n_matrix();
+
+    twins.pu_update(1, BlockId(3), None); // off
+    twins.check_n_matrix();
+}
+
+#[test]
+fn decisions_match_on_targeted_scenarios() {
+    let mut twins = TwinSystems::new(101);
+    twins.pu_update(0, BlockId(12), Some(Channel(1)));
+    let cfg = twins.pisa.config().watch().clone();
+    let su = twins.pisa.register_su(BlockId(13), &mut twins.rng);
+
+    for request in [
+        SuRequest::full_power(&cfg, BlockId(13), &[Channel(1)]),
+        SuRequest::full_power(&cfg, BlockId(13), &[Channel(0)]),
+        SuRequest::with_power_dbm(&cfg, BlockId(13), &[Channel(1)], -40.0),
+        SuRequest::with_power_dbm(&cfg, BlockId(13), &[Channel(1)], 10.0),
+        SuRequest::full_power(&cfg, BlockId(13), &[Channel(0), Channel(1), Channel(2)]),
+    ] {
+        twins.check_request(su, &request);
+    }
+}
+
+#[test]
+fn decisions_match_on_randomized_scenarios() {
+    // Randomized PU placements and SU requests; every decision must
+    // agree. This is the paper's core correctness claim: PISA "realizes
+    // the same function as WATCH".
+    let mut twins = TwinSystems::new(102);
+    let cfg = twins.pisa.config().watch().clone();
+    let blocks = cfg.blocks();
+    let channels = cfg.channels();
+
+    // Three PUs at random positions/channels.
+    for id in 0..3u64 {
+        let block = BlockId((twins.rng.next_u64() as usize) % blocks);
+        let channel = Channel((twins.rng.next_u64() as usize) % channels);
+        twins.pu_update(id, block, Some(channel));
+    }
+    twins.check_n_matrix();
+
+    let su_block = BlockId(7);
+    let su = twins.pisa.register_su(su_block, &mut twins.rng);
+    for _ in 0..6 {
+        let channel = Channel((twins.rng.next_u64() as usize) % channels);
+        let power_dbm = -40.0 + (twins.rng.next_u64() % 76) as f64; // −40…35 dBm
+        let request = SuRequest::with_power_dbm(&cfg, su_block, &[channel], power_dbm);
+        twins.check_request(su, &request);
+    }
+}
+
+#[test]
+fn borderline_power_sweep_finds_the_same_threshold() {
+    // Sweep SU power upward: both systems must flip from grant to deny
+    // at the same step.
+    let mut twins = TwinSystems::new(103);
+    twins.pu_update(0, BlockId(12), Some(Channel(0)));
+    let cfg = twins.pisa.config().watch().clone();
+    let su = twins.pisa.register_su(BlockId(14), &mut twins.rng);
+
+    let mut flips = Vec::new();
+    let mut last = None;
+    for power_dbm in (-30..=36).step_by(6) {
+        let request =
+            SuRequest::with_power_dbm(&cfg, BlockId(14), &[Channel(0)], power_dbm as f64);
+        let enc = twins
+            .pisa
+            .request_with(su, &request, &mut twins.rng)
+            .unwrap()
+            .granted;
+        let plain = twins.watch.process_request(&request).is_granted();
+        assert_eq!(enc, plain, "diverged at {power_dbm} dBm");
+        if last == Some(!enc) || last.is_none() {
+            flips.push((power_dbm, enc));
+        }
+        last = Some(enc);
+    }
+    // The sweep must contain both outcomes (grant at low power, deny at
+    // high power) — otherwise the threshold test is vacuous.
+    assert!(flips.iter().any(|&(_, g)| g), "no grant in sweep");
+    assert!(flips.iter().any(|&(_, g)| !g), "no denial in sweep");
+}
+
+#[test]
+fn multi_pu_same_block_aggregates_consistently() {
+    // Two PUs in the same block on different channels; the encrypted
+    // aggregate must match the plaintext one entry-for-entry.
+    let mut twins = TwinSystems::new(104);
+    twins.pu_update(0, BlockId(8), Some(Channel(0)));
+    twins.pu_update(1, BlockId(8), Some(Channel(2)));
+    twins.check_n_matrix();
+
+    let cfg = twins.pisa.config().watch().clone();
+    let su = twins.pisa.register_su(BlockId(9), &mut twins.rng);
+    twins.check_request(su, &SuRequest::full_power(&cfg, BlockId(9), &[Channel(0)]));
+    twins.check_request(su, &SuRequest::full_power(&cfg, BlockId(9), &[Channel(2)]));
+    twins.check_request(su, &SuRequest::full_power(&cfg, BlockId(9), &[Channel(1)]));
+}
+
+#[test]
+fn reaggregation_matches_incremental_budget() {
+    // The literal eqs. (9)–(10) rebuild and the incremental path must
+    // produce identical encrypted budgets (same plaintexts; the public
+    // Ẽ base is deterministic, so ciphertexts match entry-for-entry
+    // after decryption).
+    let mut rng = StdRng::seed_from_u64(105);
+    let cfg = SystemConfig::small_test();
+    let mut stp = pisa::StpServer::new(&mut rng, cfg.paillier_bits());
+    let mut sdc = pisa::SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc", &mut rng);
+    let _ = &mut stp;
+
+    let e = sdc.e_matrix().clone();
+    for (i, (b, c)) in [(3usize, 0usize), (7, 2), (12, 1)].iter().enumerate() {
+        let mut pu = pisa::PuClient::new(i as u64, BlockId(*b));
+        let msg = pu.tune(Some(Channel(*c)), &cfg, &e, stp.public_key(), &mut rng);
+        sdc.handle_pu_update(i as u64, msg).unwrap();
+    }
+    let incremental = stp.audit_decrypt_matrix(sdc.n_matrix());
+    sdc.reaggregate_budget();
+    let rebuilt = stp.audit_decrypt_matrix(sdc.n_matrix());
+    assert_eq!(incremental, rebuilt);
+    assert_eq!(sdc.registered_pus(), 3);
+}
