@@ -88,8 +88,7 @@ fn bench_ablations(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(6);
 
         let watch_sdc = pisa_watch::WatchSdc::new(cfg.watch().clone());
-        let request =
-            pisa_watch::SuRequest::full_power(cfg.watch(), BlockId(1), &[Channel(0)]);
+        let request = pisa_watch::SuRequest::full_power(cfg.watch(), BlockId(1), &[Channel(0)]);
         group.bench_function("request_plaintext_watch", |b| {
             b.iter(|| watch_sdc.process_request(&request))
         });
@@ -101,8 +100,7 @@ fn bench_ablations(c: &mut Criterion) {
         group.bench_function("request_pisa_end_to_end", |b| {
             let mut rng = StdRng::seed_from_u64(7);
             b.iter(|| {
-                pisa::run_request_direct(&mut su, &mut sdc, &stp, &[Channel(0)], &mut rng)
-                    .unwrap()
+                pisa::run_request_direct(&mut su, &mut sdc, &stp, &[Channel(0)], &mut rng).unwrap()
             })
         });
     }

@@ -37,9 +37,7 @@ fn bench_bigint(c: &mut Criterion) {
             m.set_bit(0, true); // odd modulus
             m
         };
-        group.bench_function(BenchmarkId::new("mul", bits), |bch| {
-            bch.iter(|| &a * &b)
-        });
+        group.bench_function(BenchmarkId::new("mul", bits), |bch| bch.iter(|| &a * &b));
         group.bench_function(BenchmarkId::new("div_rem", bits), |bch| {
             let wide = &a * &b;
             bch.iter(|| wide.div_rem(&m))

@@ -88,7 +88,8 @@ fn bench_system(c: &mut Criterion) {
         b.iter(|| {
             // Phase 2 consumes the pending state; re-arm it each iter.
             let _ = sdc.process_request_phase1(&request, &mut rng).unwrap();
-            sdc.process_request_phase2(&to_sdc, &su_pk, &mut rng).unwrap()
+            sdc.process_request_phase2(&to_sdc, &su_pk, &mut rng)
+                .unwrap()
         })
     });
 

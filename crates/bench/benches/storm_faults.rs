@@ -1,0 +1,88 @@
+//! Session-engine throughput: a small concurrent storm on a clean
+//! network versus the same storm under drop/duplicate/reorder faults.
+//! The gap is the price of retries + backoff; the decisions are the
+//! same either way (see `tests/chaos.rs`), so this measures pure
+//! resilience overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pisa::prelude::*;
+use pisa::{run_storm, EngineConfig, SdcServer, StpServer, SuClient, SuId};
+use pisa_net::{FaultConfig, FaultPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const KEY_BITS: usize = 512;
+const SESSIONS: u32 = 3;
+const SEED: u64 = 0x570a;
+
+type System = (Vec<(SuClient, Vec<Channel>)>, SdcServer, StpServer);
+
+fn build_system() -> System {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let cfg = pisa_bench::scaled_config(3, 3, 3, KEY_BITS); // 3 ch × 9 blocks
+    let mut stp = StpServer::new(&mut rng, cfg.paillier_bits());
+    let mut sdc = SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc.bench", &mut rng);
+
+    let mut pu = pisa::PuClient::new(0, BlockId(0));
+    let e = sdc.e_matrix().clone();
+    let update = pu.tune(Some(Channel(0)), &cfg, &e, stp.public_key(), &mut rng);
+    sdc.handle_pu_update(pu.id(), update).unwrap();
+
+    let sus = (0..SESSIONS)
+        .map(|i| {
+            let su = SuClient::new(SuId(i), BlockId(i as usize % cfg.blocks()), &cfg, &mut rng);
+            stp.register_su(su.id(), su.public_key().clone());
+            (su, vec![Channel(i as usize % cfg.channels())])
+        })
+        .collect();
+    (sus, sdc, stp)
+}
+
+fn bench_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storm");
+    group.sample_size(10);
+
+    group.bench_function("quiet_3_sessions", |b| {
+        let engine = EngineConfig::default().with_timeout(Duration::from_secs(5));
+        b.iter_batched(
+            build_system,
+            |(sus, sdc, stp)| {
+                let (report, _, _) = run_storm(sus, sdc, stp, None, &engine, SEED).unwrap();
+                assert!(report.all_completed());
+                report
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("faulty_3_sessions_10pct", |b| {
+        let engine = EngineConfig::default()
+            .with_timeout(Duration::from_millis(600))
+            .with_max_retries(12);
+        b.iter_batched(
+            build_system,
+            |(sus, sdc, stp)| {
+                let faults = FaultConfig::new(SEED ^ 0xfa17).with_default_plan(
+                    FaultPlan::none()
+                        .with_drop(0.10)
+                        .with_duplicate(0.10)
+                        .with_reorder(0.10),
+                );
+                let (report, _, _) = run_storm(sus, sdc, stp, Some(faults), &engine, SEED).unwrap();
+                assert!(report.all_completed());
+                report
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_storm
+}
+criterion_main!(benches);

@@ -39,7 +39,10 @@ fn main() {
     println!("  Bit length of integer representation  60\n");
 
     let (cfg, label) = if full {
-        (SystemConfig::paper(), "FULL paper scale (C=100, B=600, n=2048)")
+        (
+            SystemConfig::paper(),
+            "FULL paper scale (C=100, B=600, n=2048)",
+        )
     } else {
         (
             scaled_config(4, 3, 5, 1024),
@@ -87,7 +90,9 @@ fn main() {
 
     let su_pk = stp.su_key(SuId(0)).unwrap().clone();
     let t = Instant::now();
-    let response = sdc.process_request_phase2(&to_sdc, &su_pk, &mut rng).unwrap();
+    let response = sdc
+        .process_request_phase2(&to_sdc, &su_pk, &mut rng)
+        .unwrap();
     let phase2 = t.elapsed();
     let response_bytes = response.wire_bytes();
     let granted = su.handle_response(&response, sdc.signing_public_key());
@@ -130,12 +135,46 @@ fn main() {
         }
     };
 
-    println!("\n{:<38} {:>12} {:>16}", "phase", "measured", if full { "(=paper scale)" } else { "paper-scale est." });
-    println!("{:<38} {:>12} {:>16}   paper: ~221 s", "SU request preparation", fmt_duration(prep), xp(prep));
-    println!("{:<38} {:>12} {:>16}   paper: ~11 s", "SU request refresh (re-rand)", fmt_duration(refresh), xp(refresh));
-    println!("{:<38} {:>12} {:>16}   paper: ~219 s (combined)", "SDC processing phase 1 (blind)", fmt_duration(phase1), xp(phase1));
-    println!("{:<38} {:>12} {:>16}", "STP key conversion", fmt_duration(convert), xp(convert));
-    println!("{:<38} {:>12} {:>16}", "SDC processing phase 2 (gate)", fmt_duration(phase2), xp(phase2));
+    println!(
+        "\n{:<38} {:>12} {:>16}",
+        "phase",
+        "measured",
+        if full {
+            "(=paper scale)"
+        } else {
+            "paper-scale est."
+        }
+    );
+    println!(
+        "{:<38} {:>12} {:>16}   paper: ~221 s",
+        "SU request preparation",
+        fmt_duration(prep),
+        xp(prep)
+    );
+    println!(
+        "{:<38} {:>12} {:>16}   paper: ~11 s",
+        "SU request refresh (re-rand)",
+        fmt_duration(refresh),
+        xp(refresh)
+    );
+    println!(
+        "{:<38} {:>12} {:>16}   paper: ~219 s (combined)",
+        "SDC processing phase 1 (blind)",
+        fmt_duration(phase1),
+        xp(phase1)
+    );
+    println!(
+        "{:<38} {:>12} {:>16}",
+        "STP key conversion",
+        fmt_duration(convert),
+        xp(convert)
+    );
+    println!(
+        "{:<38} {:>12} {:>16}",
+        "SDC processing phase 2 (gate)",
+        fmt_duration(phase2),
+        xp(phase2)
+    );
     // Re-aggregation scales with #PUs × C (homomorphic additions, whose
     // modmul cost is quadratic in the key size).
     let pu_scale = (PAPER_PUS as f64 / sim_pus as f64) * (PAPER_C as f64 / cfg.channels() as f64);
@@ -145,9 +184,22 @@ fn main() {
     } else {
         fmt_duration(pu_proc.mul_f64(pu_scale * add_key_factor))
     };
-    println!("{:<38} {:>12} {:>16}   paper: ~2.6 s", format!("PU update, re-aggregation ({sim_pus} PUs)"), fmt_duration(pu_proc), pu_est);
-    println!("{:<38} {:>12}   (this library's incremental path)", "PU update, incremental (SDC)", fmt_duration(pu_incr));
-    println!("{:<38} {:>12}", "PU update preparation (PU)", fmt_duration(pu_prep));
+    println!(
+        "{:<38} {:>12} {:>16}   paper: ~2.6 s",
+        format!("PU update, re-aggregation ({sim_pus} PUs)"),
+        fmt_duration(pu_proc),
+        pu_est
+    );
+    println!(
+        "{:<38} {:>12}   (this library's incremental path)",
+        "PU update, incremental (SDC)",
+        fmt_duration(pu_incr)
+    );
+    println!(
+        "{:<38} {:>12}",
+        "PU update preparation (PU)",
+        fmt_duration(pu_prep)
+    );
 
     println!("\ncommunication (measured / paper-scale analytic / paper):");
     println!(
@@ -169,7 +221,12 @@ fn main() {
     println!("   holds {PAPER_PUS} stored columns and one aggregated budget matrix.)");
 
     println!("\nshape checks:");
-    println!("  refresh/prep speedup: {:.1}x (paper: 221/11 ≈ 20x)", prep.as_secs_f64() / refresh.as_secs_f64());
-    println!("  prep ≈ SDC processing (paper: 221 s vs 219 s): ratio {:.2}",
-        prep.as_secs_f64() / (phase1 + phase2).as_secs_f64());
+    println!(
+        "  refresh/prep speedup: {:.1}x (paper: 221/11 ≈ 20x)",
+        prep.as_secs_f64() / refresh.as_secs_f64()
+    );
+    println!(
+        "  prep ≈ SDC processing (paper: 221 s vs 219 s): ratio {:.2}",
+        prep.as_secs_f64() / (phase1 + phase2).as_secs_f64()
+    );
 }

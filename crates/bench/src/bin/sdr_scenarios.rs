@@ -20,7 +20,10 @@ fn main() {
     let su2 = air.add_node(Node::usrp("SU2", Point { x: 40.0, y: 0.0 }));
     let pu = air.add_node(Node::usrp("PU", Point { x: 0.0, y: 0.0 }));
 
-    println!("SDR experiment on WiFi channel 6 ({} MHz, cf. Figure 7)\n", air.freq_mhz());
+    println!(
+        "SDR experiment on WiFi channel 6 ({} MHz, cf. Figure 7)\n",
+        air.freq_mhz()
+    );
 
     // Figure 8: two packets within ~0.35 ms, different amplitudes.
     println!("Figure 8 — waveforms received by PU (scenario 1):");
@@ -75,13 +78,25 @@ fn main() {
     let req2 = SuRequest::with_power_dbm(cfg.watch(), BlockId(24), &[Channel(0)], -30.0);
     let out1 = system.request_with(id1, &req1, &mut rng).unwrap();
     let out2 = system.request_with(id2, &req2, &mut rng).unwrap();
-    println!("  SU1 request sent ({} bytes), ack received", out1.request_bytes);
-    println!("  SU2 request sent ({} bytes), ack received\n", out2.request_bytes);
+    println!(
+        "  SU1 request sent ({} bytes), ack received",
+        out1.request_bytes
+    );
+    println!(
+        "  SU2 request sent ({} bytes), ack received\n",
+        out2.request_bytes
+    );
 
     // Figure 9: the granted SU transmits.
     println!("Figure 9 — scenario 4 outcome:");
-    println!("  SU1 (full power, adjacent): {}", if out1.granted { "granted" } else { "DENIED" });
-    println!("  SU2 (-30 dBm, far):         {}", if out2.granted { "GRANTED" } else { "denied" });
+    println!(
+        "  SU1 (full power, adjacent): {}",
+        if out1.granted { "granted" } else { "DENIED" }
+    );
+    println!(
+        "  SU2 (-30 dBm, far):         {}",
+        if out2.granted { "GRANTED" } else { "denied" }
+    );
     assert!(!out1.granted && out2.granted, "scenario 4 decision");
     for i in 0..11 {
         air.transmit(su2, i as f64 * 1800.0, 300.0);

@@ -26,9 +26,21 @@ fn main() {
     let kp = PaillierKeyPair::generate(&mut rng, bits);
     let pk = kp.public();
 
-    println!("{:<42} {:>12}", "Public key size", format!("{} bits", 2 * bits));
-    println!("{:<42} {:>12}", "Secret key size", format!("{} bits", 2 * bits));
-    println!("{:<42} {:>12}", "Plaintext message size", format!("{bits} bits"));
+    println!(
+        "{:<42} {:>12}",
+        "Public key size",
+        format!("{} bits", 2 * bits)
+    );
+    println!(
+        "{:<42} {:>12}",
+        "Secret key size",
+        format!("{} bits", 2 * bits)
+    );
+    println!(
+        "{:<42} {:>12}",
+        "Plaintext message size",
+        format!("{bits} bits")
+    );
     println!(
         "{:<42} {:>12}",
         "Ciphertext size",

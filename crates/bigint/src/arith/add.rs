@@ -111,10 +111,7 @@ mod tests {
     fn commutativity_small() {
         for x in 0..20u64 {
             for y in 0..20u64 {
-                assert_eq!(
-                    Ubig::from(x) + Ubig::from(y),
-                    Ubig::from(y) + Ubig::from(x)
-                );
+                assert_eq!(Ubig::from(x) + Ubig::from(y), Ubig::from(y) + Ubig::from(x));
                 assert_eq!(Ubig::from(x) + Ubig::from(y), Ubig::from(x + y));
             }
         }

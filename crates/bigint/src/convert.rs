@@ -187,7 +187,13 @@ mod tests {
 
     #[test]
     fn be_bytes_roundtrip() {
-        for v in [0u128, 1, 255, 256, 0xdead_beef_cafe_babe_0123_4567_89ab_cdef] {
+        for v in [
+            0u128,
+            1,
+            255,
+            256,
+            0xdead_beef_cafe_babe_0123_4567_89ab_cdef,
+        ] {
             let u = Ubig::from(v);
             assert_eq!(Ubig::from_be_bytes(&u.to_be_bytes()), u);
         }

@@ -87,7 +87,9 @@ impl fmt::Octal for Ubig {
         let mut cur = self.clone();
         while !cur.is_zero() {
             let (q, r) = cur.div_rem(&eight);
-            digits.push(char::from(b'0' + u64::try_from(&r).expect("octal digit") as u8));
+            digits.push(char::from(
+                b'0' + u64::try_from(&r).expect("octal digit") as u8,
+            ));
             cur = q;
         }
         digits.reverse();

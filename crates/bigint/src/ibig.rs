@@ -135,7 +135,11 @@ impl From<Ubig> for Ibig {
 
 impl From<i64> for Ibig {
     fn from(v: i64) -> Self {
-        let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+        let sign = if v < 0 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
         Ibig::from_sign_magnitude(sign, Ubig::from(v.unsigned_abs()))
     }
 }
@@ -225,7 +229,10 @@ macro_rules! forward_ibig_binop {
 }
 
 fn sub_impl(a: &Ibig, b: &Ibig) -> Ibig {
-    add_impl(a, &Ibig::from_sign_magnitude(b.sign.flip(), b.magnitude.clone()))
+    add_impl(
+        a,
+        &Ibig::from_sign_magnitude(b.sign.flip(), b.magnitude.clone()),
+    )
 }
 
 forward_ibig_binop!(Add, add, add_impl);

@@ -22,8 +22,8 @@ pub fn gcd(a: &Ubig, b: &Ubig) -> Ubig {
     let za = a.trailing_zeros();
     let zb = b.trailing_zeros();
     let common_twos = za.min(zb);
-    a = a >> za;
-    b = b >> zb;
+    a >>= za;
+    b >>= zb;
     loop {
         // Invariant: both odd.
         if a > b {

@@ -91,14 +91,14 @@ impl MontCtx {
                 acc = self.mont_mul(&acc, &table[d]);
             }
         }
-        self.from_mont(&acc)
+        self.unmont(&acc)
     }
 
     /// `a * b mod n` for already-reduced operands, via Montgomery form.
     pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
         let am = self.to_mont(a);
         let bm = self.to_mont(b);
-        self.from_mont(&self.mont_mul(&am, &bm))
+        self.unmont(&self.mont_mul(&am, &bm))
     }
 
     fn to_mont(&self, a: &Ubig) -> Ubig {
@@ -106,7 +106,7 @@ impl MontCtx {
         self.mont_mul(a, &self.r2_mod_n)
     }
 
-    fn from_mont(&self, a: &Ubig) -> Ubig {
+    fn unmont(&self, a: &Ubig) -> Ubig {
         self.mont_mul(a, &Ubig::one())
     }
 

@@ -11,9 +11,9 @@ pub const DEFAULT_MILLER_RABIN_ROUNDS: usize = 40;
 
 /// Small primes used for trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Probabilistic primality test: trial division by small primes, then
@@ -86,7 +86,8 @@ pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Ubig {
         let mut candidate = random_bits(rng, bits);
         candidate.set_bit(0, true); // odd
         candidate.set_bit(bits - 2, true); // top two bits set
-        if passes_trial_division(&candidate) && miller_rabin(&candidate, DEFAULT_MILLER_RABIN_ROUNDS, rng)
+        if passes_trial_division(&candidate)
+            && miller_rabin(&candidate, DEFAULT_MILLER_RABIN_ROUNDS, rng)
         {
             return candidate;
         }
@@ -109,7 +110,7 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }

@@ -49,7 +49,11 @@ impl<'de> Deserialize<'de> for Ibig {
         if negative && magnitude.is_zero() {
             return Err(D::Error::custom("negative zero is not a valid Ibig"));
         }
-        let sign = if negative { Sign::Negative } else { Sign::Positive };
+        let sign = if negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
         Ok(Ibig::from_sign_magnitude(sign, magnitude))
     }
 }

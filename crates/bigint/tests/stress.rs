@@ -92,9 +92,9 @@ fn wide_products_reduce_consistently() {
 fn fermat_across_limb_boundaries() {
     // a^(p-1) ≡ 1 (mod p) for primes chosen at 1-, 2- and 3-limb sizes.
     let primes = [
-        Ubig::from(0xffff_ffff_ffff_ffc5u64),          // 64-bit prime
-        (Ubig::one() << 127) - Ubig::one(),            // Mersenne 127
-        (Ubig::one() << 107) - Ubig::one(),            // Mersenne 107
+        Ubig::from(0xffff_ffff_ffff_ffc5u64), // 64-bit prime
+        (Ubig::one() << 127) - Ubig::one(),   // Mersenne 127
+        (Ubig::one() << 107) - Ubig::one(),   // Mersenne 107
     ];
     for p in &primes {
         let exp = p - &Ubig::one();
@@ -174,7 +174,14 @@ fn karatsuba_boundary_shapes() {
                 .collect(),
         )
     };
-    for &(la, lb) in &[(23usize, 23usize), (24, 24), (25, 24), (48, 25), (50, 1), (1, 50)] {
+    for &(la, lb) in &[
+        (23usize, 23usize),
+        (24, 24),
+        (25, 24),
+        (48, 25),
+        (50, 1),
+        (1, 50),
+    ] {
         let a = pattern(la, 7);
         let b = pattern(lb, 11);
         let ab = &a * &b;

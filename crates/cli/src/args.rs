@@ -10,11 +10,14 @@ commands:
   keygen [--bits N]            generate a Paillier key pair (default 1024)
   simulate [--hours H] [--pus N] [--sus N] [--seed S]
                                metro-area churn simulation
+  storm [--sus N] [--drop P] [--dup P] [--reorder P] [--corrupt P]
+        [--seed S] [--retries N] [--timeout-ms T]
+                               concurrent sessions over a faulty network
   attack                       curious-SDC inference demo (WATCH vs PISA)
   info                         print the paper's Table I configuration";
 
 /// A parsed CLI invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Quickstart flow.
     Demo,
@@ -33,6 +36,25 @@ pub enum Command {
         sus: usize,
         /// RNG seed.
         seed: u64,
+    },
+    /// Concurrent session storm over a fault-injecting network.
+    Storm {
+        /// Number of concurrent SU sessions.
+        sus: u32,
+        /// Per-link drop probability.
+        drop: f64,
+        /// Per-link duplicate probability.
+        dup: f64,
+        /// Per-link reorder probability.
+        reorder: f64,
+        /// Per-link corruption probability.
+        corrupt: f64,
+        /// RNG seed (system, sessions and faults all derive from it).
+        seed: u64,
+        /// Retry budget per session.
+        retries: u32,
+        /// Base receive deadline in milliseconds.
+        timeout_ms: u64,
     },
     /// Inference-attack demo.
     Attack,
@@ -53,7 +75,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             parse_flags(it, |flag, value| match flag {
                 "--bits" => {
                     bits = parse_num(flag, value)?;
-                    if bits < 64 || bits % 2 != 0 {
+                    if bits < 64 || !bits.is_multiple_of(2) {
                         return Err(format!("--bits must be an even number >= 64, got {bits}"));
                     }
                     Ok(())
@@ -91,6 +113,53 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 pus,
                 sus,
                 seed,
+            })
+        }
+        "storm" => {
+            let (mut sus, mut seed, mut retries, mut timeout_ms) = (8u32, 2017u64, 8u32, 1500u64);
+            let (mut drop, mut dup, mut reorder, mut corrupt) = (0.1f64, 0.1f64, 0.1f64, 0.0f64);
+            let prob = |flag: &str, value: &str, slot: &mut f64| -> Result<(), String> {
+                *slot = parse_num(flag, value)?;
+                if !(0.0..=1.0).contains(slot) {
+                    return Err(format!("{flag} must be a probability in [0, 1]"));
+                }
+                Ok(())
+            };
+            parse_flags(it, |flag, value| match flag {
+                "--sus" => {
+                    sus = parse_num(flag, value)?;
+                    Ok(())
+                }
+                "--drop" => prob(flag, value, &mut drop),
+                "--dup" => prob(flag, value, &mut dup),
+                "--reorder" => prob(flag, value, &mut reorder),
+                "--corrupt" => prob(flag, value, &mut corrupt),
+                "--seed" => {
+                    seed = parse_num(flag, value)?;
+                    Ok(())
+                }
+                "--retries" => {
+                    retries = parse_num(flag, value)?;
+                    Ok(())
+                }
+                "--timeout-ms" => {
+                    timeout_ms = parse_num(flag, value)?;
+                    Ok(())
+                }
+                other => Err(format!("unknown flag {other}")),
+            })?;
+            if sus == 0 || timeout_ms == 0 {
+                return Err("--sus and --timeout-ms must be positive".into());
+            }
+            Ok(Command::Storm {
+                sus,
+                drop,
+                dup,
+                reorder,
+                corrupt,
+                seed,
+                retries,
+                timeout_ms,
             })
         }
         "--help" | "-h" | "help" => Err("help requested".into()),
@@ -141,7 +210,10 @@ mod tests {
 
     #[test]
     fn keygen_defaults_and_flags() {
-        assert_eq!(parse(&argv("keygen")).unwrap(), Command::Keygen { bits: 1024 });
+        assert_eq!(
+            parse(&argv("keygen")).unwrap(),
+            Command::Keygen { bits: 1024 }
+        );
         assert_eq!(
             parse(&argv("keygen --bits 512")).unwrap(),
             Command::Keygen { bits: 512 }
@@ -174,6 +246,43 @@ mod tests {
         );
         assert!(parse(&argv("simulate --hours 0")).is_err());
         assert!(parse(&argv("simulate --hours x")).is_err());
+    }
+
+    #[test]
+    fn storm_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("storm")).unwrap(),
+            Command::Storm {
+                sus: 8,
+                drop: 0.1,
+                dup: 0.1,
+                reorder: 0.1,
+                corrupt: 0.0,
+                seed: 2017,
+                retries: 8,
+                timeout_ms: 1500,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "storm --sus 4 --drop 0.2 --dup 0 --reorder 0 --corrupt 0.05 \
+                 --seed 9 --retries 3 --timeout-ms 700"
+            ))
+            .unwrap(),
+            Command::Storm {
+                sus: 4,
+                drop: 0.2,
+                dup: 0.0,
+                reorder: 0.0,
+                corrupt: 0.05,
+                seed: 9,
+                retries: 3,
+                timeout_ms: 700,
+            }
+        );
+        assert!(parse(&argv("storm --drop 1.5")).is_err());
+        assert!(parse(&argv("storm --sus 0")).is_err());
+        assert!(parse(&argv("storm --what 1")).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use pisa::adversary;
 use pisa::prelude::*;
 use pisa_watch::{PuInput, SuRequest, WatchSdc};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 use std::time::Instant;
 
 /// Dispatches a parsed command.
@@ -19,9 +19,122 @@ pub fn run(cmd: Command) {
             sus,
             seed,
         } => simulate(hours, pus, sus, seed),
+        Command::Storm {
+            sus,
+            drop,
+            dup,
+            reorder,
+            corrupt,
+            seed,
+            retries,
+            timeout_ms,
+        } => storm(sus, drop, dup, reorder, corrupt, seed, retries, timeout_ms),
         Command::Attack => attack(),
         Command::Info => info(),
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn storm(
+    sus: u32,
+    drop: f64,
+    dup: f64,
+    reorder: f64,
+    corrupt: f64,
+    seed: u64,
+    retries: u32,
+    timeout_ms: u64,
+) {
+    use pisa::{run_storm, EngineConfig};
+    use pisa_net::{FaultConfig, FaultPlan};
+    use std::time::Duration;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = SystemConfig::small_test();
+    let mut stp = pisa::StpServer::new(&mut rng, cfg.paillier_bits());
+    let mut sdc =
+        pisa::SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc.storm", &mut rng);
+
+    // One PU on channel 0, so sessions near it get denied: the storm
+    // exercises both decisions.
+    let mut pu = pisa::PuClient::new(0, BlockId(0));
+    let e = sdc.e_matrix().clone();
+    let update = pu.tune(Some(Channel(0)), &cfg, &e, stp.public_key(), &mut rng);
+    sdc.handle_pu_update(pu.id(), update).unwrap();
+
+    let clients: Vec<_> = (0..sus)
+        .map(|i| {
+            let su = pisa::SuClient::new(
+                pisa::SuId(i),
+                BlockId(i as usize % cfg.blocks()),
+                &cfg,
+                &mut rng,
+            );
+            stp.register_su(su.id(), su.public_key().clone());
+            (su, vec![Channel(i as usize % cfg.channels())])
+        })
+        .collect();
+
+    let plan = FaultPlan::none()
+        .with_drop(drop)
+        .with_duplicate(dup)
+        .with_reorder(reorder)
+        .with_corrupt(corrupt);
+    println!(
+        "storm: {sus} sessions, faults/link: {:.0}% drop, {:.0}% dup, {:.0}% reorder, {:.0}% corrupt\n",
+        drop * 100.0,
+        dup * 100.0,
+        reorder * 100.0,
+        corrupt * 100.0
+    );
+    let faults = FaultConfig::new(seed ^ 0xfa17).with_default_plan(plan);
+    let engine = EngineConfig::default()
+        .with_timeout(Duration::from_millis(timeout_ms))
+        .with_max_retries(retries);
+
+    let t = Instant::now();
+    let (report, _sdc, _stp) = run_storm(clients, sdc, stp, Some(faults), &engine, seed).unwrap();
+    let elapsed = t.elapsed();
+
+    for o in &report.outcomes {
+        let stats = report
+            .metrics
+            .session(u64::from(o.su_id.0))
+            .unwrap_or_default();
+        println!(
+            "  SU {:>3}: {:<9} after {} attempt(s)  (timeouts {}, rejects {})",
+            o.su_id.0,
+            match o.granted {
+                Some(true) => "GRANTED",
+                Some(false) => "DENIED",
+                None => "EXHAUSTED",
+            },
+            o.attempts,
+            stats.timeouts,
+            stats.rejected,
+        );
+    }
+    let f = report.metrics.fault_totals();
+    let s = report.metrics.session_totals();
+    println!(
+        "\nfaults injected: {} dropped, {} duplicated, {} reordered, {} corrupted (+{} absorbed)",
+        f.dropped, f.duplicated, f.reordered, f.corrupted, f.corrupt_dropped
+    );
+    println!(
+        "sessions absorbed them with {} retries, {} timeouts, {} rejected messages",
+        s.retries, s.timeouts, s.rejected
+    );
+    println!(
+        "{}/{} sessions decided in {:.2} s ({:.1} KiB moved)",
+        report
+            .outcomes
+            .iter()
+            .filter(|o| o.granted.is_some())
+            .count(),
+        report.outcomes.len(),
+        elapsed.as_secs_f64(),
+        report.metrics.total_bytes() as f64 / 1024.0
+    );
 }
 
 fn demo() {
@@ -56,7 +169,10 @@ fn keygen(bits: usize) {
     let t = Instant::now();
     let stp = pisa::StpServer::new(&mut rng, bits);
     let pk = stp.public_key();
-    println!("generated a {bits}-bit Paillier key pair in {:.2} s", t.elapsed().as_secs_f64());
+    println!(
+        "generated a {bits}-bit Paillier key pair in {:.2} s",
+        t.elapsed().as_secs_f64()
+    );
     println!("  public key (n):   {} bits", pk.key_bits());
     println!("  ciphertext width: {} bytes", pk.ciphertext_bytes());
     println!("  n = 0x{:x}…", pk.modulus() >> (bits.saturating_sub(64)));
@@ -69,7 +185,9 @@ fn simulate(hours: usize, pus: usize, sus: usize, seed: u64) {
     let watch_cfg = config.watch().clone();
     let channels = config.channels();
     let blocks = config.blocks();
-    println!("simulating {hours} h: {pus} PUs, {sus} SUs on {channels} channels x {blocks} blocks\n");
+    println!(
+        "simulating {hours} h: {pus} PUs, {sus} SUs on {channels} channels x {blocks} blocks\n"
+    );
 
     let mut system = PisaSystem::setup(config, &mut rng);
     let mut mirror = WatchSdc::new(watch_cfg.clone());
@@ -163,8 +281,14 @@ fn info() {
         "  Bit length of integer representation  {}",
         cfg.watch().quantizer().total_bits()
     );
-    println!("  Paillier modulus                      {} bits", cfg.paillier_bits());
-    println!("  Blinding budget                       {} bits", cfg.blind_bits());
+    println!(
+        "  Paillier modulus                      {} bits",
+        cfg.paillier_bits()
+    );
+    println!(
+        "  Blinding budget                       {} bits",
+        cfg.blind_bits()
+    );
     println!(
         "  Protection: SINR {} dB + redn {} dB -> X = {}",
         cfg.watch().params().tv_sinr_db,

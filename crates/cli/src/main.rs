@@ -5,6 +5,9 @@
 //! pisa keygen [--bits N]        generate a Paillier key pair
 //! pisa simulate [--hours H] [--pus N] [--sus N] [--seed S]
 //!                               metro-area churn simulation
+//! pisa storm [--sus N] [--drop P] [--dup P] [--reorder P] [--corrupt P]
+//!            [--seed S] [--retries N] [--timeout-ms T]
+//!                               concurrent sessions over a faulty network
 //! pisa attack                   curious-SDC inference demo (WATCH vs PISA)
 //! pisa info                     print the paper's Table I configuration
 //! ```

@@ -189,7 +189,7 @@ mod tests {
     use super::*;
     use pisa_crypto::paillier::PaillierKeyPair;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     fn keys() -> PaillierKeyPair {
         let mut rng = StdRng::seed_from_u64(0xb17);
@@ -232,7 +232,8 @@ mod tests {
     fn cost_scales_linearly_in_bits() {
         let kp = keys();
         let mut rng = StdRng::seed_from_u64(3);
-        let (_, cost8) = BitwiseComparison::new(8).compare(5, 9, kp.public(), kp.secret(), &mut rng);
+        let (_, cost8) =
+            BitwiseComparison::new(8).compare(5, 9, kp.public(), kp.secret(), &mut rng);
         let (_, cost16) =
             BitwiseComparison::new(16).compare(5, 9, kp.public(), kp.secret(), &mut rng);
         assert_eq!(cost16.encryptions, 2 * cost8.encryptions);

@@ -1,7 +1,7 @@
 //! Encrypted channel × block matrices.
 
-use pisa_crypto::paillier::{Ciphertext, PaillierPublicKey};
 use pisa_bigint::Ibig;
+use pisa_crypto::paillier::{Ciphertext, PaillierPublicKey};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -284,7 +284,8 @@ mod tests {
         assert_eq!(ea.add(&eb, kp.public()).decrypt(kp.secret()), &a + &b);
         assert_eq!(ea.sub(&eb, kp.public()).decrypt(kp.secret()), &a - &b);
         assert_eq!(
-            ea.scale(&Ibig::from(-3i64), kp.public()).decrypt(kp.secret()),
+            ea.scale(&Ibig::from(-3i64), kp.public())
+                .decrypt(kp.secret()),
             a.scale(-3)
         );
     }
@@ -307,7 +308,10 @@ mod tests {
         let kp = kp();
         let m = IntMatrix::zeros(4, 25);
         let enc = CipherMatrix::encrypt_public(&m, kp.public());
-        assert_eq!(enc.wire_bytes(kp.public()), 100 * kp.public().ciphertext_bytes());
+        assert_eq!(
+            enc.wire_bytes(kp.public()),
+            100 * kp.public().ciphertext_bytes()
+        );
     }
 
     #[test]

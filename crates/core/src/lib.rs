@@ -60,6 +60,7 @@ mod privacy;
 mod protocol;
 mod pu;
 mod sdc;
+mod session;
 mod stp;
 mod su;
 mod system;
@@ -80,6 +81,9 @@ pub use protocol::{
 };
 pub use pu::PuClient;
 pub use sdc::SdcServer;
+pub use session::{
+    corrupt_session_frame, run_storm, EngineConfig, EngineReport, SessionMsg, SessionOutcome,
+};
 pub use stp::StpServer;
 pub use su::SuClient;
 pub use system::PisaSystem;

@@ -130,8 +130,8 @@ mod tests {
 
     #[test]
     fn request_digest_changes_with_content() {
-        use pisa_crypto::paillier::Ciphertext;
         use pisa_bigint::Ubig;
+        use pisa_crypto::paillier::Ciphertext;
         let c1 = [Ciphertext::from_raw(Ubig::from(5u64))];
         let c2 = [Ciphertext::from_raw(Ubig::from(6u64))];
         assert_ne!(License::digest_request(&c1), License::digest_request(&c2));

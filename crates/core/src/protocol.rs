@@ -198,6 +198,9 @@ pub fn run_request_over_network(
     ))
 }
 
+/// Per-SU `(id, granted)` decisions in completion order.
+pub type RequestDecisions = Vec<(crate::keys::SuId, bool)>;
+
 /// Runs several SUs' requests concurrently over one network: each SU on
 /// its own thread, the SDC and STP serving interleaved messages in
 /// arrival order — the deployment shape of Figure 3 with a realistic
@@ -219,7 +222,7 @@ pub fn run_concurrent_requests(
     mut sdc: SdcServer,
     stp: StpServer,
     seed: u64,
-) -> Result<(Vec<(crate::keys::SuId, bool)>, SdcServer, StpServer), PisaError> {
+) -> Result<(RequestDecisions, SdcServer, StpServer), PisaError> {
     let cfg = sdc.config().clone();
     let pk_g = stp.public_key().clone();
     let sdc_signing_key = sdc.signing_public_key().clone();
@@ -322,8 +325,7 @@ mod tests {
         let mut su = SuClient::new(SuId(0), BlockId(5), &cfg, &mut rng);
         stp.register_su(SuId(0), su.public_key().clone());
 
-        let outcome =
-            run_request_direct(&mut su, &mut sdc, &stp, &[Channel(0)], &mut rng).unwrap();
+        let outcome = run_request_direct(&mut su, &mut sdc, &stp, &[Channel(0)], &mut rng).unwrap();
         assert!(outcome.granted, "no PUs ⇒ the request must be granted");
         assert!(outcome.request_bytes > outcome.response_bytes);
         assert_eq!(outcome.license.su_id, SuId(0));
@@ -338,15 +340,9 @@ mod tests {
         let mut su = SuClient::new(SuId(1), BlockId(3), &cfg, &mut rng);
         stp.register_su(SuId(1), su.public_key().clone());
 
-        let (run, _sdc, _stp) = run_request_over_network(
-            &mut su,
-            sdc,
-            stp,
-            &[Channel(2)],
-            LatencyModel::lan(),
-            99,
-        )
-        .unwrap();
+        let (run, _sdc, _stp) =
+            run_request_over_network(&mut su, sdc, stp, &[Channel(2)], LatencyModel::lan(), 99)
+                .unwrap();
         assert!(run.outcome.granted);
         assert_eq!(run.metrics.total_messages(), 4);
         assert!(run.estimated_network_time > Duration::ZERO);

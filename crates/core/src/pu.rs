@@ -87,7 +87,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (SystemConfig, IntMatrix, pisa_crypto::paillier::PaillierKeyPair) {
+    fn setup() -> (
+        SystemConfig,
+        IntMatrix,
+        pisa_crypto::paillier::PaillierKeyPair,
+    ) {
         let cfg = SystemConfig::small_test();
         let e = compute_e_matrix(cfg.watch());
         let mut rng = StdRng::seed_from_u64(1);
@@ -111,7 +115,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut pu = PuClient::new(0, BlockId(3));
         let msg = pu.tune(Some(Channel(2)), &cfg, &e, kp.public(), &mut rng);
-        let expected = PuInput::tuned(cfg.watch(), BlockId(3), Channel(2)).w_column(cfg.watch(), &e);
+        let expected =
+            PuInput::tuned(cfg.watch(), BlockId(3), Channel(2)).w_column(cfg.watch(), &e);
         for (ct, want) in msg.w_column.iter().zip(expected) {
             let got = crate::cipher_matrix::ibig_to_i128(&kp.secret().decrypt(ct));
             assert_eq!(got, want);

@@ -101,7 +101,7 @@ impl SdcServer {
             rsa,
             blinder,
             serial: 0,
-        pending: HashMap::new(),
+            pending: HashMap::new(),
         }
     }
 
@@ -221,9 +221,11 @@ impl SdcServer {
         let mut v_entries = Vec::with_capacity(channels * region);
         let mut epsilons = Vec::with_capacity(channels * region);
 
+        let base = rng.next_u64();
         for c in 0..channels {
             for b in 0..region {
-                let (v, eps) = self.blind_entry(msg.f_matrix.get(c, b), (c, b), rng);
+                let mut erng = entry_rng(base, c * region + b);
+                let (v, eps) = self.blind_entry(msg.f_matrix.get(c, b), (c, b), &mut erng);
                 v_entries.push(v);
                 epsilons.push(eps);
             }
@@ -269,9 +271,7 @@ impl SdcServer {
         let i = self.pk_g.sub(self.n_matrix.get(c, b), &r);
         // V = ε ⊗ (α ⊗ I ⊖ β̃) (eq. 14)
         let factors = self.blinder.sample(rng);
-        let scaled = self
-            .pk_g
-            .scalar_mul(&i, &Ibig::from(factors.alpha.clone()));
+        let scaled = self.pk_g.scalar_mul(&i, &Ibig::from(factors.alpha.clone()));
         let beta_ct = self.pk_g.encrypt(&Ibig::from(factors.beta.clone()), rng);
         let blinded = self.pk_g.sub(&scaled, &beta_ct);
         let v = self.pk_g.scalar_mul(&blinded, &factors.epsilon.as_scalar());
@@ -285,9 +285,9 @@ impl SdcServer {
     /// the per-entry work is embarrassingly parallel, so this scales
     /// nearly linearly with cores.
     ///
-    /// Each thread derives its own RNG from `rng`, so the output
-    /// distribution matches the sequential path (different ciphertexts,
-    /// identical semantics).
+    /// Randomness is derived *per entry* from a single draw on `rng`
+    /// (splitmix64 over the draw and the entry index), so the output is
+    /// byte-identical to the sequential path for any thread count.
     ///
     /// # Errors
     ///
@@ -323,22 +323,27 @@ impl SdcServer {
         let indices: Vec<(usize, usize)> = (0..channels)
             .flat_map(|c| (0..region).map(move |b| (c, b)))
             .collect();
-        let chunk_len = indices.len().div_ceil(threads);
-        let seeds: Vec<u64> = (0..threads).map(|_| rng.next_u64()).collect();
+        let chunk_len = indices.len().div_ceil(threads).max(1);
+        let base = rng.next_u64();
 
-        // Immutable fan-out over &self; results keep entry order.
+        // Immutable fan-out over &self; results keep entry order, and
+        // every entry gets the same derived RNG it would get on the
+        // sequential path, regardless of which chunk it lands in.
         let results: Vec<(Ciphertext, SignFlip)> = std::thread::scope(|scope| {
             let handles: Vec<_> = indices
-                .chunks(chunk_len.max(1))
-                .zip(&seeds)
-                .map(|(chunk, &seed)| {
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(chunk_no, chunk)| {
                     let this = &*self;
                     let f = &msg.f_matrix;
                     scope.spawn(move || {
-                        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
                         chunk
                             .iter()
-                            .map(|&(c, b)| this.blind_entry(f.get(c, b), (c, b), &mut rng))
+                            .enumerate()
+                            .map(|(k, &(c, b))| {
+                                let mut erng = entry_rng(base, chunk_no * chunk_len + k);
+                                this.blind_entry(f.get(c, b), (c, b), &mut erng)
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -447,7 +452,8 @@ impl SdcServer {
     pub fn snapshot(&self) -> bytes::Bytes {
         use pisa_net::codec::Writer;
         let ct_bytes = self.pk_g.ciphertext_bytes();
-        let mut w = Writer::with_capacity(1024 + self.contributions.len() * self.cfg.channels() * ct_bytes);
+        let mut w =
+            Writer::with_capacity(1024 + self.contributions.len() * self.cfg.channels() * ct_bytes);
         w.put_u8(1); // snapshot format version
         w.put_bytes(self.issuer.as_bytes());
         w.put_u64(self.serial);
@@ -562,6 +568,18 @@ impl SdcServer {
     pub fn to_plain_domain(v: i128) -> Ibig {
         i128_to_ibig(v)
     }
+}
+
+/// Derives the RNG for one matrix entry from a single base draw
+/// (splitmix64 over `base` and the flat entry index). Both the
+/// sequential and the parallel request paths use this, so their outputs
+/// are byte-identical for any thread count.
+pub(crate) fn entry_rng(base: u64, index: usize) -> rand::rngs::StdRng {
+    let mut z = base ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    rand::rngs::StdRng::seed_from_u64(z ^ (z >> 31))
 }
 
 #[cfg(test)]

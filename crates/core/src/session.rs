@@ -1,0 +1,720 @@
+//! Concurrent multi-session protocol engine over the simulated network.
+//!
+//! [`protocol::run_concurrent_requests`](crate::run_concurrent_requests)
+//! drives N requests over a *reliable* network and panics on anything
+//! unexpected — fine for measuring Figure 6, useless for the "millions
+//! of users over real links" north star. This module is the resilient
+//! replacement: threaded SDC and STP **service loops** plus one thread
+//! per SU session, where
+//!
+//! * every session is an explicit state machine ([`SessionPhase`]:
+//!   phase 1 blinding → STP sign test → phase 2 license release),
+//! * all receives use `recv_timeout` (no party can hang forever),
+//! * SUs retry with exponential backoff up to a bounded budget,
+//! * malformed, out-of-order, stale or duplicated messages are
+//!   *rejected and counted* — never panicked on — via
+//!   [`NetMetrics::record_session_reject`] and friends, and
+//! * the whole engine composes with the deterministic fault injection in
+//!   [`pisa_net::FaultConfig`] (drop / duplicate / reorder / corrupt).
+//!
+//! ## Why retries are safe
+//!
+//! Retrying a cryptographic request is only sound if a late or repeated
+//! message can never be mistaken for a fresh one: phase 2 unblinds with
+//! the ε drawn in phase 1, so pairing a reply with the *wrong* phase-1
+//! state would silently corrupt the decision. The engine therefore tags
+//! every frame with the SU's **attempt counter** ([`SessionMsg`]):
+//!
+//! * A retried request re-uses the stored blinded query if it is the
+//!   same `(attempt, digest)` — same blinding, so any in-flight STP
+//!   reply still unblinds correctly — and re-runs phase 1 otherwise.
+//! * The SDC accepts an STP reply only for the attempt it has pending;
+//!   stale replies are rejected instead of mis-unblinded.
+//! * Completed responses are cached per `(attempt, digest)`, making
+//!   request retries idempotent.
+//! * The SU accepts only responses whose license digest matches the
+//!   request it actually sent, and (when links can corrupt payloads)
+//!   treats an unverifiable response as possibly-mangled, retrying
+//!   rather than concluding "denied" from a flipped bit.
+//!
+//! Grant/deny decisions depend only on plaintext values, never on which
+//! attempt carried them, so a faulty run reaches exactly the outcomes of
+//! a fault-free run — the chaos tests assert this byte for byte.
+
+use crate::error::PisaError;
+use crate::keys::SuId;
+use crate::license::License;
+use crate::messages::{PisaMessage, SdcResponseMsg, SdcToStpMsg};
+use crate::sdc::SdcServer;
+use crate::stp::StpServer;
+use crate::su::SuClient;
+use pisa_net::codec::{CodecError, Reader, Writer};
+use pisa_net::{FaultConfig, NetMetrics, Network, Party, WireSize};
+use pisa_radio::tv::Channel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wire overhead of the session header (session id + attempt counter).
+const SESSION_HEADER_BYTES: usize = 12;
+
+/// A protocol message tagged with its session and the sender's attempt
+/// counter — the envelope the session engine speaks on the wire.
+///
+/// The attempt counter is what makes retries safe: phase-2 unblinding
+/// must pair an STP reply with the phase-1 state of the *same* attempt
+/// (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SessionMsg {
+    /// Session identifier (the engine uses the SU id).
+    pub session: u64,
+    /// The originating SU attempt this frame belongs to.
+    pub attempt: u32,
+    /// The protocol payload.
+    pub msg: PisaMessage,
+}
+
+impl WireSize for SessionMsg {
+    fn wire_bytes(&self) -> usize {
+        SESSION_HEADER_BYTES + self.msg.wire_bytes()
+    }
+}
+
+impl SessionMsg {
+    /// Serializes to a wire frame: session id, attempt, inner message.
+    pub fn encode(&self) -> bytes::Bytes {
+        let inner = self.msg.encode();
+        let mut w = Writer::with_capacity(SESSION_HEADER_BYTES + inner.len());
+        w.put_u64(self.session);
+        w.put_u32(self.attempt);
+        w.put_raw(&inner);
+        w.finish()
+    }
+
+    /// Parses a wire frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on truncated or malformed frames.
+    pub fn decode(frame: &[u8]) -> Result<SessionMsg, CodecError> {
+        let mut r = Reader::new(frame);
+        let session = r.get_u64()?;
+        let attempt = r.get_u32()?;
+        let inner = r.get_raw(r.remaining())?;
+        let msg = PisaMessage::decode(inner)?;
+        r.finish()?;
+        Ok(SessionMsg {
+            session,
+            attempt,
+            msg,
+        })
+    }
+}
+
+/// The corruption oracle for engine traffic: encodes the frame, flips
+/// one bit chosen by `tweak`, and re-parses. `Some(mangled)` means the
+/// flipped frame still decodes — the receiver gets a wrong-but-well-
+/// formed message it must reject at the protocol layer. `None` means
+/// the frame no longer parses and the network absorbs it like a drop.
+///
+/// Install with
+/// [`Network::set_corruptor`](pisa_net::Network::set_corruptor);
+/// [`run_storm`] does so automatically.
+pub fn corrupt_session_frame(msg: &SessionMsg, tweak: u64) -> Option<SessionMsg> {
+    let mut bytes = msg.encode().to_vec();
+    let bit = (tweak as usize) % (bytes.len() * 8);
+    bytes[bit / 8] ^= 1 << (bit % 8);
+    SessionMsg::decode(&bytes).ok()
+}
+
+/// Timeout / retry policy for the session engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Base `recv_timeout` deadline for an SU awaiting its response;
+    /// doubles on every retry (exponential backoff), capped at 8×.
+    pub timeout: Duration,
+    /// Retries an SU may spend before giving up (total sends = 1 + this).
+    pub max_retries: u32,
+    /// Poll granularity of the SDC/STP service loops (how often they
+    /// check the shutdown flag while idle).
+    pub poll: Duration,
+    /// Worker threads the SDC and STP spend on per-entry crypto. The
+    /// parallel paths are byte-identical to sequential, so this is a
+    /// pure throughput knob. Must be at least 1.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            timeout: Duration::from_millis(200),
+            max_retries: 6,
+            poll: Duration::from_millis(2),
+            workers: 4,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the base response deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the SDC/STP crypto worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The SU receive deadline for a given attempt (exponential
+    /// backoff: `timeout · 2^min(attempt, 3)`).
+    fn deadline(&self, attempt: u32) -> Duration {
+        self.timeout * (1u32 << attempt.min(3))
+    }
+}
+
+/// Where one session stands inside the SDC service loop — the explicit
+/// per-session state machine of the protocol's server side.
+enum SessionPhase {
+    /// Phase 1 ran (request blinded, ε retained); the query is in
+    /// flight to the STP for the sign test. Stored so a retried or
+    /// duplicated request re-sends the *same* blinding instead of
+    /// desynchronizing ε.
+    AwaitingStp {
+        attempt: u32,
+        digest: [u8; 32],
+        query: SdcToStpMsg,
+    },
+    /// Phase 2 ran and the license was released; the response replays
+    /// idempotently for retries of the same attempt.
+    Completed {
+        attempt: u32,
+        digest: [u8; 32],
+        response: SdcResponseMsg,
+    },
+}
+
+/// Final state of one SU session after a storm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// The SU that ran the session.
+    pub su_id: SuId,
+    /// `Some(true)` granted, `Some(false)` denied, `None` if the
+    /// session exhausted its retry budget without a usable response.
+    pub granted: Option<bool>,
+    /// Requests sent (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Everything a storm run produced.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// Per-session outcomes, sorted by SU id.
+    pub outcomes: Vec<SessionOutcome>,
+    /// The network's traffic, fault and per-session resilience counters.
+    pub metrics: NetMetrics,
+}
+
+impl EngineReport {
+    /// `(su, decision)` pairs, sorted by SU id.
+    pub fn decisions(&self) -> Vec<(SuId, Option<bool>)> {
+        self.outcomes.iter().map(|o| (o.su_id, o.granted)).collect()
+    }
+
+    /// `true` when every session reached a grant/deny decision.
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.granted.is_some())
+    }
+}
+
+/// Runs N SU request sessions concurrently over one network: the SDC
+/// and STP each serve a resilient loop on their own thread, every SU
+/// drives its session state machine on its own thread, and the optional
+/// [`FaultConfig`] injects deterministic drop/duplicate/reorder/corrupt
+/// faults underneath. Per-session retry/timeout/reject counters land in
+/// the report's [`NetMetrics`].
+///
+/// With the same seeds and system state, the grant/deny decisions are
+/// identical with and without faults (see the module docs), which is
+/// the property the chaos tests pin down.
+///
+/// # Errors
+///
+/// [`PisaError::UnknownSu`] if an SU never registered with the STP.
+///
+/// # Panics
+///
+/// Panics if `engine.workers == 0` or if a party thread panics.
+pub fn run_storm(
+    sus: Vec<(SuClient, Vec<Channel>)>,
+    sdc: SdcServer,
+    stp: StpServer,
+    faults: Option<FaultConfig>,
+    engine: &EngineConfig,
+    seed: u64,
+) -> Result<(EngineReport, SdcServer, StpServer), PisaError> {
+    assert!(engine.workers > 0, "need at least one crypto worker");
+    let cfg = sdc.config().clone();
+    let pk_g = stp.public_key().clone();
+    let signing = sdc.signing_public_key().clone();
+    let su_keys: HashMap<_, _> = sus
+        .iter()
+        .map(|(su, _)| {
+            let pk = stp
+                .su_key(su.id())
+                .ok_or(PisaError::UnknownSu(su.id()))?
+                .clone();
+            Ok((su.id(), pk))
+        })
+        .collect::<Result<_, PisaError>>()?;
+    let corrupt_possible = faults.as_ref().is_some_and(FaultConfig::any_corruption);
+
+    let net: Network<SessionMsg> = match faults {
+        Some(config) => Network::with_faults(config),
+        None => Network::new(),
+    };
+    net.set_corruptor(Arc::new(corrupt_session_frame));
+    let metrics = net.metrics().clone();
+    let sdc_ep = net.endpoint(Party::Sdc);
+    let stp_ep = net.endpoint(Party::Stp);
+    let su_eps: Vec<_> = sus
+        .iter()
+        .map(|(su, _)| net.endpoint(Party::Su(su.id().0)))
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // ---- SDC service loop ------------------------------------------
+    let sdc_handle = {
+        let stop = Arc::clone(&stop);
+        let metrics = metrics.clone();
+        let poll = engine.poll;
+        let workers = engine.workers;
+        let mut sdc = sdc;
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5dc);
+            let mut sessions: HashMap<SuId, SessionPhase> = HashMap::new();
+            loop {
+                let Some(env) = sdc_ep.recv_timeout(poll) else {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    continue;
+                };
+                let frame = env.payload;
+                match frame.msg {
+                    PisaMessage::SuRequest(req) => {
+                        let session = u64::from(req.su_id.0);
+                        let digest = License::digest_request(req.f_matrix.ciphertexts());
+                        enum Action {
+                            Replay(SdcResponseMsg, u32),
+                            Resend(SdcToStpMsg, u32),
+                            Reject,
+                            Fresh,
+                        }
+                        let action = match sessions.get_mut(&req.su_id) {
+                            // Idempotent replay for a retried request
+                            // this engine already answered.
+                            Some(SessionPhase::Completed {
+                                attempt,
+                                digest: d,
+                                response,
+                            }) if *d == digest && frame.attempt == *attempt => {
+                                Action::Replay(response.clone(), *attempt)
+                            }
+                            // A stale duplicate of a superseded attempt:
+                            // the SU has moved on, don't recompute.
+                            Some(SessionPhase::Completed {
+                                attempt, digest: d, ..
+                            }) if *d == digest && frame.attempt < *attempt => Action::Reject,
+                            // Retry or duplicate while the sign test is
+                            // in flight: ε must not change, so re-send
+                            // the stored query under the newest attempt
+                            // instead of re-blinding.
+                            Some(SessionPhase::AwaitingStp {
+                                attempt,
+                                digest: d,
+                                query,
+                            }) if *d == digest => {
+                                *attempt = (*attempt).max(frame.attempt);
+                                Action::Resend(query.clone(), *attempt)
+                            }
+                            // New request, a fresh attempt after a bad
+                            // response, or a corrupted digest: phase 1.
+                            _ => Action::Fresh,
+                        };
+                        match action {
+                            Action::Replay(response, attempt) => {
+                                let _ = sdc_ep.try_send(
+                                    Party::Su(req.su_id.0),
+                                    SessionMsg {
+                                        session,
+                                        attempt,
+                                        msg: PisaMessage::SdcResponse(response),
+                                    },
+                                );
+                            }
+                            Action::Resend(query, attempt) => {
+                                let _ = sdc_ep.try_send(
+                                    Party::Stp,
+                                    SessionMsg {
+                                        session,
+                                        attempt,
+                                        msg: PisaMessage::SdcToStp(query),
+                                    },
+                                );
+                            }
+                            Action::Reject => metrics.record_session_reject(session),
+                            Action::Fresh => {
+                                match sdc.process_request_phase1_parallel(&req, workers, &mut rng) {
+                                    Ok(query) => {
+                                        sessions.insert(
+                                            req.su_id,
+                                            SessionPhase::AwaitingStp {
+                                                attempt: frame.attempt,
+                                                digest,
+                                                query: query.clone(),
+                                            },
+                                        );
+                                        let _ = sdc_ep.try_send(
+                                            Party::Stp,
+                                            SessionMsg {
+                                                session,
+                                                attempt: frame.attempt,
+                                                msg: PisaMessage::SdcToStp(query),
+                                            },
+                                        );
+                                    }
+                                    Err(_) => metrics.record_session_reject(session),
+                                }
+                            }
+                        }
+                    }
+                    PisaMessage::StpToSdc(reply) => {
+                        let session = u64::from(reply.su_id.0);
+                        let current = match sessions.get(&reply.su_id) {
+                            Some(SessionPhase::AwaitingStp {
+                                attempt, digest, ..
+                            }) if *attempt == frame.attempt => Some((*attempt, *digest)),
+                            // Stale attempt, duplicate of a consumed
+                            // reply, or no phase-1 state: reject.
+                            _ => None,
+                        };
+                        let Some((attempt, digest)) = current else {
+                            metrics.record_session_reject(session);
+                            continue;
+                        };
+                        let Some(su_pk) = su_keys.get(&reply.su_id) else {
+                            metrics.record_session_reject(session);
+                            continue;
+                        };
+                        match sdc.process_request_phase2(&reply, su_pk, &mut rng) {
+                            Ok(response) => {
+                                sessions.insert(
+                                    reply.su_id,
+                                    SessionPhase::Completed {
+                                        attempt,
+                                        digest,
+                                        response: response.clone(),
+                                    },
+                                );
+                                let _ = sdc_ep.try_send(
+                                    Party::Su(reply.su_id.0),
+                                    SessionMsg {
+                                        session,
+                                        attempt,
+                                        msg: PisaMessage::SdcResponse(response),
+                                    },
+                                );
+                            }
+                            // Shape mismatch keeps the server-side ε
+                            // state; an SU retry will re-drive the round.
+                            Err(PisaError::DimensionMismatch { .. }) => {
+                                metrics.record_session_reject(session);
+                            }
+                            // Any other failure means the engine's view
+                            // desynchronized from the server state —
+                            // drop it so the next retry re-runs phase 1.
+                            Err(_) => {
+                                metrics.record_session_reject(session);
+                                sessions.remove(&reply.su_id);
+                            }
+                        }
+                    }
+                    // PU updates and reflected responses are outside
+                    // this loop's protocol: reject, never panic.
+                    _ => metrics.record_session_reject(frame.session),
+                }
+            }
+            sdc
+        })
+    };
+
+    // ---- STP service loop ------------------------------------------
+    let stp_handle = {
+        let stop = Arc::clone(&stop);
+        let metrics = metrics.clone();
+        let poll = engine.poll;
+        let workers = engine.workers;
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x517);
+            loop {
+                let Some(env) = stp_ep.recv_timeout(poll) else {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    continue;
+                };
+                let frame = env.payload;
+                match frame.msg {
+                    PisaMessage::SdcToStp(query) => {
+                        match stp.key_convert_parallel(&query, workers, &mut rng) {
+                            Ok((reply, _obs)) => {
+                                let _ = stp_ep.try_send(
+                                    Party::Sdc,
+                                    SessionMsg {
+                                        session: frame.session,
+                                        attempt: frame.attempt,
+                                        msg: PisaMessage::StpToSdc(reply),
+                                    },
+                                );
+                            }
+                            Err(_) => metrics.record_session_reject(frame.session),
+                        }
+                    }
+                    _ => metrics.record_session_reject(frame.session),
+                }
+            }
+            stp
+        })
+    };
+
+    // ---- One session state machine per SU --------------------------
+    let mut su_handles = Vec::new();
+    for (i, ((mut su, channels), ep)) in sus.into_iter().zip(su_eps).enumerate() {
+        let cfg = cfg.clone();
+        let pk_g = pk_g.clone();
+        let signing = signing.clone();
+        let metrics = metrics.clone();
+        let engine = engine.clone();
+        su_handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0x50 + i as u64));
+            let session = u64::from(su.id().0);
+            let request = su.build_request(&cfg, &pk_g, &channels, &mut rng);
+            let digest = License::digest_request(request.f_matrix.ciphertexts());
+            let frame = |attempt: u32| SessionMsg {
+                session,
+                attempt,
+                msg: PisaMessage::SuRequest(request.clone()),
+            };
+
+            let mut attempt = 0u32;
+            ep.send(Party::Sdc, frame(attempt));
+            let granted = loop {
+                match ep.recv_timeout(engine.deadline(attempt)) {
+                    Some(env) => match env.payload.msg {
+                        PisaMessage::SdcResponse(resp)
+                            if resp.license.su_id == su.id()
+                                && resp.license.request_digest == digest =>
+                        {
+                            if su.handle_response(&resp, &signing) {
+                                // A flipped bit cannot forge a valid RSA
+                                // signature: a verified grant is final.
+                                break Some(true);
+                            }
+                            if !corrupt_possible {
+                                // Links never mangle payloads, and the
+                                // attempt tags rule out ε mismatches, so
+                                // an unverifiable signature IS the deny.
+                                break Some(false);
+                            }
+                            // Could be a denial or a flipped bit in G̃ —
+                            // indistinguishable by design, so spend a
+                            // retry to find out.
+                            metrics.record_session_reject(session);
+                            if attempt >= engine.max_retries {
+                                break Some(false);
+                            }
+                            attempt += 1;
+                            metrics.record_session_retry(session);
+                            ep.send(Party::Sdc, frame(attempt));
+                        }
+                        // Foreign digest, foreign SU, duplicate or
+                        // out-of-protocol message: reject and keep
+                        // waiting out the current deadline.
+                        _ => metrics.record_session_reject(session),
+                    },
+                    None => {
+                        metrics.record_session_timeout(session);
+                        if attempt >= engine.max_retries {
+                            break None;
+                        }
+                        attempt += 1;
+                        metrics.record_session_retry(session);
+                        ep.send(Party::Sdc, frame(attempt));
+                    }
+                }
+            };
+            SessionOutcome {
+                su_id: su.id(),
+                granted,
+                attempts: attempt + 1,
+            }
+        }));
+    }
+
+    let mut outcomes: Vec<SessionOutcome> = su_handles
+        .into_iter()
+        .map(|h| h.join().expect("SU session thread healthy"))
+        .collect();
+    outcomes.sort_by_key(|o| o.su_id);
+
+    stop.store(true, Ordering::Release);
+    let sdc = sdc_handle.join().expect("SDC service thread healthy");
+    let stp = stp_handle.join().expect("STP service thread healthy");
+    net.flush_holdback();
+
+    Ok((
+        EngineReport {
+            outcomes,
+            metrics: net.metrics().clone(),
+        },
+        sdc,
+        stp,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+    use pisa_net::FaultPlan;
+    use pisa_radio::BlockId;
+
+    fn ct(v: u64) -> pisa_crypto::paillier::Ciphertext {
+        pisa_crypto::paillier::Ciphertext::from_raw(pisa_bigint::Ubig::from(v))
+    }
+
+    fn sample_frame() -> SessionMsg {
+        SessionMsg {
+            session: 3,
+            attempt: 2,
+            msg: PisaMessage::PuUpdate(crate::messages::PuUpdateMsg {
+                block: BlockId(4),
+                w_column: (0..3).map(ct).collect(),
+                ct_bytes: 64,
+            }),
+        }
+    }
+
+    #[test]
+    fn session_frame_roundtrip() {
+        let frame = sample_frame();
+        let decoded = SessionMsg::decode(&frame.encode()).unwrap();
+        assert_eq!(decoded.session, 3);
+        assert_eq!(decoded.attempt, 2);
+        assert_eq!(frame.encode(), decoded.encode());
+        assert!(frame.wire_bytes() > frame.encode().len());
+    }
+
+    #[test]
+    fn truncated_session_frame_rejected() {
+        let bytes = sample_frame().encode();
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(SessionMsg::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_oracle_is_deterministic_and_safe() {
+        let frame = sample_frame();
+        for tweak in 0..64 {
+            let a = corrupt_session_frame(&frame, tweak);
+            let b = corrupt_session_frame(&frame, tweak);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.encode(), y.encode());
+                    // A surviving flip differs from the original frame.
+                    assert_ne!(x.encode(), frame.encode());
+                }
+                _ => panic!("oracle not deterministic for tweak {tweak}"),
+            }
+        }
+    }
+
+    fn storm_setup(n_sus: u32, seed: u64) -> (Vec<(SuClient, Vec<Channel>)>, SdcServer, StpServer) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SystemConfig::small_test();
+        let mut stp = StpServer::new(&mut rng, cfg.paillier_bits());
+        let sdc = SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc.storm", &mut rng);
+        let sus = (0..n_sus)
+            .map(|i| {
+                let su = SuClient::new(SuId(i), BlockId(i as usize % cfg.blocks()), &cfg, &mut rng);
+                stp.register_su(su.id(), su.public_key().clone());
+                (su, vec![Channel(i as usize % cfg.channels())])
+            })
+            .collect();
+        (sus, sdc, stp)
+    }
+
+    #[test]
+    fn quiet_storm_grants_every_session_first_try() {
+        let (sus, sdc, stp) = storm_setup(3, 0x570);
+        // A generous deadline: "quiet" asserts no *network* retries, so
+        // keep slow-machine compute time out of the equation.
+        let engine = EngineConfig::default().with_timeout(Duration::from_secs(5));
+        let (report, _sdc, _stp) = run_storm(sus, sdc, stp, None, &engine, 0x570).unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(report.all_completed());
+        for outcome in &report.outcomes {
+            assert_eq!(outcome.granted, Some(true), "{:?}", outcome.su_id);
+            assert_eq!(outcome.attempts, 1);
+        }
+        // No faults, no retries, no rejects.
+        let totals = report.metrics.session_totals();
+        assert_eq!(totals.retries + totals.timeouts + totals.rejected, 0);
+        assert_eq!(report.metrics.fault_totals().total(), 0);
+    }
+
+    #[test]
+    fn lossy_storm_reaches_the_same_decisions() {
+        let (sus, sdc, stp) = storm_setup(4, 0x571);
+        let (baseline, _, _) =
+            run_storm(sus, sdc, stp, None, &EngineConfig::default(), 0x571).unwrap();
+
+        let (sus, sdc, stp) = storm_setup(4, 0x571);
+        let faults = FaultConfig::new(0xbad)
+            .with_default_plan(FaultPlan::none().with_drop(0.15).with_duplicate(0.25));
+        let engine = EngineConfig::default().with_max_retries(12);
+        let (report, _, _) = run_storm(sus, sdc, stp, Some(faults), &engine, 0x571).unwrap();
+
+        assert_eq!(report.decisions(), baseline.decisions());
+        assert!(report.all_completed());
+        // The fault layer actually fired and the sessions absorbed it.
+        assert!(report.metrics.fault_totals().total() > 0);
+    }
+
+    #[test]
+    fn unregistered_su_is_reported_not_panicked() {
+        let (mut sus, sdc, _stp) = storm_setup(2, 0x572);
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = SystemConfig::small_test();
+        // Fresh STP that knows neither SU.
+        let stp = StpServer::new(&mut rng, cfg.paillier_bits());
+        let su_id = sus[0].0.id();
+        sus.truncate(1);
+        let err = run_storm(sus, sdc, stp, None, &EngineConfig::default(), 0x572).unwrap_err();
+        assert_eq!(err, PisaError::UnknownSu(su_id));
+    }
+}

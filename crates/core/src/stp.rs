@@ -92,14 +92,16 @@ impl StpServer {
 
         let mut v_values = Vec::with_capacity(msg.v_matrix.len());
         let mut x_entries = Vec::with_capacity(msg.v_matrix.len());
-        for ct in msg.v_matrix.ciphertexts() {
+        let base = rng.next_u64();
+        for (idx, ct) in msg.v_matrix.ciphertexts().iter().enumerate() {
+            let mut erng = crate::sdc::entry_rng(base, idx);
             let v = self.global.secret().decrypt(ct);
             let x = if v.is_positive() {
                 Ibig::from(1i64)
             } else {
                 Ibig::from(-1i64)
             };
-            x_entries.push(su_pk.encrypt(&x, rng));
+            x_entries.push(su_pk.encrypt(&x, &mut erng));
             v_values.push(v);
         }
 
@@ -119,8 +121,10 @@ impl StpServer {
     }
 
     /// Parallel key conversion: the per-entry decrypt + re-encrypt work
-    /// is independent, so it splits across `threads` worker threads
-    /// (each with an RNG derived from `rng`). Entry order is preserved.
+    /// is independent, so it splits across `threads` worker threads.
+    /// Entry order is preserved, and randomness is derived *per entry*
+    /// from a single draw on `rng`, so the reply is byte-identical to
+    /// the sequential path for any thread count.
     ///
     /// # Errors
     ///
@@ -135,7 +139,6 @@ impl StpServer {
         threads: usize,
         rng: &mut R,
     ) -> Result<(StpToSdcMsg, StpObservation), PisaError> {
-        use rand::SeedableRng;
         assert!(threads > 0, "need at least one worker");
         let su_pk = self
             .directory
@@ -144,37 +147,38 @@ impl StpServer {
 
         let cts = msg.v_matrix.ciphertexts();
         let chunk_len = cts.len().div_ceil(threads).max(1);
-        let seeds: Vec<u64> = (0..threads).map(|_| rng.next_u64()).collect();
+        let base = rng.next_u64();
 
-        let results: Vec<(pisa_crypto::paillier::Ciphertext, Ibig)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = cts
-                    .chunks(chunk_len)
-                    .zip(&seeds)
-                    .map(|(chunk, &seed)| {
-                        let sk = self.global.secret();
-                        scope.spawn(move || {
-                            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                            chunk
-                                .iter()
-                                .map(|ct| {
-                                    let v = sk.decrypt(ct);
-                                    let x = if v.is_positive() {
-                                        Ibig::from(1i64)
-                                    } else {
-                                        Ibig::from(-1i64)
-                                    };
-                                    (su_pk.encrypt(&x, &mut rng), v)
-                                })
-                                .collect::<Vec<_>>()
-                        })
+        let results: Vec<(pisa_crypto::paillier::Ciphertext, Ibig)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = cts
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(chunk_no, chunk)| {
+                    let sk = self.global.secret();
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(k, ct)| {
+                                let mut erng =
+                                    crate::sdc::entry_rng(base, chunk_no * chunk_len + k);
+                                let v = sk.decrypt(ct);
+                                let x = if v.is_positive() {
+                                    Ibig::from(1i64)
+                                } else {
+                                    Ibig::from(-1i64)
+                                };
+                                (su_pk.encrypt(&x, &mut erng), v)
+                            })
+                            .collect::<Vec<_>>()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("worker healthy"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker healthy"))
+                .collect()
+        });
 
         let (x_entries, v_values): (Vec<_>, Vec<_>) = results.into_iter().unzip();
         Ok((

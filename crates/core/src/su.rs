@@ -219,8 +219,8 @@ mod tests {
     fn request_decrypts_to_f_matrix() {
         let (cfg, global, mut su, mut rng) = setup();
         let msg = su.build_request(&cfg, global.public(), &[Channel(2)], &mut rng);
-        let plain = SuRequest::full_power(cfg.watch(), BlockId(7), &[Channel(2)])
-            .f_matrix(cfg.watch());
+        let plain =
+            SuRequest::full_power(cfg.watch(), BlockId(7), &[Channel(2)]).f_matrix(cfg.watch());
         let decrypted = msg.f_matrix.decrypt(global.secret());
         assert_eq!(decrypted, plain);
     }

@@ -189,7 +189,10 @@ fn get_matrix(r: &mut Reader<'_>) -> Result<(CipherMatrix, usize), CodecError> {
     let cts = (0..entries)
         .map(|_| get_ciphertext(r, ct_bytes))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok((CipherMatrix::from_ciphertexts(channels, blocks, cts), ct_bytes))
+    Ok((
+        CipherMatrix::from_ciphertexts(channels, blocks, cts),
+        ct_bytes,
+    ))
 }
 
 fn checked_ct_bytes(v: u32) -> Result<usize, CodecError> {
@@ -271,7 +274,11 @@ mod tests {
         for msg in sample_messages() {
             let frame = msg.encode();
             let budget = msg.wire_bytes();
-            assert!(frame.len() <= budget, "frame {} > budget {budget}", frame.len());
+            assert!(
+                frame.len() <= budget,
+                "frame {} > budget {budget}",
+                frame.len()
+            );
             assert!(
                 frame.len() >= budget / 2,
                 "frame {} too far below budget {budget}",

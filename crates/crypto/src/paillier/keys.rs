@@ -275,7 +275,7 @@ impl PaillierKeyPair {
     /// Panics if `bits < 64` or `bits` is odd.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
         assert!(bits >= MIN_KEY_BITS, "key size below {MIN_KEY_BITS} bits");
-        assert!(bits % 2 == 0, "key size must be even");
+        assert!(bits.is_multiple_of(2), "key size must be even");
         loop {
             let p = prime::gen_prime(rng, bits / 2);
             let q = prime::gen_prime(rng, bits / 2);
@@ -422,11 +422,7 @@ mod tests {
         let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).unwrap();
         let pk = kp.public();
         let half = Ibig::from(pk.modulus() >> 1);
-        for m in [
-            Ibig::zero(),
-            half.clone(),
-            -half.clone() + Ibig::from(1i64),
-        ] {
+        for m in [Ibig::zero(), half.clone(), -half.clone() + Ibig::from(1i64)] {
             assert_eq!(pk.decode(pk.encode(&m)), m);
         }
     }

@@ -116,7 +116,11 @@ pub struct RsaKeyParts {
 impl std::fmt::Debug for RsaKeyParts {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print the private exponent.
-        write!(f, "RsaKeyParts(n: {} bits, d: <redacted>)", self.n.bit_len())
+        write!(
+            f,
+            "RsaKeyParts(n: {} bits, d: <redacted>)",
+            self.n.bit_len()
+        )
     }
 }
 
@@ -134,7 +138,10 @@ impl RsaKeyPair {
     ///
     /// Panics if `bits < 64` or `bits` is odd.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
-        assert!(bits >= 64 && bits % 2 == 0, "unsupported RSA size {bits}");
+        assert!(
+            bits >= 64 && bits.is_multiple_of(2),
+            "unsupported RSA size {bits}"
+        );
         let e = Ubig::from(PUBLIC_EXPONENT);
         loop {
             let p = prime::gen_prime(rng, bits / 2);

@@ -124,7 +124,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let half = kp.public().modulus() >> 1;
         let m = pisa_bigint::random::random_below(&mut rng, &half);
-        let m = if seed % 2 == 0 {
+        let m = if seed.is_multiple_of(2) {
             Ibig::from(m)
         } else {
             -Ibig::from(m)

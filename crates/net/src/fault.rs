@@ -1,0 +1,304 @@
+//! Deterministic, seedable fault injection for the simulated network.
+//!
+//! A [`FaultConfig`] attaches independent per-link probabilities for the
+//! four classic link pathologies — drop, duplicate, reorder, corrupt —
+//! plus an optional [`LatencyModel`] that is applied to every delivery.
+//! Randomness is drawn from a dedicated RNG stream *per directed link*,
+//! each seeded from the config seed and the link addresses, so the fault
+//! pattern a given sender observes is a pure function of `(seed, link,
+//! send index)` and does not depend on how concurrent sessions happen to
+//! interleave on other links.
+//!
+//! Corruption needs to know what a "bit flip the receiver may or may not
+//! detect" means for the payload type, so the network owns a pluggable
+//! [`Corruptor`] oracle: given the payload and 64 tweak bits it returns
+//! `Some(mangled)` when the flipped frame still decodes (the receiver
+//! sees a wrong-but-well-formed message and must reject it at the
+//! protocol layer) or `None` when the frame no longer parses (the
+//! network absorbs it like a drop, counted separately). Without an
+//! oracle, corruption always destroys the frame.
+
+use crate::transport::{Envelope, Party};
+use crate::LatencyModel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-link fault probabilities, each independently in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability a message silently disappears.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a message is held back and swapped with the next one
+    /// on the same link.
+    pub reorder: f64,
+    /// Probability a message is bit-flipped in transit.
+    pub corrupt: f64,
+}
+
+impl FaultPlan {
+    /// A fault-free link.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The same probability for all four fault kinds.
+    pub fn uniform(p: f64) -> Self {
+        FaultPlan {
+            drop: p,
+            duplicate: p,
+            reorder: p,
+            corrupt: p,
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the duplicate probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder = p;
+        self
+    }
+
+    /// Sets the corrupt probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    fn is_quiet(&self) -> bool {
+        self.drop <= 0.0 && self.duplicate <= 0.0 && self.reorder <= 0.0 && self.corrupt <= 0.0
+    }
+}
+
+/// A seedable fault-injection policy for a whole network.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Master seed; every per-link RNG stream derives from it.
+    pub seed: u64,
+    /// Plan applied to links without a dedicated override.
+    pub default_plan: FaultPlan,
+    /// Per-link overrides, keyed by `(from, to)`.
+    pub per_link: HashMap<(Party, Party), FaultPlan>,
+    /// Optional wire-time model applied to every delivery (the sender
+    /// blocks for `transfer_time(bytes, 1)` before the message lands).
+    pub latency: Option<LatencyModel>,
+}
+
+impl FaultConfig {
+    /// A quiet config (no faults, no latency) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            default_plan: FaultPlan::none(),
+            per_link: HashMap::new(),
+            latency: None,
+        }
+    }
+
+    /// Applies `plan` to every link without an override.
+    pub fn with_default_plan(mut self, plan: FaultPlan) -> Self {
+        self.default_plan = plan;
+        self
+    }
+
+    /// Overrides the plan for one directed link.
+    pub fn with_link(mut self, from: Party, to: Party, plan: FaultPlan) -> Self {
+        self.per_link.insert((from, to), plan);
+        self
+    }
+
+    /// Simulates wire time on every delivery.
+    pub fn with_latency(mut self, model: LatencyModel) -> Self {
+        self.latency = Some(model);
+        self
+    }
+
+    /// The plan governing `from → to`.
+    pub fn plan_for(&self, from: Party, to: Party) -> FaultPlan {
+        self.per_link
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_plan)
+    }
+
+    /// `true` if any link can corrupt payloads. Protocol layers use this
+    /// to decide whether a well-formed but unverifiable message can be
+    /// trusted as-is or must be treated as possibly mangled.
+    pub fn any_corruption(&self) -> bool {
+        self.default_plan.corrupt > 0.0 || self.per_link.values().any(|p| p.corrupt > 0.0)
+    }
+}
+
+/// What the fault layer decided for one message.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FaultDraw {
+    pub dropped: bool,
+    pub duplicated: bool,
+    pub reordered: bool,
+    /// 64 tweak bits for the corruption oracle, when corruption fired.
+    pub corrupt: Option<u64>,
+}
+
+/// Payload-corruption oracle: `Some(mangled)` if the flipped frame still
+/// decodes, `None` if the receiver would discard it as unparseable.
+pub type Corruptor<M> = Arc<dyn Fn(&M, u64) -> Option<M> + Send + Sync>;
+
+/// Shared mutable state backing fault injection on one network.
+pub(crate) struct FaultState<M> {
+    config: FaultConfig,
+    rngs: Mutex<HashMap<(Party, Party), StdRng>>,
+    holdback: Mutex<HashMap<(Party, Party), Envelope<M>>>,
+    corruptor: Mutex<Option<Corruptor<M>>>,
+}
+
+impl<M> FaultState<M> {
+    pub fn new(config: FaultConfig) -> Self {
+        FaultState {
+            config,
+            rngs: Mutex::new(HashMap::new()),
+            holdback: Mutex::new(HashMap::new()),
+            corruptor: Mutex::new(None),
+        }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    pub fn set_corruptor(&self, corruptor: Corruptor<M>) {
+        *self.corruptor.lock() = Some(corruptor);
+    }
+
+    pub fn corruptor(&self) -> Option<Corruptor<M>> {
+        self.corruptor.lock().clone()
+    }
+
+    /// Rolls the dice for one message on `from → to`.
+    pub fn draw(&self, from: Party, to: Party) -> FaultDraw {
+        let plan = self.config.plan_for(from, to);
+        if plan.is_quiet() {
+            return FaultDraw::default();
+        }
+        let mut rngs = self.rngs.lock();
+        let rng = rngs
+            .entry((from, to))
+            .or_insert_with(|| StdRng::seed_from_u64(link_seed(self.config.seed, from, to)));
+        let mut chance = |p: f64| (rng.next_u64() >> 11) as f64 * 2f64.powi(-53) < p;
+        FaultDraw {
+            dropped: chance(plan.drop),
+            duplicated: chance(plan.duplicate),
+            reordered: chance(plan.reorder),
+            corrupt: chance(plan.corrupt).then(|| rng.next_u64()),
+        }
+    }
+
+    /// Removes and returns the message held back on `link`, if any.
+    pub fn take_held(&self, link: (Party, Party)) -> Option<Envelope<M>> {
+        self.holdback.lock().remove(&link)
+    }
+
+    /// Holds `env` back until the next send on its link.
+    pub fn hold(&self, link: (Party, Party), env: Envelope<M>) {
+        self.holdback.lock().insert(link, env);
+    }
+
+    /// Removes and returns every held-back message.
+    pub fn drain_held(&self) -> Vec<Envelope<M>> {
+        self.holdback.lock().drain().map(|(_, env)| env).collect()
+    }
+}
+
+/// Stable 64-bit code for a party (independent of hash seeds).
+fn party_code(party: Party) -> u64 {
+    match party {
+        Party::Sdc => 1 << 32,
+        Party::Stp => 2 << 32,
+        Party::Pu(i) => (3 << 32) | u64::from(i),
+        Party::Su(i) => (4 << 32) | u64::from(i),
+    }
+}
+
+/// Per-link RNG seed: a splitmix64 mix of the master seed and both
+/// endpoint codes, so distinct links get decorrelated streams.
+fn link_seed(seed: u64, from: Party, to: Party) -> u64 {
+    let mut z = seed ^ party_code(from).rotate_left(17) ^ party_code(to).rotate_left(43);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_compose() {
+        let p = FaultPlan::none().with_drop(0.1).with_corrupt(0.2);
+        assert_eq!(p.drop, 0.1);
+        assert_eq!(p.corrupt, 0.2);
+        assert_eq!(p.duplicate, 0.0);
+        assert!(FaultPlan::none().is_quiet());
+        assert!(!FaultPlan::uniform(0.05).is_quiet());
+    }
+
+    #[test]
+    fn per_link_overrides_default() {
+        let cfg = FaultConfig::new(7)
+            .with_default_plan(FaultPlan::uniform(0.5))
+            .with_link(Party::Su(0), Party::Sdc, FaultPlan::none());
+        assert!(cfg.plan_for(Party::Su(0), Party::Sdc).is_quiet());
+        assert_eq!(cfg.plan_for(Party::Su(1), Party::Sdc).drop, 0.5);
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let draw_seq = |seed: u64| {
+            let state: FaultState<Vec<u8>> =
+                FaultState::new(FaultConfig::new(seed).with_default_plan(FaultPlan::uniform(0.3)));
+            (0..64)
+                .map(|_| {
+                    let d = state.draw(Party::Su(0), Party::Sdc);
+                    (d.dropped, d.duplicated, d.reordered, d.corrupt)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw_seq(42), draw_seq(42));
+        assert_ne!(draw_seq(42), draw_seq(43));
+    }
+
+    #[test]
+    fn links_have_independent_streams() {
+        let state: FaultState<Vec<u8>> =
+            FaultState::new(FaultConfig::new(9).with_default_plan(FaultPlan::uniform(0.5)));
+        let a: Vec<bool> = (0..64)
+            .map(|_| state.draw(Party::Su(0), Party::Sdc).dropped)
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|_| state.draw(Party::Su(1), Party::Sdc).dropped)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn quiet_plan_draws_nothing() {
+        let state: FaultState<Vec<u8>> = FaultState::new(FaultConfig::new(1));
+        let d = state.draw(Party::Su(0), Party::Sdc);
+        assert!(!d.dropped && !d.duplicated && !d.reordered && d.corrupt.is_none());
+    }
+}

@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn ideal_is_zero() {
-        assert_eq!(LatencyModel::ideal().transfer_time(1 << 30, 100), Duration::ZERO);
+        assert_eq!(
+            LatencyModel::ideal().transfer_time(1 << 30, 100),
+            Duration::ZERO
+        );
     }
 
     #[test]

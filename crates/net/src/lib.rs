@@ -9,9 +9,12 @@
 //! * typed party addresses ([`Party`]),
 //! * reliable in-order delivery over [`crossbeam`] channels,
 //! * per-link byte and message accounting ([`NetMetrics`]) driven by the
-//!   [`WireSize`] trait, and
+//!   [`WireSize`] trait,
 //! * a configurable latency model ([`LatencyModel`]) for estimating
-//!   end-to-end protocol latency from the accounted traffic.
+//!   end-to-end protocol latency from the accounted traffic, and
+//! * deterministic, seedable fault injection ([`FaultConfig`]) with
+//!   per-link drop/duplicate/reorder/corrupt probabilities and
+//!   absorbed-fault counters surfaced through [`NetMetrics`].
 //!
 //! # Examples
 //!
@@ -37,13 +40,15 @@
 
 pub mod codec;
 mod error;
+mod fault;
 mod latency;
 mod metrics;
 mod transport;
 
 pub use error::NetError;
+pub use fault::{Corruptor, FaultConfig, FaultPlan};
 pub use latency::LatencyModel;
-pub use metrics::{LinkStats, NetMetrics};
+pub use metrics::{FaultKind, FaultStats, LinkStats, NetMetrics, SessionStats};
 pub use transport::{Endpoint, Envelope, Network, Party};
 
 /// Serialized size of a message on the wire, in bytes.

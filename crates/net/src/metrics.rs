@@ -15,12 +15,78 @@ pub struct LinkStats {
     pub bytes: u64,
 }
 
+/// Injected-fault counters for one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Messages silently dropped.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages held back and swapped with a later one.
+    pub reordered: u64,
+    /// Messages bit-flipped but still parseable (delivered mangled).
+    pub corrupted: u64,
+    /// Messages bit-flipped into garbage (absorbed like a drop).
+    pub corrupt_dropped: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected on this link.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.reordered + self.corrupted + self.corrupt_dropped
+    }
+
+    fn add(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.corrupted += other.corrupted;
+        self.corrupt_dropped += other.corrupt_dropped;
+    }
+}
+
+/// Which fault the network injected (see [`FaultStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Message silently disappeared.
+    Dropped,
+    /// Message delivered twice.
+    Duplicated,
+    /// Message held back and swapped with a later one.
+    Reordered,
+    /// Message mangled but still parseable.
+    Corrupted,
+    /// Message mangled into garbage and absorbed.
+    CorruptDropped,
+}
+
+/// Resilience counters for one protocol session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Requests re-sent after a lost or late reply.
+    pub retries: u64,
+    /// `recv_timeout` deadlines that expired.
+    pub timeouts: u64,
+    /// Malformed or out-of-order messages rejected.
+    pub rejected: u64,
+}
+
+impl SessionStats {
+    fn add(&mut self, other: &SessionStats) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.rejected += other.rejected;
+    }
+}
+
 /// Shared traffic metrics for a [`Network`](crate::Network).
 ///
 /// Cloning shares the counters.
 #[derive(Clone, Default)]
 pub struct NetMetrics {
     inner: Arc<Mutex<HashMap<(Party, Party), LinkStats>>>,
+    faults: Arc<Mutex<HashMap<(Party, Party), FaultStats>>>,
+    sessions: Arc<Mutex<HashMap<u64, SessionStats>>>,
 }
 
 impl NetMetrics {
@@ -74,12 +140,71 @@ impl NetMetrics {
 
     /// Snapshot of every link, sorted by address pair.
     pub fn snapshot(&self) -> Vec<((Party, Party), LinkStats)> {
-        let mut v: Vec<_> = self
-            .inner
-            .lock()
-            .iter()
-            .map(|(k, s)| (*k, *s))
-            .collect();
+        let mut v: Vec<_> = self.inner.lock().iter().map(|(k, s)| (*k, *s)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Records one injected fault on a directed link.
+    pub fn record_fault(&self, from: Party, to: Party, kind: FaultKind) {
+        let mut faults = self.faults.lock();
+        let stats = faults.entry((from, to)).or_default();
+        match kind {
+            FaultKind::Dropped => stats.dropped += 1,
+            FaultKind::Duplicated => stats.duplicated += 1,
+            FaultKind::Reordered => stats.reordered += 1,
+            FaultKind::Corrupted => stats.corrupted += 1,
+            FaultKind::CorruptDropped => stats.corrupt_dropped += 1,
+        }
+    }
+
+    /// Fault counters for one directed link, if any fault fired there.
+    pub fn link_faults(&self, from: Party, to: Party) -> Option<FaultStats> {
+        self.faults.lock().get(&(from, to)).copied()
+    }
+
+    /// Faults absorbed across all links.
+    pub fn fault_totals(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for stats in self.faults.lock().values() {
+            total.add(stats);
+        }
+        total
+    }
+
+    /// Records one request retry for `session`.
+    pub fn record_session_retry(&self, session: u64) {
+        self.sessions.lock().entry(session).or_default().retries += 1;
+    }
+
+    /// Records one expired receive deadline for `session`.
+    pub fn record_session_timeout(&self, session: u64) {
+        self.sessions.lock().entry(session).or_default().timeouts += 1;
+    }
+
+    /// Records one rejected (malformed / out-of-order) message for
+    /// `session`.
+    pub fn record_session_reject(&self, session: u64) {
+        self.sessions.lock().entry(session).or_default().rejected += 1;
+    }
+
+    /// Resilience counters for one session, if it reported anything.
+    pub fn session(&self, session: u64) -> Option<SessionStats> {
+        self.sessions.lock().get(&session).copied()
+    }
+
+    /// Resilience counters summed over every session.
+    pub fn session_totals(&self) -> SessionStats {
+        let mut total = SessionStats::default();
+        for stats in self.sessions.lock().values() {
+            total.add(stats);
+        }
+        total
+    }
+
+    /// Per-session counters, sorted by session id.
+    pub fn session_snapshot(&self) -> Vec<(u64, SessionStats)> {
+        let mut v: Vec<_> = self.sessions.lock().iter().map(|(k, s)| (*k, *s)).collect();
         v.sort_by_key(|(k, _)| *k);
         v
     }
@@ -87,6 +212,8 @@ impl NetMetrics {
     /// Resets all counters (start of a new measured phase).
     pub fn reset(&self) {
         self.inner.lock().clear();
+        self.faults.lock().clear();
+        self.sessions.lock().clear();
     }
 }
 
@@ -136,5 +263,49 @@ mod tests {
         let m2 = m.clone();
         m.record(Party::Sdc, Party::Stp, 5);
         assert_eq!(m2.total_bytes(), 5);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let m = NetMetrics::new();
+        m.record_fault(Party::Su(0), Party::Sdc, FaultKind::Dropped);
+        m.record_fault(Party::Su(0), Party::Sdc, FaultKind::Dropped);
+        m.record_fault(Party::Su(0), Party::Sdc, FaultKind::Corrupted);
+        m.record_fault(Party::Sdc, Party::Stp, FaultKind::Duplicated);
+        m.record_fault(Party::Sdc, Party::Stp, FaultKind::Reordered);
+        m.record_fault(Party::Sdc, Party::Stp, FaultKind::CorruptDropped);
+        let link = m.link_faults(Party::Su(0), Party::Sdc).unwrap();
+        assert_eq!(link.dropped, 2);
+        assert_eq!(link.corrupted, 1);
+        let totals = m.fault_totals();
+        assert_eq!(totals.total(), 6);
+        assert_eq!(totals.duplicated, 1);
+        assert_eq!(m.link_faults(Party::Stp, Party::Sdc), None);
+    }
+
+    #[test]
+    fn session_counters_accumulate() {
+        let m = NetMetrics::new();
+        m.record_session_retry(3);
+        m.record_session_retry(3);
+        m.record_session_timeout(3);
+        m.record_session_reject(7);
+        assert_eq!(
+            m.session(3),
+            Some(SessionStats {
+                retries: 2,
+                timeouts: 1,
+                rejected: 0
+            })
+        );
+        let totals = m.session_totals();
+        assert_eq!(totals.retries, 2);
+        assert_eq!(totals.rejected, 1);
+        let snap = m.session_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].0 < snap[1].0);
+        m.reset();
+        assert_eq!(m.session_totals(), SessionStats::default());
+        assert_eq!(m.fault_totals(), FaultStats::default());
     }
 }

@@ -1,6 +1,7 @@
 //! Party addressing and in-memory message delivery.
 
-use crate::metrics::NetMetrics;
+use crate::fault::{Corruptor, FaultConfig, FaultState};
+use crate::metrics::{FaultKind, NetMetrics};
 use crate::{NetError, WireSize};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -56,6 +57,7 @@ struct Mailboxes<M> {
 pub struct Network<M> {
     boxes: Arc<Mutex<Mailboxes<M>>>,
     metrics: NetMetrics,
+    faults: Option<Arc<FaultState<M>>>,
 }
 
 impl<M> Clone for Network<M> {
@@ -63,6 +65,7 @@ impl<M> Clone for Network<M> {
         Network {
             boxes: Arc::clone(&self.boxes),
             metrics: self.metrics.clone(),
+            faults: self.faults.clone(),
         }
     }
 }
@@ -80,7 +83,7 @@ impl<M> fmt::Debug for Network<M> {
 }
 
 impl<M> Network<M> {
-    /// Creates an empty network.
+    /// Creates an empty, fault-free network.
     pub fn new() -> Self {
         Network {
             boxes: Arc::new(Mutex::new(Mailboxes {
@@ -88,6 +91,28 @@ impl<M> Network<M> {
                 receivers: HashMap::new(),
             })),
             metrics: NetMetrics::new(),
+            faults: None,
+        }
+    }
+
+    /// Creates a network that injects faults according to `config`.
+    pub fn with_faults(config: FaultConfig) -> Self {
+        let mut net = Self::new();
+        net.faults = Some(Arc::new(FaultState::new(config)));
+        net
+    }
+
+    /// The fault policy, if this network injects faults.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_deref().map(FaultState::config)
+    }
+
+    /// Installs the corruption oracle: how a bit flip mangles a payload
+    /// (`None` = the flipped frame no longer parses and is absorbed).
+    /// No-op on a fault-free network.
+    pub fn set_corruptor(&self, corruptor: Corruptor<M>) {
+        if let Some(faults) = &self.faults {
+            faults.set_corruptor(corruptor);
         }
     }
 }
@@ -96,9 +121,9 @@ impl<M: WireSize> Network<M> {
     /// Returns (creating on first use) the endpoint for `party`.
     pub fn endpoint(&self, party: Party) -> Endpoint<M> {
         let mut boxes = self.boxes.lock();
-        if !boxes.senders.contains_key(&party) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = boxes.senders.entry(party) {
             let (tx, rx) = unbounded();
-            boxes.senders.insert(party, tx);
+            slot.insert(tx);
             boxes.receivers.insert(party, rx);
         }
         Endpoint {
@@ -113,7 +138,8 @@ impl<M: WireSize> Network<M> {
         &self.metrics
     }
 
-    fn deliver(&self, env: Envelope<M>) -> Result<(), NetError> {
+    /// Puts `env` in the recipient's mailbox, recording its wire size.
+    fn deliver_direct(&self, env: Envelope<M>) -> Result<(), NetError> {
         let bytes = env.payload.wire_bytes();
         let sender = {
             let boxes = self.boxes.lock();
@@ -130,6 +156,73 @@ impl<M: WireSize> Network<M> {
     }
 }
 
+impl<M: WireSize + Clone> Network<M> {
+    fn deliver(&self, env: Envelope<M>) -> Result<(), NetError> {
+        let Some(faults) = self.faults.clone() else {
+            return self.deliver_direct(env);
+        };
+        if let Some(model) = faults.config().latency {
+            std::thread::sleep(model.transfer_time(env.payload.wire_bytes() as u64, 1));
+        }
+        let link = (env.from, env.to);
+        let draw = faults.draw(env.from, env.to);
+        if draw.dropped {
+            self.metrics
+                .record_fault(env.from, env.to, FaultKind::Dropped);
+            return Ok(());
+        }
+        let mut env = env;
+        if let Some(tweak) = draw.corrupt {
+            // Without an oracle a bit flip always destroys the frame;
+            // with one, the flip may still decode into a wrong-but-
+            // well-formed message the receiver must reject itself.
+            match faults.corruptor().and_then(|c| c(&env.payload, tweak)) {
+                Some(mangled) => {
+                    self.metrics
+                        .record_fault(env.from, env.to, FaultKind::Corrupted);
+                    env.payload = mangled;
+                }
+                None => {
+                    self.metrics
+                        .record_fault(env.from, env.to, FaultKind::CorruptDropped);
+                    return Ok(());
+                }
+            }
+        }
+        // Reorder = hold one message back and release it after the next
+        // send on the same link (a one-slot swap).
+        let held = faults.take_held(link);
+        if draw.reordered && held.is_none() {
+            self.metrics
+                .record_fault(env.from, env.to, FaultKind::Reordered);
+            faults.hold(link, env);
+            return Ok(());
+        }
+        if draw.duplicated {
+            self.metrics
+                .record_fault(env.from, env.to, FaultKind::Duplicated);
+            self.deliver_direct(env.clone())?;
+        }
+        self.deliver_direct(env)?;
+        if let Some(prev) = held {
+            self.deliver_direct(prev)?;
+        }
+        Ok(())
+    }
+
+    /// Delivers every message the reorder stage is still holding back.
+    /// Returns how many were flushed. No-op on a fault-free network.
+    pub fn flush_holdback(&self) -> usize {
+        let Some(faults) = &self.faults else { return 0 };
+        let held = faults.drain_held();
+        let n = held.len();
+        for env in held {
+            let _ = self.deliver_direct(env);
+        }
+        n
+    }
+}
+
 /// One party's handle onto the network.
 pub struct Endpoint<M> {
     party: Party,
@@ -137,7 +230,7 @@ pub struct Endpoint<M> {
     rx: Receiver<Envelope<M>>,
 }
 
-impl<M: WireSize> Endpoint<M> {
+impl<M: WireSize + Clone> Endpoint<M> {
     /// This endpoint's address.
     pub fn party(&self) -> Party {
         self.party
@@ -270,6 +363,127 @@ mod tests {
             .recv_timeout(std::time::Duration::from_millis(100))
             .expect("delivered");
         assert_eq!(env.payload, vec![9]);
+    }
+
+    #[test]
+    fn faulty_network_drops_and_counts() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let net: Network<Vec<u8>> = Network::with_faults(
+            FaultConfig::new(0xfa11).with_default_plan(FaultPlan::none().with_drop(1.0)),
+        );
+        let a = net.endpoint(Party::Su(0));
+        let b = net.endpoint(Party::Sdc);
+        for _ in 0..5 {
+            a.send(Party::Sdc, vec![1, 2, 3]);
+        }
+        assert!(b.try_recv().is_none());
+        let faults = net.metrics().link_faults(Party::Su(0), Party::Sdc).unwrap();
+        assert_eq!(faults.dropped, 5);
+        // Dropped messages never hit the mailbox, so no bytes accrue.
+        assert_eq!(net.metrics().total_bytes(), 0);
+    }
+
+    #[test]
+    fn faulty_network_duplicates() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let net: Network<Vec<u8>> = Network::with_faults(
+            FaultConfig::new(1).with_default_plan(FaultPlan::none().with_duplicate(1.0)),
+        );
+        let a = net.endpoint(Party::Su(0));
+        let b = net.endpoint(Party::Sdc);
+        a.send(Party::Sdc, vec![7]);
+        assert_eq!(b.recv().unwrap().payload, vec![7]);
+        assert_eq!(b.recv().unwrap().payload, vec![7]);
+        assert!(b.try_recv().is_none());
+        let faults = net.metrics().fault_totals();
+        assert_eq!(faults.duplicated, 1);
+    }
+
+    #[test]
+    fn faulty_network_reorders_adjacent_messages() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let net: Network<Vec<u8>> = Network::with_faults(
+            FaultConfig::new(2).with_default_plan(FaultPlan::none().with_reorder(1.0)),
+        );
+        let a = net.endpoint(Party::Su(0));
+        let b = net.endpoint(Party::Sdc);
+        a.send(Party::Sdc, vec![1]);
+        a.send(Party::Sdc, vec![2]);
+        // First send was held back; second send releases it after itself.
+        assert_eq!(b.recv().unwrap().payload, vec![2]);
+        assert_eq!(b.recv().unwrap().payload, vec![1]);
+        assert!(net.metrics().fault_totals().reordered >= 1);
+    }
+
+    #[test]
+    fn holdback_flush_recovers_stranded_message() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let net: Network<Vec<u8>> = Network::with_faults(
+            FaultConfig::new(3).with_default_plan(FaultPlan::none().with_reorder(1.0)),
+        );
+        let a = net.endpoint(Party::Su(0));
+        let b = net.endpoint(Party::Sdc);
+        a.send(Party::Sdc, vec![9]);
+        assert!(b.try_recv().is_none());
+        assert_eq!(net.flush_holdback(), 1);
+        assert_eq!(b.recv().unwrap().payload, vec![9]);
+    }
+
+    #[test]
+    fn corruption_without_oracle_absorbs_frame() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let net: Network<Vec<u8>> = Network::with_faults(
+            FaultConfig::new(4).with_default_plan(FaultPlan::none().with_corrupt(1.0)),
+        );
+        let a = net.endpoint(Party::Su(0));
+        let b = net.endpoint(Party::Sdc);
+        a.send(Party::Sdc, vec![1, 2, 3]);
+        assert!(b.try_recv().is_none());
+        assert_eq!(net.metrics().fault_totals().corrupt_dropped, 1);
+    }
+
+    #[test]
+    fn corruption_oracle_mangles_payload() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        use std::sync::Arc;
+        let net: Network<Vec<u8>> = Network::with_faults(
+            FaultConfig::new(5).with_default_plan(FaultPlan::none().with_corrupt(1.0)),
+        );
+        net.set_corruptor(Arc::new(|payload: &Vec<u8>, tweak| {
+            let mut flipped = payload.clone();
+            let bit = tweak as usize % (flipped.len() * 8);
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            Some(flipped)
+        }));
+        let a = net.endpoint(Party::Su(0));
+        let b = net.endpoint(Party::Sdc);
+        a.send(Party::Sdc, vec![0, 0, 0, 0]);
+        let env = b.recv().unwrap();
+        assert_eq!(env.payload.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+        assert_eq!(net.metrics().fault_totals().corrupted, 1);
+    }
+
+    #[test]
+    fn same_seed_same_fault_pattern() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let run = |seed: u64| {
+            let net: Network<Vec<u8>> = Network::with_faults(
+                FaultConfig::new(seed).with_default_plan(FaultPlan::uniform(0.3)),
+            );
+            let a = net.endpoint(Party::Su(0));
+            let b = net.endpoint(Party::Sdc);
+            for i in 0..50u8 {
+                a.send(Party::Sdc, vec![i]);
+            }
+            net.flush_holdback();
+            let mut seen = Vec::new();
+            while let Some(env) = b.try_recv() {
+                seen.push(env.payload[0]);
+            }
+            (seen, net.metrics().fault_totals())
+        };
+        assert_eq!(run(0xcafe), run(0xcafe));
+        assert_ne!(run(0xcafe).0, run(0xbeef).0);
     }
 
     #[test]

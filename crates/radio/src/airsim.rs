@@ -9,8 +9,8 @@
 //! the two SUs arrive with visibly different amplitudes because their
 //! distances differ (Figure 8).
 
-use crate::pathloss::{FreeSpace, LinkGeometry, PathLossModel};
 use crate::grid::Point;
+use crate::pathloss::{FreeSpace, LinkGeometry, PathLossModel};
 use crate::units::Dbm;
 use serde::{Deserialize, Serialize};
 
@@ -160,12 +160,7 @@ impl AirSim {
     ///
     /// Panics if the observer is unknown or the parameters are
     /// non-positive.
-    pub fn render_trace(
-        &self,
-        observer: usize,
-        duration_us: f64,
-        samples_per_us: f64,
-    ) -> Vec<f64> {
+    pub fn render_trace(&self, observer: usize, duration_us: f64, samples_per_us: f64) -> Vec<f64> {
         assert!(observer < self.nodes.len(), "unknown observer {observer}");
         assert!(
             duration_us > 0.0 && samples_per_us > 0.0,

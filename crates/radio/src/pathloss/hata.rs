@@ -89,9 +89,7 @@ impl ExtendedHata {
         let env_corrected = match self.environment {
             Environment::Urban => urban,
             Environment::Suburban => urban - 2.0 * (f / 28.0).log10().powi(2) - 5.4,
-            Environment::Open => {
-                urban - 4.78 * f.log10().powi(2) + 18.33 * f.log10() - 40.94
-            }
+            Environment::Open => urban - 4.78 * f.log10().powi(2) + 18.33 * f.log10() - 40.94,
         };
         env_corrected + short_range_adjust
     }

@@ -103,9 +103,14 @@ mod tests {
     fn rough_terrain_adds_loss() {
         let rough = IrregularTerrain::new(Terrain::new(9, 300.0));
         let a = Point { x: 0.0, y: 0.0 };
-        let b = Point { x: 5000.0, y: 2000.0 };
+        let b = Point {
+            x: 5000.0,
+            y: 2000.0,
+        };
         let l_rough = rough.path_loss_between(a, b, &geom()).0;
-        let l_flat = ExtendedHata::suburban().path_loss_db(a.distance_m(&b), &geom()).0;
+        let l_flat = ExtendedHata::suburban()
+            .path_loss_db(a.distance_m(&b), &geom())
+            .0;
         assert!(l_rough > l_flat, "{l_rough} vs {l_flat}");
     }
 

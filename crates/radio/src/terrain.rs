@@ -156,7 +156,10 @@ mod tests {
     fn flat_terrain_is_flat() {
         let t = Terrain::flat();
         let a = Point { x: 0.0, y: 0.0 };
-        let b = Point { x: 5000.0, y: 5000.0 };
+        let b = Point {
+            x: 5000.0,
+            y: 5000.0,
+        };
         assert_eq!(t.elevation_m(b), 0.0);
         assert_eq!(t.interdecile_range_m(a, b), 0.0);
     }
@@ -181,7 +184,10 @@ mod tests {
     fn roughness_positive_for_rough_terrain() {
         let t = Terrain::new(5, 200.0);
         let a = Point { x: 0.0, y: 0.0 };
-        let b = Point { x: 8000.0, y: 3000.0 };
+        let b = Point {
+            x: 8000.0,
+            y: 3000.0,
+        };
         let idr = t.interdecile_range_m(a, b);
         assert!(idr > 1.0, "idr = {idr}");
     }

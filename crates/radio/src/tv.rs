@@ -126,7 +126,13 @@ mod tests {
         let tx = TvTransmitter::full_power(Point { x: 0.0, y: 0.0 }, Channel(5));
         let model = IrregularTerrain::new(Terrain::flat());
         let near = tx.signal_at(&model, Point { x: 5000.0, y: 0.0 });
-        let far = tx.signal_at(&model, Point { x: 50_000.0, y: 0.0 });
+        let far = tx.signal_at(
+            &model,
+            Point {
+                x: 50_000.0,
+                y: 0.0,
+            },
+        );
         assert!(near.0 > far.0);
     }
 

@@ -1,7 +1,9 @@
 //! Property-based tests for the radio substrate.
 
 use pisa_radio::grid::Point;
-use pisa_radio::pathloss::{ExtendedHata, FreeSpace, IrregularTerrain, LinkGeometry, PathLossModel};
+use pisa_radio::pathloss::{
+    ExtendedHata, FreeSpace, IrregularTerrain, LinkGeometry, PathLossModel,
+};
 use pisa_radio::protection::{protection_distance, ProtectionParams};
 use pisa_radio::terrain::Terrain;
 use pisa_radio::tv::Channel;

@@ -52,9 +52,7 @@ impl WatchConfig {
         assert!(channels > 0, "need at least one channel");
         let model = IrregularTerrain::new(terrain);
         let dc_m = (0..channels)
-            .map(|c| {
-                protection_distance(&model, &params, Channel(c), MAX_PROTECTION_DISTANCE_M)
-            })
+            .map(|c| protection_distance(&model, &params, Channel(c), MAX_PROTECTION_DISTANCE_M))
             .collect();
         WatchConfig {
             area,
@@ -73,8 +71,20 @@ impl WatchConfig {
     pub fn paper() -> Self {
         let area = ServiceArea::paper();
         let transmitters = vec![
-            TvTransmitter::full_power(Point { x: -20_000.0, y: 5_000.0 }, Channel(3)),
-            TvTransmitter::full_power(Point { x: 25_000.0, y: -8_000.0 }, Channel(7)),
+            TvTransmitter::full_power(
+                Point {
+                    x: -20_000.0,
+                    y: 5_000.0,
+                },
+                Channel(3),
+            ),
+            TvTransmitter::full_power(
+                Point {
+                    x: 25_000.0,
+                    y: -8_000.0,
+                },
+                Channel(7),
+            ),
         ];
         WatchConfig::new(
             area,

@@ -43,7 +43,11 @@ impl IntMatrix {
     }
 
     /// Builds a matrix by evaluating `f(c, b)` for every entry.
-    pub fn from_fn(channels: usize, blocks: usize, mut f: impl FnMut(usize, usize) -> i128) -> Self {
+    pub fn from_fn(
+        channels: usize,
+        blocks: usize,
+        mut f: impl FnMut(usize, usize) -> i128,
+    ) -> Self {
         let mut m = IntMatrix::zeros(channels, blocks);
         for c in 0..channels {
             for b in 0..blocks {

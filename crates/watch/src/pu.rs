@@ -88,11 +88,7 @@ impl PuInput {
     pub fn w_matrix(&self, cfg: &WatchConfig, e: &IntMatrix) -> IntMatrix {
         let mut w = IntMatrix::zeros(cfg.channels(), cfg.blocks());
         if let Some(c) = self.tuned {
-            w.set(
-                c.0,
-                self.block.0,
-                self.signal_q - e.get(c.0, self.block.0),
-            );
+            w.set(c.0, self.block.0, self.signal_q - e.get(c.0, self.block.0));
         }
         w
     }

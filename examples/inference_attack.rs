@@ -58,9 +58,13 @@ fn main() {
             pu_hits += 1;
         }
     }
-    println!("SU-block triangulation on ciphertexts: {su_hits}/{runs} hits (chance: {:.0}/{runs})",
-        runs as f64 / cfg.blocks() as f64);
-    println!("PU-channel detection on ciphertexts:   {pu_hits}/{runs} hits (chance: {:.0}/{runs})",
-        runs as f64 / cfg.channels() as f64);
+    println!(
+        "SU-block triangulation on ciphertexts: {su_hits}/{runs} hits (chance: {:.0}/{runs})",
+        runs as f64 / cfg.blocks() as f64
+    );
+    println!(
+        "PU-channel detection on ciphertexts:   {pu_hits}/{runs} hits (chance: {:.0}/{runs})",
+        runs as f64 / cfg.channels() as f64
+    );
     println!("\nsemantic security reduces the curious SDC to guessing.");
 }

@@ -12,7 +12,7 @@
 use pisa::prelude::*;
 use pisa_watch::{PuInput, SuRequest, WatchSdc};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 
 const HOURS: usize = 4;
 const NUM_PUS: u64 = 12;
@@ -40,7 +40,9 @@ fn main() {
     let su_ids: Vec<_> = (0..NUM_SUS)
         .map(|i| system.register_su(BlockId((i * 5 + 2) % blocks), &mut rng))
         .collect();
-    let su_blocks: Vec<BlockId> = (0..NUM_SUS).map(|i| BlockId((i * 5 + 2) % blocks)).collect();
+    let su_blocks: Vec<BlockId> = (0..NUM_SUS)
+        .map(|i| BlockId((i * 5 + 2) % blocks))
+        .collect();
 
     let mut grants = 0usize;
     let mut denials = 0usize;
@@ -70,8 +72,7 @@ fn main() {
             for _ in 0..2 {
                 let ch = Channel((rng.next_u64() as usize) % channels);
                 let power_dbm = -45.0 + (rng.next_u64() % 35) as f64;
-                let request =
-                    SuRequest::with_power_dbm(&watch_cfg, su_blocks[i], &[ch], power_dbm);
+                let request = SuRequest::with_power_dbm(&watch_cfg, su_blocks[i], &[ch], power_dbm);
                 let outcome = system.request_with(su, &request, &mut rng).unwrap();
                 let truth = mirror.process_request(&request);
                 if outcome.granted != truth.is_granted() {
@@ -85,9 +86,7 @@ fn main() {
                 // TVWS-style baseline: deny whenever ANY receiver is on
                 // the channel anywhere.
                 let channel_active = (0..NUM_PUS).any(|p| {
-                    mirror
-                        .n_matrix()
-                        .get(ch.0, pu_blocks[p as usize].0)
+                    mirror.n_matrix().get(ch.0, pu_blocks[p as usize].0)
                         != mirror.e_matrix().get(ch.0, pu_blocks[p as usize].0)
                 });
                 if channel_active {
@@ -127,7 +126,10 @@ fn main() {
 
     let total = grants + denials;
     println!("\n==== results over {total} requests ====");
-    println!("PISA grants:            {grants:>4} ({:.0}%)", 100.0 * grants as f64 / total as f64);
+    println!(
+        "PISA grants:            {grants:>4} ({:.0}%)",
+        100.0 * grants as f64 / total as f64
+    );
     println!("PISA denials:           {denials:>4}");
     println!(
         "TVWS-model denials:     {tvws_denials:>4} (whole-channel exclusion would deny these)"

@@ -40,8 +40,7 @@ fn main() {
             privacy * 100.0,
             outcome.request_bytes / 1024,
             elapsed.as_secs_f64() * 1000.0,
-            100.0 * outcome.request_bytes as f64
-                / (outcome.request_bytes as f64 / privacy),
+            100.0 * outcome.request_bytes as f64 / (outcome.request_bytes as f64 / privacy),
         );
         rows.push((region, outcome.request_bytes, elapsed));
         assert!(outcome.granted);
@@ -59,5 +58,8 @@ fn main() {
         );
     }
     println!("\nrequest size is exactly linear in the exposed region —");
-    println!("full location privacy costs {}x the 5-block region.", blocks / 5);
+    println!(
+        "full location privacy costs {}x the 5-block region.",
+        blocks / 5
+    );
 }

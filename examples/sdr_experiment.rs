@@ -55,7 +55,10 @@ fn main() {
     let req2 = SuRequest::with_power_dbm(&watch_cfg, BlockId(24), &[Channel(0)], -30.0);
     let out1 = system.request_with(su1, &req1, &mut rng).unwrap();
     let out2 = system.request_with(su2, &req2, &mut rng).unwrap();
-    println!("  requests acknowledged ({} KiB each)", out1.request_bytes / 1024);
+    println!(
+        "  requests acknowledged ({} KiB each)",
+        out1.request_bytes / 1024
+    );
 
     // ── Scenario 4: decisions arrive; the granted SU transmits. ───────
     println!("\nscenario 4: decisions (known only to each SU)");

@@ -1,0 +1,222 @@
+//! Offline stand-in for `serde`: the trait surface used by the
+//! workspace's hand-written impls (`pisa-bigint`'s byte encodings),
+//! with no-op derive macros re-exported behind the `derive` feature.
+//!
+//! The data model is a deliberately small subset — bytes, bools,
+//! unsigned integers, sequences and 2-tuples — which is everything the
+//! in-tree impls touch. No serializer backend ships in the workspace;
+//! the real wire format is the hand-written codec in `pisa-net`.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value serializable through [`Serializer`].
+pub trait Serialize {
+    /// Feeds `self` into the serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value reconstructible through a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Drives the deserializer to rebuild `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Re-export so `serde::Deserializer` paths resolve.
+pub use de::Deserializer;
+/// Re-export so `serde::Serializer` paths resolve.
+pub use ser::Serializer;
+
+/// Serialization half of the data model.
+pub mod ser {
+    use std::fmt;
+
+    /// Serializer-side error constructor.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// The subset data-model sink.
+    pub trait Serializer: Sized {
+        /// Success value.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Tuple sub-serializer.
+        type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Writes a bool.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Writes a byte.
+        fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+        /// Writes a u32.
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        /// Writes a u64.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Writes an opaque byte string.
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+        /// Begins a fixed-arity tuple.
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    }
+
+    /// Element sink for tuples.
+    pub trait SerializeTuple {
+        /// Success value.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Writes one element.
+        fn serialize_element<T: super::Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the tuple.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialization half of the data model.
+pub mod de {
+    use std::fmt;
+
+    /// Deserializer-side error constructor.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// What a [`Visitor`] expects, for diagnostics.
+    pub struct Expected;
+
+    /// The subset data-model source.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Requests a bool.
+        fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Requests a byte.
+        fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Requests a u64.
+        fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Requests an opaque byte string.
+        fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Requests a fixed-arity tuple.
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+    }
+
+    /// Receives values from a [`Deserializer`].
+    pub trait Visitor<'de>: Sized {
+        /// The produced value.
+        type Value;
+
+        /// Describes the expected input (used in error messages).
+        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Receives a bool.
+        fn visit_bool<E: Error>(self, _v: bool) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected bool"))
+        }
+        /// Receives a u8.
+        fn visit_u8<E: Error>(self, _v: u8) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected u8"))
+        }
+        /// Receives a u64.
+        fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected u64"))
+        }
+        /// Receives a byte string.
+        fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected bytes"))
+        }
+        /// Receives a sequence.
+        fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+            Err(A::Error::custom("unexpected sequence"))
+        }
+    }
+
+    /// Streaming access to sequence elements.
+    pub trait SeqAccess<'de> {
+        /// Error type.
+        type Error: Error;
+        /// Next element, or `None` at the end.
+        fn next_element<T: super::Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+}
+
+macro_rules! impl_primitive {
+    ($($ty:ty => $ser:ident / $de:ident / $visit:ident),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> de::Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(stringify!($ty))
+                    }
+                    fn $visit<E: de::Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$de(V)
+            }
+        }
+    )*};
+}
+
+impl_primitive! {
+    bool => serialize_bool / deserialize_bool / visit_bool,
+    u8 => serialize_u8 / deserialize_u8 / visit_u8,
+    u64 => serialize_u64 / deserialize_u64 / visit_u64,
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeTuple as _;
+        let mut t = serializer.serialize_tuple(2)?;
+        t.serialize_element(&self.0)?;
+        t.serialize_element(&self.1)?;
+        t.end()
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<A, B>(std::marker::PhantomData<(A, B)>);
+        impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> de::Visitor<'de> for V<A, B> {
+            type Value = (A, B);
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a 2-tuple")
+            }
+            fn visit_seq<S: de::SeqAccess<'de>>(self, mut seq: S) -> Result<(A, B), S::Error> {
+                use de::Error as _;
+                let a = seq
+                    .next_element()?
+                    .ok_or_else(|| S::Error::custom("missing tuple element 0"))?;
+                let b = seq
+                    .next_element()?
+                    .ok_or_else(|| S::Error::custom("missing tuple element 1"))?;
+                Ok((a, b))
+            }
+        }
+        deserializer.deserialize_tuple(2, V(std::marker::PhantomData))
+    }
+}

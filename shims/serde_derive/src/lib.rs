@@ -1,0 +1,23 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace derives serde traits on many config/message types for
+//! forward compatibility, but nothing in the dependency tree ever
+//! drives a serializer through those derived impls (the wire format is
+//! the hand-written codec in `pisa-net`/`pisa-core`). These derives
+//! therefore expand to nothing: the attribute compiles, no impl is
+//! emitted. Hand-written impls (e.g. `pisa-bigint`'s) still work
+//! against the shim's real trait definitions.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

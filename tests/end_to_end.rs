@@ -65,12 +65,8 @@ fn low_power_su_is_granted_where_full_power_is_denied() {
     let full = system.request(su, &[Channel(1)], &mut r);
     assert!(!full.granted);
 
-    let quiet = pisa_watch::SuRequest::with_power_dbm(
-        cfg.watch(),
-        BlockId(13),
-        &[Channel(1)],
-        -40.0,
-    );
+    let quiet =
+        pisa_watch::SuRequest::with_power_dbm(cfg.watch(), BlockId(13), &[Channel(1)], -40.0);
     let outcome = system.request_with(su, &quiet, &mut r).unwrap();
     assert!(outcome.granted, "a -40 dBm whisper cannot hurt the PU");
 }
@@ -125,8 +121,7 @@ fn network_execution_matches_direct_decision() {
     // Over the simulated network with independent parties.
     let mut r2 = rng(8);
     let mut stp = pisa::StpServer::new(&mut r2, cfg.paillier_bits());
-    let mut sdc =
-        pisa::SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc.net", &mut r2);
+    let mut sdc = pisa::SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc.net", &mut r2);
     let mut pu = pisa::PuClient::new(0, BlockId(12));
     let e = sdc.e_matrix().clone();
     let update = pu.tune(Some(Channel(1)), &cfg, &e, stp.public_key(), &mut r2);
@@ -135,15 +130,9 @@ fn network_execution_matches_direct_decision() {
     let mut su = pisa::SuClient::new(pisa::SuId(0), BlockId(13), &cfg, &mut r2);
     stp.register_su(pisa::SuId(0), su.public_key().clone());
 
-    let (run, _sdc, _stp) = pisa::run_request_over_network(
-        &mut su,
-        sdc,
-        stp,
-        &[Channel(1)],
-        LatencyModel::lan(),
-        1234,
-    )
-    .unwrap();
+    let (run, _sdc, _stp) =
+        pisa::run_request_over_network(&mut su, sdc, stp, &[Channel(1)], LatencyModel::lan(), 1234)
+            .unwrap();
 
     assert_eq!(run.outcome.granted, direct_outcome.granted);
     assert_eq!(run.metrics.total_messages(), 4);
@@ -314,8 +303,7 @@ fn concurrent_sus_interleave_correctly() {
         sus.push((su, vec![ch]));
     }
 
-    let (outcomes, _sdc, _stp) =
-        pisa::run_concurrent_requests(sus, sdc, stp, 0xc0c0).unwrap();
+    let (outcomes, _sdc, _stp) = pisa::run_concurrent_requests(sus, sdc, stp, 0xc0c0).unwrap();
     assert_eq!(outcomes.len(), 4);
     for (id, granted) in outcomes {
         let expected = expectations[id.0 as usize].2;
@@ -389,10 +377,12 @@ fn snapshot_rejects_corruption() {
     bad[0] = 99;
     assert!(pisa::SdcServer::restore(cfg.clone(), stp.public_key().clone(), &bad).is_err());
     // Truncation.
-    assert!(
-        pisa::SdcServer::restore(cfg.clone(), stp.public_key().clone(), &frame[..frame.len() / 2])
-            .is_err()
-    );
+    assert!(pisa::SdcServer::restore(
+        cfg.clone(),
+        stp.public_key().clone(),
+        &frame[..frame.len() / 2]
+    )
+    .is_err());
     // Trailing garbage.
     let mut long = frame.to_vec();
     long.push(0);

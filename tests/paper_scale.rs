@@ -22,7 +22,12 @@ fn table1_shape_full_matrix() {
     let mut system = PisaSystem::setup(cfg, &mut rng);
     // A modest PU population.
     for i in 0..10u64 {
-        system.pu_update(i, BlockId((i as usize * 61) % 600), Some(Channel((i as usize * 7) % 100)), &mut rng);
+        system.pu_update(
+            i,
+            BlockId((i as usize * 61) % 600),
+            Some(Channel((i as usize * 7) % 100)),
+            &mut rng,
+        );
     }
     let su = system.register_su(BlockId(300), &mut rng);
     let outcome = system.request(su, &[Channel(7)], &mut rng);
@@ -40,8 +45,12 @@ fn table1_shape_full_matrix() {
             ),
         );
     }
-    let request = pisa_watch::SuRequest::full_power(system.config().watch(), BlockId(300), &[Channel(7)]);
-    assert_eq!(outcome.granted, mirror.process_request(&request).is_granted());
+    let request =
+        pisa_watch::SuRequest::full_power(system.config().watch(), BlockId(300), &[Channel(7)]);
+    assert_eq!(
+        outcome.granted,
+        mirror.process_request(&request).is_granted()
+    );
 }
 
 /// The true 2048-bit Table II keygen at paper scale — slow but bounded.

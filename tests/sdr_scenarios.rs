@@ -79,7 +79,10 @@ fn scenario3_and_4_only_the_harmless_su_is_granted() {
 
     // Ground truth agrees (the decision was made blindly but correctly).
     let mut watch = pisa_watch::WatchSdc::new(cfg.watch().clone());
-    watch.pu_update(0, pisa_watch::PuInput::tuned(cfg.watch(), BlockId(0), Channel(0)));
+    watch.pu_update(
+        0,
+        pisa_watch::PuInput::tuned(cfg.watch(), BlockId(0), Channel(0)),
+    );
     assert!(watch.process_request(&req1).is_denied());
     assert!(watch.process_request(&req2).is_granted());
 }

@@ -6,7 +6,7 @@ use pisa::prelude::*;
 use pisa_radio::BlockId;
 use pisa_watch::{PuInput, SuRequest, WatchSdc};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 
 /// Drives the same scenario through both systems and compares.
 struct TwinSystems {
@@ -134,8 +134,7 @@ fn borderline_power_sweep_finds_the_same_threshold() {
     let mut flips = Vec::new();
     let mut last = None;
     for power_dbm in (-30..=36).step_by(6) {
-        let request =
-            SuRequest::with_power_dbm(&cfg, BlockId(14), &[Channel(0)], power_dbm as f64);
+        let request = SuRequest::with_power_dbm(&cfg, BlockId(14), &[Channel(0)], power_dbm as f64);
         let enc = twins
             .pisa
             .request_with(su, &request, &mut twins.rng)

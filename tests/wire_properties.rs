@@ -1,0 +1,189 @@
+//! Property tests for every wire format in the workspace: round trips
+//! for all [`PisaMessage`] variants and [`SessionMsg`] envelopes, and
+//! robustness (error, never panic) on truncated or bit-flipped frames.
+//! The bit-flip property doubles as the contract of the fault
+//! injector's corruption oracle: a mangled frame either fails to decode
+//! (absorbed) or decodes into something the protocol layer rejects.
+
+use pisa::{
+    corrupt_session_frame, CipherMatrix, License, PisaMessage, PuUpdateMsg, SdcResponseMsg,
+    SdcToStpMsg, SessionMsg, StpToSdcMsg, SuId, SuRequestMsg,
+};
+use pisa_crypto::paillier::Ciphertext;
+use pisa_net::codec::{Reader, Writer};
+use pisa_radio::BlockId;
+use proptest::prelude::*;
+
+const CT_BYTES: usize = 64;
+
+fn ct(v: u64) -> Ciphertext {
+    Ciphertext::from_raw(pisa_bigint::Ubig::from(v))
+}
+
+fn matrix(channels: usize, blocks: usize, vals: &[u64]) -> CipherMatrix {
+    CipherMatrix::from_ciphertexts(
+        channels,
+        blocks,
+        (0..channels * blocks)
+            .map(|i| ct(vals[i % vals.len()].max(1)))
+            .collect(),
+    )
+}
+
+/// A generated message of every variant, exercised by each property.
+fn build_messages(
+    channels: usize,
+    blocks: usize,
+    vals: &[u64],
+    su: u32,
+    serial: u64,
+) -> Vec<PisaMessage> {
+    let m = matrix(channels, blocks, vals);
+    vec![
+        PisaMessage::PuUpdate(PuUpdateMsg {
+            block: BlockId(blocks - 1),
+            w_column: (0..channels).map(|i| ct(vals[i % vals.len()])).collect(),
+            ct_bytes: CT_BYTES,
+        }),
+        PisaMessage::SuRequest(SuRequestMsg {
+            su_id: SuId(su),
+            f_matrix: m.clone(),
+            region_blocks: blocks,
+            ct_bytes: CT_BYTES,
+        }),
+        PisaMessage::SdcToStp(SdcToStpMsg {
+            su_id: SuId(su),
+            v_matrix: m.clone(),
+            region_blocks: blocks,
+            ct_bytes: CT_BYTES,
+        }),
+        PisaMessage::StpToSdc(StpToSdcMsg {
+            su_id: SuId(su),
+            x_matrix: m,
+            region_blocks: blocks,
+            ct_bytes: CT_BYTES,
+        }),
+        PisaMessage::SdcResponse(SdcResponseMsg {
+            license: License {
+                su_id: SuId(su),
+                issuer: format!("sdc.{su}"),
+                request_digest: [su as u8; 32],
+                serial,
+            },
+            g_cipher: ct(vals[0].max(1)),
+            ct_bytes: CT_BYTES,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every variant round-trips bit-exactly through encode/decode.
+    #[test]
+    fn every_variant_roundtrips(
+        channels in 1usize..4,
+        blocks in 1usize..4,
+        vals in proptest::collection::vec(any::<u64>(), 1..8),
+        su in any::<u32>(),
+        serial in any::<u64>(),
+    ) {
+        for msg in build_messages(channels, blocks, &vals, su, serial) {
+            let frame = msg.encode();
+            let decoded = PisaMessage::decode(&frame).expect("valid frame decodes");
+            prop_assert_eq!(frame, decoded.encode());
+        }
+    }
+
+    /// Truncating a valid frame anywhere yields an error, not a panic.
+    #[test]
+    fn truncation_always_errors(
+        channels in 1usize..4,
+        blocks in 1usize..4,
+        vals in proptest::collection::vec(any::<u64>(), 1..8),
+        cut_seed in any::<usize>(),
+    ) {
+        for msg in build_messages(channels, blocks, &vals, 1, 1) {
+            let frame = msg.encode();
+            let cut = cut_seed % frame.len();
+            prop_assert!(PisaMessage::decode(&frame[..cut]).is_err());
+        }
+    }
+
+    /// Flipping any single bit never panics the decoder — this is the
+    /// exact operation the fault injector's corruptor performs.
+    #[test]
+    fn bit_flips_never_panic(
+        channels in 1usize..4,
+        blocks in 1usize..4,
+        vals in proptest::collection::vec(any::<u64>(), 1..8),
+        bit_seed in any::<usize>(),
+    ) {
+        for msg in build_messages(channels, blocks, &vals, 1, 1) {
+            let mut frame = msg.encode().to_vec();
+            let bit = bit_seed % (frame.len() * 8);
+            frame[bit / 8] ^= 1 << (bit % 8);
+            let _ = PisaMessage::decode(&frame);
+        }
+    }
+
+    /// Session envelopes round-trip, and the engine's corruption oracle
+    /// is deterministic and safe: `None` (absorbed) or a well-formed
+    /// mangled frame, never a panic.
+    #[test]
+    fn session_envelope_roundtrips_and_oracle_is_safe(
+        session in any::<u64>(),
+        attempt in any::<u32>(),
+        vals in proptest::collection::vec(any::<u64>(), 1..8),
+        tweak in any::<u64>(),
+    ) {
+        for msg in build_messages(2, 2, &vals, 7, 9) {
+            let frame = SessionMsg { session, attempt, msg };
+            let bytes = frame.encode();
+            let decoded = SessionMsg::decode(&bytes).expect("valid envelope decodes");
+            prop_assert_eq!(decoded.session, session);
+            prop_assert_eq!(decoded.attempt, attempt);
+            prop_assert_eq!(&bytes, &decoded.encode());
+
+            match (corrupt_session_frame(&frame, tweak), corrupt_session_frame(&frame, tweak)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    let mangled = a.encode();
+                    prop_assert_eq!(&mangled, &b.encode());
+                    prop_assert_ne!(&mangled, &bytes);
+                }
+                _ => prop_assert!(false, "oracle not deterministic"),
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics either decoder.
+    #[test]
+    fn garbage_never_panics(frame in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = PisaMessage::decode(&frame);
+        let _ = SessionMsg::decode(&frame);
+    }
+
+    /// The codec primitives round-trip in order.
+    #[test]
+    fn codec_primitives_roundtrip(
+        a in any::<u8>(),
+        b in any::<u32>(),
+        c in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut w = Writer::new();
+        w.put_u8(a);
+        w.put_u32(b);
+        w.put_u64(c);
+        w.put_bytes(&blob);
+        let frame = w.finish();
+
+        let mut r = Reader::new(&frame);
+        prop_assert_eq!(r.get_u8().unwrap(), a);
+        prop_assert_eq!(r.get_u32().unwrap(), b);
+        prop_assert_eq!(r.get_u64().unwrap(), c);
+        prop_assert_eq!(r.get_bytes().unwrap(), &blob[..]);
+        prop_assert!(r.finish().is_ok());
+    }
+}
