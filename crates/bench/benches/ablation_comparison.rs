@@ -38,14 +38,16 @@ fn bench_ablations(c: &mut Criterion) {
         let one = pk.encrypt_public_constant(&Ibig::from(1i64));
         b.iter(|| {
             let f = blinder.sample(&mut rng);
-            let scaled = pk.scalar_mul(&i_ct, &Ibig::from(f.alpha.clone()));
+            let scaled = pk.scalar_mul(&i_ct, &Ibig::from(f.alpha.clone())).unwrap();
             let beta_ct = pk.encrypt(&Ibig::from(f.beta.clone()), &mut rng);
-            let v = pk.scalar_mul(&pk.sub(&scaled, &beta_ct), &f.epsilon.as_scalar());
+            let v = pk
+                .scalar_mul(&pk.sub(&scaled, &beta_ct).unwrap(), &f.epsilon.as_scalar())
+                .unwrap();
             let plain = kp.secret().decrypt(&v);
             let x = if plain.is_positive() { 1i64 } else { -1 };
             let x_ct = pk.encrypt(&Ibig::from(x), &mut rng);
-            let unblinded = pk.scalar_mul(&x_ct, &f.epsilon.as_scalar());
-            pk.sub(&unblinded, &one)
+            let unblinded = pk.scalar_mul(&x_ct, &f.epsilon.as_scalar()).unwrap();
+            pk.sub(&unblinded, &one).unwrap()
         })
     });
 

@@ -42,13 +42,13 @@ fn bench_paillier(c: &mut Criterion) {
             b.iter(|| pk.add(&c1, &c2))
         });
         group.bench_function(BenchmarkId::new("hom_subtraction", bits), |b| {
-            b.iter(|| pk.sub(&c1, &c2))
+            b.iter(|| pk.sub(&c1, &c2).unwrap())
         });
         group.bench_function(BenchmarkId::new("hom_scale_100bit", bits), |b| {
-            b.iter(|| pk.scalar_mul(&c1, &k100))
+            b.iter(|| pk.scalar_mul(&c1, &k100).unwrap())
         });
         group.bench_function(BenchmarkId::new("hom_scale_full", bits), |b| {
-            b.iter(|| pk.scalar_mul(&c1, &kfull))
+            b.iter(|| pk.scalar_mul(&c1, &kfull).unwrap())
         });
         group.bench_function(BenchmarkId::new("rerandomize", bits), |b| {
             let mut rng = StdRng::seed_from_u64(2);

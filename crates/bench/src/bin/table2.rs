@@ -81,17 +81,17 @@ fn main() {
     row(
         "Homomorphic subtraction",
         "0.073 ms",
-        time_avg(iters, || pk.sub(&c1, &c2)),
+        time_avg(iters, || pk.sub(&c1, &c2).unwrap()),
     );
     row(
         "Homomorphic scale (100-bit constant)",
         "1.564 ms",
-        time_avg(iters, || pk.scalar_mul(&c1, &k100)),
+        time_avg(iters, || pk.scalar_mul(&c1, &k100).unwrap()),
     );
     row(
         "Homomorphic scale (full-size)",
         "18.867 ms",
-        time_avg(iters, || pk.scalar_mul(&c1, &kfull)),
+        time_avg(iters, || pk.scalar_mul(&c1, &kfull).unwrap()),
     );
     let mut rr_rng = StdRng::seed_from_u64(2);
     row(

@@ -12,6 +12,8 @@
 //! | Figures 8–11 (SDR scenarios) | — | `sdr_scenarios` |
 //! | FHE/bitwise comparison claim | `ablation_comparison` | — |
 
+#![forbid(unsafe_code)]
+
 use pisa::SystemConfig;
 use pisa_radio::protection::ProtectionParams;
 use pisa_radio::terrain::Terrain;

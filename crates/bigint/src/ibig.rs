@@ -127,6 +127,13 @@ impl Default for Ibig {
     }
 }
 
+impl crate::zeroize::Zeroize for Ibig {
+    fn zeroize(&mut self) {
+        self.magnitude.zeroize();
+        self.sign = Sign::Positive; // canonical zero
+    }
+}
+
 impl From<Ubig> for Ibig {
     fn from(magnitude: Ubig) -> Self {
         Ibig::from_sign_magnitude(Sign::Positive, magnitude)

@@ -24,7 +24,9 @@
 //! assert_eq!(modular::mod_pow(&base, &exp, &modulus), Ubig::one());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the zeroize module needs volatile writes
+// for its drop-wipe and carries the crate's only #![allow(unsafe_code)].
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arith;
@@ -37,6 +39,7 @@ pub mod prime;
 pub mod random;
 mod serde_impl;
 mod ubig;
+pub mod zeroize;
 
 pub use convert::ParseUbigError;
 pub use ibig::{Ibig, Sign};

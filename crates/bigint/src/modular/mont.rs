@@ -62,8 +62,16 @@ impl MontCtx {
     /// `base^exp mod n` using 4-bit fixed-window exponentiation in
     /// Montgomery form.
     ///
+    /// Every window multiplies unconditionally — zero windows multiply by
+    /// the Montgomery form of 1 instead of being skipped — so the
+    /// multiplication count depends only on `exp.bit_len()`, not on which
+    /// exponent bits are set (the square-and-multiply timing leak).
+    ///
     /// `base` need not be reduced.
     pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        // pisa-lint: allow(secret-branching): guard on exponent *presence* only;
+        // secret exponents (λ, p−1, q−1, n) are never zero, so this branch is
+        // taken solely for public zero-exponent calls.
         if exp.is_zero() {
             return Ubig::one() % &self.n;
         }
@@ -87,9 +95,7 @@ impl MontCtx {
             acc = self.mont_mul(&acc, &acc);
             acc = self.mont_mul(&acc, &acc);
             let d = nibble(exp, w);
-            if d != 0 {
-                acc = self.mont_mul(&acc, &table[d]);
-            }
+            acc = self.mont_mul(&acc, &table[d]);
         }
         self.unmont(&acc)
     }
@@ -143,6 +149,19 @@ impl MontCtx {
             debug_assert_eq!(borrow, 0);
         }
         Ubig::from_limbs(res)
+    }
+}
+
+impl crate::zeroize::Zeroize for MontCtx {
+    /// Wipes the modulus and precomputed residues. A context built for a
+    /// secret modulus (`p²`, `q²` in CRT decryption) reveals that modulus,
+    /// so secret-key `Drop` impls wipe their contexts too.
+    fn zeroize(&mut self) {
+        self.n.zeroize();
+        self.r_mod_n.zeroize();
+        self.r2_mod_n.zeroize();
+        self.n0_inv.zeroize();
+        self.k.zeroize();
     }
 }
 

@@ -12,6 +12,8 @@
 //! pisa info                     print the paper's Table I configuration
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

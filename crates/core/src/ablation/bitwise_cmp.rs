@@ -111,7 +111,7 @@ impl BitwiseComparison {
                     a_ct.clone()
                 } else {
                     cost.homomorphic_ops += 1;
-                    pk.sub(&one, a_ct)
+                    pk.sub(&one, a_ct).expect("freshly encrypted bit is a unit")
                 }
             })
             .collect();
@@ -123,7 +123,9 @@ impl BitwiseComparison {
             let shift = self.ell - 1 - idx;
             let b_bit = ((b >> shift) & 1) as i64;
             // c = a_i − b_i + 1 + 3·prefix
-            let tripled = pk.scalar_mul(&prefix, &Ibig::from(3i64));
+            let tripled = pk
+                .scalar_mul(&prefix, &Ibig::from(3i64))
+                .expect("positive scalar cannot fail");
             cost.scalar_muls += 1;
             let constant = pk.encrypt_public_constant(&Ibig::from(1 - b_bit));
             let mut c = pk.add(a_ct, &constant);
@@ -132,7 +134,9 @@ impl BitwiseComparison {
 
             // Multiplicative blinding by a random r ∈ [1, 2^32).
             let r = random_range(rng, &Ubig::one(), &(Ubig::one() << 32));
-            let blinded = pk.scalar_mul(&c, &Ibig::from(r));
+            let blinded = pk
+                .scalar_mul(&c, &Ibig::from(r))
+                .expect("positive scalar cannot fail");
             cost.scalar_muls += 1;
             out.push(blinded);
 

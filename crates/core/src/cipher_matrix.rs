@@ -138,22 +138,36 @@ impl CipherMatrix {
         self.zip(other, |a, b| pk.add(a, b))
     }
 
-    /// Element-wise homomorphic subtraction ⊖.
+    /// Element-wise homomorphic subtraction ⊖. Fails on the first
+    /// non-unit (adversarial) ciphertext in `other`.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn sub(&self, other: &CipherMatrix, pk: &PaillierPublicKey) -> CipherMatrix {
-        self.zip(other, |a, b| pk.sub(a, b))
+    pub fn sub(
+        &self,
+        other: &CipherMatrix,
+        pk: &PaillierPublicKey,
+    ) -> Result<CipherMatrix, pisa_crypto::CryptoError> {
+        self.try_zip(other, |a, b| pk.sub(a, b))
     }
 
-    /// Scalar multiplication ⊗ of every entry by `k`.
-    pub fn scale(&self, k: &Ibig, pk: &PaillierPublicKey) -> CipherMatrix {
-        CipherMatrix {
+    /// Scalar multiplication ⊗ of every entry by `k`. Fails on the first
+    /// non-unit (adversarial) ciphertext when `k` is negative.
+    pub fn scale(
+        &self,
+        k: &Ibig,
+        pk: &PaillierPublicKey,
+    ) -> Result<CipherMatrix, pisa_crypto::CryptoError> {
+        Ok(CipherMatrix {
             channels: self.channels,
             blocks: self.blocks,
-            data: self.data.iter().map(|c| pk.scalar_mul(c, k)).collect(),
-        }
+            data: self
+                .data
+                .iter()
+                .map(|c| pk.scalar_mul(c, k))
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// Re-randomizes every entry (the paper's cheap request refresh).
@@ -211,6 +225,27 @@ impl CipherMatrix {
                 .map(|(a, b)| f(a, b))
                 .collect(),
         }
+    }
+
+    fn try_zip<E>(
+        &self,
+        other: &CipherMatrix,
+        f: impl Fn(&Ciphertext, &Ciphertext) -> Result<Ciphertext, E>,
+    ) -> Result<CipherMatrix, E> {
+        assert!(
+            self.channels == other.channels && self.blocks == other.blocks,
+            "cipher matrix shape mismatch"
+        );
+        Ok(CipherMatrix {
+            channels: self.channels,
+            blocks: self.blocks,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| f(a, b))
+                .collect::<Result<_, _>>()?,
+        })
     }
 }
 
@@ -282,9 +317,13 @@ mod tests {
         let eb = CipherMatrix::encrypt(&b, kp.public(), &mut rng);
 
         assert_eq!(ea.add(&eb, kp.public()).decrypt(kp.secret()), &a + &b);
-        assert_eq!(ea.sub(&eb, kp.public()).decrypt(kp.secret()), &a - &b);
+        assert_eq!(
+            ea.sub(&eb, kp.public()).unwrap().decrypt(kp.secret()),
+            &a - &b
+        );
         assert_eq!(
             ea.scale(&Ibig::from(-3i64), kp.public())
+                .unwrap()
                 .decrypt(kp.secret()),
             a.scale(-3)
         );

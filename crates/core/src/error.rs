@@ -31,6 +31,18 @@ pub enum PisaError {
         /// Blocks available.
         blocks: usize,
     },
+    /// A cryptographic operation rejected its input — typically an
+    /// adversarial ciphertext that is not a unit modulo `n²`.
+    Crypto(pisa_crypto::CryptoError),
+    /// An internal engine invariant failed (e.g. a worker thread
+    /// panicked); the session should be torn down, not retried.
+    EngineFailure(&'static str),
+}
+
+impl From<pisa_crypto::CryptoError> for PisaError {
+    fn from(e: pisa_crypto::CryptoError) -> Self {
+        PisaError::Crypto(e)
+    }
 }
 
 impl fmt::Display for PisaError {
@@ -55,6 +67,8 @@ impl fmt::Display for PisaError {
                 f,
                 "request region of {region_blocks} blocks exceeds the {blocks}-block area"
             ),
+            PisaError::Crypto(e) => write!(f, "cryptographic operation failed: {e}"),
+            PisaError::EngineFailure(what) => write!(f, "engine failure: {what}"),
         }
     }
 }

@@ -23,9 +23,19 @@ impl fmt::Display for SuId {
 /// `pk_G` is published to every party; `sk_G` never leaves the STP
 /// (§III-C: "the STP is trusted for keeping sk_G as a secret only known
 /// to itself").
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct GlobalKeys {
     keys: PaillierKeyPair,
+}
+
+impl fmt::Debug for GlobalKeys {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GlobalKeys {{ pk_G: {} bits, sk_G: <redacted> }}",
+            self.keys.public().key_bits()
+        )
+    }
 }
 
 impl GlobalKeys {
@@ -105,6 +115,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = GlobalKeys::generate(&mut rng, 128);
         assert_eq!(g.public().key_bits(), 128);
+        let dbg = format!("{g:?}");
+        assert!(dbg.contains("sk_G: <redacted>"), "{dbg}");
     }
 
     #[test]

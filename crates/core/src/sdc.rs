@@ -17,11 +17,24 @@ use std::collections::HashMap;
 
 /// State the SDC keeps between phase 1 (blinded sign test sent to the
 /// STP) and phase 2 (response built from the STP's answer).
-#[derive(Debug)]
 struct PendingRequest {
     license: License,
     epsilons: Vec<SignFlip>,
     region_blocks: usize,
+}
+
+impl std::fmt::Debug for PendingRequest {
+    /// The ε vector unblinds the STP's sign readings, so it never
+    /// reaches logs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PendingRequest {{ license: {:?}, epsilons: <redacted ×{}>, region_blocks: {} }}",
+            self.license,
+            self.epsilons.len(),
+            self.region_blocks
+        )
+    }
 }
 
 /// The SDC: aggregates encrypted PU updates into the budget matrix `Ñ`
@@ -82,6 +95,7 @@ impl SdcServer {
         // |ε(αI − β)| must stay below n/2: verify against the worst-case
         // indicator magnitude (quantizer width + 16 bits of headroom,
         // the same bound SystemConfig enforces structurally).
+        // pisa-lint: allow(panic-freedom): u32 → usize widening, never truncates.
         let max_i = Ubig::one() << (cfg.watch().quantizer().total_bits() as usize + 16);
         assert!(
             blinder.max_blinded_magnitude(&max_i) < (pk_g.modulus() >> 1),
@@ -153,7 +167,7 @@ impl SdcServer {
         // Subtract the PU's previous contribution, if any.
         if let Some((old_block, old_col)) = self.contributions.remove(&pu_id) {
             for (c, old) in old_col.iter().enumerate() {
-                let cur = self.pk_g.sub(self.n_matrix.get(c, old_block.0), old);
+                let cur = self.pk_g.sub(self.n_matrix.get(c, old_block.0), old)?;
                 self.n_matrix.set(c, old_block.0, cur);
             }
         }
@@ -225,7 +239,7 @@ impl SdcServer {
         for c in 0..channels {
             for b in 0..region {
                 let mut erng = entry_rng(base, c * region + b);
-                let (v, eps) = self.blind_entry(msg.f_matrix.get(c, b), (c, b), &mut erng);
+                let (v, eps) = self.blind_entry(msg.f_matrix.get(c, b), (c, b), &mut erng)?;
                 v_entries.push(v);
                 epsilons.push(eps);
             }
@@ -257,25 +271,30 @@ impl SdcServer {
 
     /// Eqs. (11)–(14) for one entry: `R = X ⊗ F`, `I = N ⊖ R`,
     /// `V = ε ⊗ (α ⊗ I ⊖ β̃)`. Returns the blinded ciphertext and the ε
-    /// needed to unblind in phase 2.
+    /// needed to unblind in phase 2, or [`PisaError::Crypto`] when the
+    /// SU supplied a non-unit (adversarial) ciphertext entry.
     fn blind_entry<R: Rng + ?Sized>(
         &self,
         f_ct: &Ciphertext,
         (c, b): (usize, usize),
         rng: &mut R,
-    ) -> (Ciphertext, SignFlip) {
+    ) -> Result<(Ciphertext, SignFlip), PisaError> {
         let x = Ibig::from(self.cfg.watch().params().x_integer());
         // R = X ⊗ F (eq. 11)
-        let r = self.pk_g.scalar_mul(f_ct, &x);
+        let r = self.pk_g.scalar_mul(f_ct, &x)?;
         // I = N ⊖ R (eq. 12)
-        let i = self.pk_g.sub(self.n_matrix.get(c, b), &r);
+        let i = self.pk_g.sub(self.n_matrix.get(c, b), &r)?;
         // V = ε ⊗ (α ⊗ I ⊖ β̃) (eq. 14)
         let factors = self.blinder.sample(rng);
-        let scaled = self.pk_g.scalar_mul(&i, &Ibig::from(factors.alpha.clone()));
+        let scaled = self
+            .pk_g
+            .scalar_mul(&i, &Ibig::from(factors.alpha.clone()))?;
         let beta_ct = self.pk_g.encrypt(&Ibig::from(factors.beta.clone()), rng);
-        let blinded = self.pk_g.sub(&scaled, &beta_ct);
-        let v = self.pk_g.scalar_mul(&blinded, &factors.epsilon.as_scalar());
-        (v, factors.epsilon)
+        let blinded = self.pk_g.sub(&scaled, &beta_ct)?;
+        let v = self
+            .pk_g
+            .scalar_mul(&blinded, &factors.epsilon.as_scalar())?;
+        Ok((v, factors.epsilon))
     }
 
     /// Parallel variant of [`process_request_phase1`]: splits the
@@ -328,8 +347,10 @@ impl SdcServer {
 
         // Immutable fan-out over &self; results keep entry order, and
         // every entry gets the same derived RNG it would get on the
-        // sequential path, regardless of which chunk it lands in.
-        let results: Vec<(Ciphertext, SignFlip)> = std::thread::scope(|scope| {
+        // sequential path, regardless of which chunk it lands in. Every
+        // handle is joined before any error is propagated so a poisoned
+        // worker cannot leak past the scope.
+        let results: Result<Vec<(Ciphertext, SignFlip)>, PisaError> = std::thread::scope(|scope| {
             let handles: Vec<_> = indices
                 .chunks(chunk_len)
                 .enumerate()
@@ -348,13 +369,21 @@ impl SdcServer {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker healthy"))
-                .collect()
+            let mut entries = Vec::with_capacity(indices.len());
+            let mut worker_died = false;
+            for handle in handles {
+                match handle.join() {
+                    Ok(chunk) => entries.extend(chunk),
+                    Err(_) => worker_died = true,
+                }
+            }
+            if worker_died {
+                return Err(PisaError::EngineFailure("phase-1 blinding worker panicked"));
+            }
+            entries.into_iter().collect()
         });
 
-        let (v_entries, epsilons): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let (v_entries, epsilons): (Vec<_>, Vec<_>) = results?.into_iter().unzip();
         let license = License {
             su_id: msg.su_id,
             issuer: self.issuer.clone(),
@@ -410,17 +439,16 @@ impl SdcServer {
 
         let one = su_pk.encrypt_public_constant(&Ibig::from(1i64));
         let mut sum_q: Option<Ciphertext> = None;
-        for (idx, x_ct) in msg.x_matrix.ciphertexts().iter().enumerate() {
+        for (x_ct, eps) in msg.x_matrix.ciphertexts().iter().zip(&pending.epsilons) {
             // Q = ε ⊗ X̃ ⊖ 1̃ (eq. 16)
-            let eps = pending.epsilons[idx];
-            let unblinded = su_pk.scalar_mul(x_ct, &eps.as_scalar());
-            let q = su_pk.sub(&unblinded, &one);
+            let unblinded = su_pk.scalar_mul(x_ct, &eps.as_scalar())?;
+            let q = su_pk.sub(&unblinded, &one)?;
             sum_q = Some(match sum_q {
                 None => q,
                 Some(acc) => su_pk.add(&acc, &q),
             });
         }
-        let sum_q = sum_q.expect("region has at least one entry");
+        let sum_q = sum_q.ok_or(PisaError::EngineFailure("decision matrix has no entries"))?;
 
         // License signature, encrypted under the SU's key.
         let signature = pending.license.sign(&self.rsa);
@@ -430,7 +458,7 @@ impl SdcServer {
         // G = S̃G ⊕ η ⊗ ΣQ (eq. 17): ΣQ = 0 ⇒ G decrypts to SG;
         // ΣQ = −2k ⇒ G decrypts to SG − 2kη, an invalid signature.
         let eta = sample_eta(rng, su_pk.modulus());
-        let gated = su_pk.scalar_mul(&sum_q, &Ibig::from(eta));
+        let gated = su_pk.scalar_mul(&sum_q, &Ibig::from(eta))?;
         let g_cipher = su_pk.add(&sg_cipher, &gated);
 
         Ok(SdcResponseMsg {
@@ -457,19 +485,22 @@ impl SdcServer {
         w.put_u8(1); // snapshot format version
         w.put_bytes(self.issuer.as_bytes());
         w.put_u64(self.serial);
-        let rsa = self.rsa.to_parts();
+        let rsa = self.rsa.export_secret_parts();
         w.put_bytes(&rsa.n.to_be_bytes());
         w.put_bytes(&rsa.d.to_be_bytes());
-        w.put_u32(ct_bytes as u32);
+        w.put_u32(wire_u32(ct_bytes));
         // Deterministic order for reproducible snapshots.
         let mut ids: Vec<_> = self.contributions.keys().copied().collect();
         ids.sort_unstable();
-        w.put_u32(ids.len() as u32);
+        w.put_u32(wire_u32(ids.len()));
         for id in ids {
-            let (block, col) = &self.contributions[&id];
+            // The id came from the map's own key set one statement ago.
+            let Some((block, col)) = self.contributions.get(&id) else {
+                continue;
+            };
             w.put_u64(id);
             w.put_u64(block.0 as u64);
-            w.put_u32(col.len() as u32);
+            w.put_u32(wire_u32(col.len()));
             for ct in col {
                 w.put_raw(&ct.as_raw().to_be_bytes_padded(ct_bytes));
             }
@@ -502,18 +533,20 @@ impl SdcServer {
         let serial = r.get_u64()?;
         let rsa_n = Ubig::from_be_bytes(r.get_bytes()?);
         let rsa_d = Ubig::from_be_bytes(r.get_bytes()?);
-        let ct_bytes = r.get_u32()? as usize;
+        let ct_bytes = widen(r.get_u32()?);
         if ct_bytes == 0 || ct_bytes != pk_g.ciphertext_bytes() {
             return Err(CodecError::Invalid(format!(
                 "ciphertext width {ct_bytes} does not match the key"
             )));
         }
-        let count = r.get_u32()? as usize;
+        let count = widen(r.get_u32()?);
         let mut contributions = HashMap::with_capacity(count);
         for _ in 0..count {
             let id = r.get_u64()?;
-            let block = BlockId(r.get_u64()? as usize);
-            let cols = r.get_u32()? as usize;
+            let raw_block = r.get_u64()?;
+            let block =
+                BlockId(usize::try_from(raw_block).map_err(|_| CodecError::BadLength(raw_block))?);
+            let cols = widen(r.get_u32()?);
             if cols != cfg.channels() {
                 return Err(CodecError::Invalid(format!(
                     "contribution has {cols} channels, config has {}",
@@ -574,6 +607,18 @@ impl SdcServer {
 /// (splitmix64 over `base` and the flat entry index). Both the
 /// sequential and the parallel request paths use this, so their outputs
 /// are byte-identical for any thread count.
+/// Narrows a count to a snapshot's fixed `u32` field. Every count is
+/// bounded far below `u32::MAX` by construction; saturating keeps
+/// `snapshot` total, and `restore`'s dimension checks reject the result.
+fn wire_u32(v: usize) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+/// Widens a snapshot `u32` to `usize` — lossless on every supported host.
+fn widen(v: u32) -> usize {
+    v as usize // pisa-lint: allow(panic-freedom): u32 → usize never truncates
+}
+
 pub(crate) fn entry_rng(base: u64, index: usize) -> rand::rngs::StdRng {
     let mut z = base ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);

@@ -125,8 +125,17 @@ impl SessionMsg {
 /// [`run_storm`] does so automatically.
 pub fn corrupt_session_frame(msg: &SessionMsg, tweak: u64) -> Option<SessionMsg> {
     let mut bytes = msg.encode().to_vec();
-    let bit = (tweak as usize) % (bytes.len() * 8);
-    bytes[bit / 8] ^= 1 << (bit % 8);
+    let nbits = (bytes.len() * 8) as u64;
+    if nbits == 0 {
+        return None;
+    }
+    // The modulo bounds the bit index by the frame length, so the
+    // conversion and the byte lookup are both in range by construction —
+    // but stay total anyway: this runs inside the session engine.
+    let bit = usize::try_from(tweak % nbits).unwrap_or(0);
+    if let Some(byte) = bytes.get_mut(bit / 8) {
+        *byte ^= 1 << (bit % 8);
+    }
     SessionMsg::decode(&bytes).ok()
 }
 
@@ -251,11 +260,13 @@ impl EngineReport {
 ///
 /// # Errors
 ///
-/// [`PisaError::UnknownSu`] if an SU never registered with the STP.
+/// [`PisaError::UnknownSu`] if an SU never registered with the STP, and
+/// [`PisaError::EngineFailure`] if a party thread panics (every thread
+/// is still joined before the error is returned).
 ///
 /// # Panics
 ///
-/// Panics if `engine.workers == 0` or if a party thread panics.
+/// Panics if `engine.workers == 0`.
 pub fn run_storm(
     sus: Vec<(SuClient, Vec<Channel>)>,
     sdc: SdcServer,
@@ -573,16 +584,29 @@ pub fn run_storm(
         }));
     }
 
-    let mut outcomes: Vec<SessionOutcome> = su_handles
-        .into_iter()
-        .map(|h| h.join().expect("SU session thread healthy"))
-        .collect();
+    // Join every thread before reporting any failure: the stop flag must
+    // be raised (and the service loops drained) even when an SU thread
+    // died, or the process would leak spinning servers.
+    let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(su_handles.len());
+    let mut su_died = false;
+    for h in su_handles {
+        match h.join() {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(_) => su_died = true,
+        }
+    }
     outcomes.sort_by_key(|o| o.su_id);
 
     stop.store(true, Ordering::Release);
-    let sdc = sdc_handle.join().expect("SDC service thread healthy");
-    let stp = stp_handle.join().expect("STP service thread healthy");
+    let sdc = sdc_handle.join();
+    let stp = stp_handle.join();
     net.flush_holdback();
+
+    if su_died {
+        return Err(PisaError::EngineFailure("SU session thread panicked"));
+    }
+    let sdc = sdc.map_err(|_| PisaError::EngineFailure("SDC service thread panicked"))?;
+    let stp = stp.map_err(|_| PisaError::EngineFailure("STP service thread panicked"))?;
 
     Ok((
         EngineReport {
@@ -703,6 +727,31 @@ mod tests {
         assert!(report.all_completed());
         // The fault layer actually fired and the sessions absorbed it.
         assert!(report.metrics.fault_totals().total() > 0);
+    }
+
+    /// Chaos extension for the panic-freedom work: with payload
+    /// corruption switched on, every malformed frame must surface as a
+    /// decode error → retry, never as a panic inside the frame-decode
+    /// or homomorphic paths — and the final decisions must match the
+    /// fault-free baseline.
+    #[test]
+    fn corrupting_storm_never_panics_and_still_decides() {
+        let (sus, sdc, stp) = storm_setup(3, 0x573);
+        let (baseline, _, _) =
+            run_storm(sus, sdc, stp, None, &EngineConfig::default(), 0x573).unwrap();
+
+        let (sus, sdc, stp) = storm_setup(3, 0x573);
+        let faults = FaultConfig::new(0xc0de)
+            .with_default_plan(FaultPlan::none().with_corrupt(0.2).with_drop(0.1));
+        let engine = EngineConfig::default().with_max_retries(16);
+        let (report, _, _) = run_storm(sus, sdc, stp, Some(faults), &engine, 0x573).unwrap();
+
+        assert_eq!(report.decisions(), baseline.decisions());
+        assert!(report.all_completed());
+        assert!(
+            report.metrics.fault_totals().total() > 0,
+            "corruption faults must actually have fired"
+        );
     }
 
     #[test]

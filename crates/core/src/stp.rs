@@ -128,7 +128,8 @@ impl StpServer {
     ///
     /// # Errors
     ///
-    /// [`PisaError::UnknownSu`] if the SU never registered a key.
+    /// [`PisaError::UnknownSu`] if the SU never registered a key, and
+    /// [`PisaError::EngineFailure`] if a worker thread panics.
     ///
     /// # Panics
     ///
@@ -149,38 +150,49 @@ impl StpServer {
         let chunk_len = cts.len().div_ceil(threads).max(1);
         let base = rng.next_u64();
 
-        let results: Vec<(pisa_crypto::paillier::Ciphertext, Ibig)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = cts
-                .chunks(chunk_len)
-                .enumerate()
-                .map(|(chunk_no, chunk)| {
-                    let sk = self.global.secret();
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(k, ct)| {
-                                let mut erng =
-                                    crate::sdc::entry_rng(base, chunk_no * chunk_len + k);
-                                let v = sk.decrypt(ct);
-                                let x = if v.is_positive() {
-                                    Ibig::from(1i64)
-                                } else {
-                                    Ibig::from(-1i64)
-                                };
-                                (su_pk.encrypt(&x, &mut erng), v)
-                            })
-                            .collect::<Vec<_>>()
+        let results: Result<Vec<(pisa_crypto::paillier::Ciphertext, Ibig)>, PisaError> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = cts
+                    .chunks(chunk_len)
+                    .enumerate()
+                    .map(|(chunk_no, chunk)| {
+                        let sk = self.global.secret();
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .enumerate()
+                                .map(|(k, ct)| {
+                                    let mut erng =
+                                        crate::sdc::entry_rng(base, chunk_no * chunk_len + k);
+                                    let v = sk.decrypt(ct);
+                                    let x = if v.is_positive() {
+                                        Ibig::from(1i64)
+                                    } else {
+                                        Ibig::from(-1i64)
+                                    };
+                                    (su_pk.encrypt(&x, &mut erng), v)
+                                })
+                                .collect::<Vec<_>>()
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker healthy"))
-                .collect()
-        });
+                    .collect();
+                // Join every handle before reporting a dead worker so the
+                // scope never re-raises a swallowed panic.
+                let mut entries = Vec::with_capacity(cts.len());
+                let mut worker_died = false;
+                for handle in handles {
+                    match handle.join() {
+                        Ok(chunk) => entries.extend(chunk),
+                        Err(_) => worker_died = true,
+                    }
+                }
+                if worker_died {
+                    return Err(PisaError::EngineFailure("key-conversion worker panicked"));
+                }
+                Ok(entries)
+            });
 
-        let (x_entries, v_values): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let (x_entries, v_values): (Vec<_>, Vec<_>) = results?.into_iter().unzip();
         Ok((
             StpToSdcMsg {
                 su_id: msg.su_id,

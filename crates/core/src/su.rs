@@ -16,7 +16,6 @@ use rand::Rng;
 /// builds encrypted transmission requests, and is the *only* party able
 /// to learn the decision (by decrypting `G̃` and checking the license
 /// signature).
-#[derive(Debug)]
 pub struct SuClient {
     id: SuId,
     block: BlockId,
@@ -27,6 +26,18 @@ pub struct SuClient {
     cached: Option<CipherMatrix>,
     /// Offline-precomputed `rⁿ` factors, one per cached entry.
     refresh_pool: Vec<pisa_crypto::paillier::Randomizer>,
+}
+
+impl std::fmt::Debug for SuClient {
+    /// The block is the very datum PISA hides, so Debug output names the
+    /// SU but redacts its location and key material.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SuClient {{ id: {}, block: <redacted>, sk: <redacted> }}",
+            self.id
+        )
+    }
 }
 
 impl SuClient {

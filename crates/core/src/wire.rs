@@ -37,8 +37,8 @@ impl PisaMessage {
             PisaMessage::PuUpdate(m) => {
                 w.put_u8(TAG_PU_UPDATE);
                 w.put_u64(m.block.0 as u64);
-                w.put_u32(m.ct_bytes as u32);
-                w.put_u32(m.w_column.len() as u32);
+                w.put_u32(wire_u32(m.ct_bytes));
+                w.put_u32(wire_u32(m.w_column.len()));
                 for ct in &m.w_column {
                     put_ciphertext(&mut w, ct, m.ct_bytes);
                 }
@@ -46,19 +46,19 @@ impl PisaMessage {
             PisaMessage::SuRequest(m) => {
                 w.put_u8(TAG_SU_REQUEST);
                 w.put_u32(m.su_id.0);
-                w.put_u32(m.region_blocks as u32);
+                w.put_u32(wire_u32(m.region_blocks));
                 put_matrix(&mut w, &m.f_matrix, m.ct_bytes);
             }
             PisaMessage::SdcToStp(m) => {
                 w.put_u8(TAG_SDC_TO_STP);
                 w.put_u32(m.su_id.0);
-                w.put_u32(m.region_blocks as u32);
+                w.put_u32(wire_u32(m.region_blocks));
                 put_matrix(&mut w, &m.v_matrix, m.ct_bytes);
             }
             PisaMessage::StpToSdc(m) => {
                 w.put_u8(TAG_STP_TO_SDC);
                 w.put_u32(m.su_id.0);
-                w.put_u32(m.region_blocks as u32);
+                w.put_u32(wire_u32(m.region_blocks));
                 put_matrix(&mut w, &m.x_matrix, m.ct_bytes);
             }
             PisaMessage::SdcResponse(m) => {
@@ -67,7 +67,7 @@ impl PisaMessage {
                 w.put_bytes(m.license.issuer.as_bytes());
                 w.put_raw(&m.license.request_digest);
                 w.put_u64(m.license.serial);
-                w.put_u32(m.ct_bytes as u32);
+                w.put_u32(wire_u32(m.ct_bytes));
                 put_ciphertext(&mut w, &m.g_cipher, m.ct_bytes);
             }
         }
@@ -84,9 +84,12 @@ impl PisaMessage {
         let tag = r.get_u8()?;
         let msg = match tag {
             TAG_PU_UPDATE => {
-                let block = BlockId(r.get_u64()? as usize);
+                let raw_block = r.get_u64()?;
+                let block = BlockId(
+                    usize::try_from(raw_block).map_err(|_| CodecError::BadLength(raw_block))?,
+                );
                 let ct_bytes = checked_ct_bytes(r.get_u32()?)?;
-                let count = r.get_u32()? as usize;
+                let count = widen(r.get_u32()?);
                 if count > MAX_ENTRIES {
                     return Err(CodecError::BadLength(count as u64));
                 }
@@ -101,7 +104,7 @@ impl PisaMessage {
             }
             TAG_SU_REQUEST => {
                 let su_id = SuId(r.get_u32()?);
-                let region_blocks = r.get_u32()? as usize;
+                let region_blocks = widen(r.get_u32()?);
                 let (f_matrix, ct_bytes) = get_matrix(&mut r)?;
                 PisaMessage::SuRequest(SuRequestMsg {
                     su_id,
@@ -112,7 +115,7 @@ impl PisaMessage {
             }
             TAG_SDC_TO_STP => {
                 let su_id = SuId(r.get_u32()?);
-                let region_blocks = r.get_u32()? as usize;
+                let region_blocks = widen(r.get_u32()?);
                 let (v_matrix, ct_bytes) = get_matrix(&mut r)?;
                 PisaMessage::SdcToStp(SdcToStpMsg {
                     su_id,
@@ -123,7 +126,7 @@ impl PisaMessage {
             }
             TAG_STP_TO_SDC => {
                 let su_id = SuId(r.get_u32()?);
-                let region_blocks = r.get_u32()? as usize;
+                let region_blocks = widen(r.get_u32()?);
                 let (x_matrix, ct_bytes) = get_matrix(&mut r)?;
                 PisaMessage::StpToSdc(StpToSdcMsg {
                     su_id,
@@ -170,17 +173,17 @@ fn get_ciphertext(r: &mut Reader<'_>, ct_bytes: usize) -> Result<Ciphertext, Cod
 }
 
 fn put_matrix(w: &mut Writer, m: &CipherMatrix, ct_bytes: usize) {
-    w.put_u32(m.channels() as u32);
-    w.put_u32(m.blocks() as u32);
-    w.put_u32(ct_bytes as u32);
+    w.put_u32(wire_u32(m.channels()));
+    w.put_u32(wire_u32(m.blocks()));
+    w.put_u32(wire_u32(ct_bytes));
     for ct in m.ciphertexts() {
         put_ciphertext(w, ct, ct_bytes);
     }
 }
 
 fn get_matrix(r: &mut Reader<'_>) -> Result<(CipherMatrix, usize), CodecError> {
-    let channels = r.get_u32()? as usize;
-    let blocks = r.get_u32()? as usize;
+    let channels = widen(r.get_u32()?);
+    let blocks = widen(r.get_u32()?);
     let ct_bytes = checked_ct_bytes(r.get_u32()?)?;
     let entries = channels
         .checked_mul(blocks)
@@ -196,12 +199,26 @@ fn get_matrix(r: &mut Reader<'_>) -> Result<(CipherMatrix, usize), CodecError> {
 }
 
 fn checked_ct_bytes(v: u32) -> Result<usize, CodecError> {
-    let v = v as usize;
+    let v = widen(v);
     if v == 0 || v > MAX_CT_BYTES {
         Err(CodecError::BadLength(v as u64))
     } else {
         Ok(v)
     }
+}
+
+/// Narrows a local count to the wire's fixed `u32` fields. Every count
+/// written here is bounded far below `u32::MAX` by construction
+/// (`MAX_ENTRIES`, `MAX_CT_BYTES`); if an impossible value ever slips
+/// through, saturating keeps `encode` total and the peer's decode-side
+/// dimension checks reject the frame.
+fn wire_u32(v: usize) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+/// Widens a wire `u32` to `usize` — lossless on every supported host.
+fn widen(v: u32) -> usize {
+    v as usize // pisa-lint: allow(panic-freedom): u32 → usize never truncates
 }
 
 #[cfg(test)]

@@ -16,12 +16,19 @@
 //! centered lift does not wrap.
 
 use pisa_bigint::random::{random_below, random_range};
+use pisa_bigint::zeroize::Zeroize;
 use pisa_bigint::{Ibig, Sign, Ubig};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One-time blinding factors for a single matrix entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Tagged `pisa_secret`: recovering `(ε, α, β)` lets the STP unblind
+/// `V` back to the interference indicator, so the factors must never be
+/// printed or serialized and are wiped on drop.
+#[doc(alias = "pisa_secret")]
+#[derive(Clone, PartialEq, Eq)]
 pub struct BlindingFactors {
     /// Sign flip ε ∈ {−1, +1}.
     pub epsilon: SignFlip,
@@ -29,6 +36,21 @@ pub struct BlindingFactors {
     pub alpha: Ubig,
     /// Additive blind β (strictly positive).
     pub beta: Ubig,
+}
+
+impl fmt::Debug for BlindingFactors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BlindingFactors { <redacted> }")
+    }
+}
+
+impl Drop for BlindingFactors {
+    fn drop(&mut self) {
+        // ε is a two-variant Copy enum; only the big integers carry
+        // enough entropy to be worth wiping.
+        self.alpha.zeroize();
+        self.beta.zeroize();
+    }
 }
 
 /// The ε factor of equation (14): a uniformly random sign.
@@ -119,6 +141,8 @@ impl Blinder {
         // Exponent uniform over the upper half of the budget.
         let e_lo = (self.blind_bits / 2).max(8);
         let e_span = (self.blind_bits - e_lo + 1) as u64;
+        // pisa-lint: allow(panic-freedom): the remainder is < e_span ≤
+        // blind_bits + 1, far below u32::MAX, so the cast cannot truncate.
         let e = e_lo + (rng.next_u64() % e_span) as usize;
 
         let lo = Ubig::one() << (e - 1);

@@ -1,11 +1,14 @@
 //! Paillier key generation, encryption and decryption.
 
 use super::ops::{Ciphertext, Randomizer};
+use crate::error::CryptoError;
 use pisa_bigint::modular::{lcm, mod_inverse, MontCtx};
 use pisa_bigint::random::random_coprime;
+use pisa_bigint::zeroize::Zeroize;
 use pisa_bigint::{prime, Ibig, Sign, Ubig};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Minimum supported modulus size in bits (small enough to admit
 /// classroom test vectors; production keys are 2048 bits per the paper).
@@ -46,6 +49,8 @@ impl PaillierPublicKey {
         );
         assert!(n.is_odd(), "Paillier modulus must be odd");
         let n_squared = n.square();
+        // pisa-lint: allow(panic-freedom): n is asserted odd just above, so n²
+        // is odd and MontCtx::new cannot fail; this is key setup, not a frame path.
         let ctx_n2 = MontCtx::new(&n_squared).expect("odd n² modulus");
         let half_n = &n >> 1;
         PaillierPublicKey {
@@ -156,22 +161,30 @@ impl PaillierPublicKey {
     }
 
     /// Homomorphic subtraction ⊖: `D(sub(E(a), E(b))) = a - b`.
-    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        let b_inv = self.invert(b);
-        Ciphertext::from_raw((a.as_raw() * &b_inv) % &self.n_squared)
+    ///
+    /// Fails with [`CryptoError::MalformedCiphertext`] if `b` is not a
+    /// unit modulo `n²` — only possible for adversarial ciphertexts, so
+    /// the error must reach the protocol layer instead of panicking the
+    /// decryption oracle.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CryptoError> {
+        let b_inv = self.invert(b)?;
+        Ok(Ciphertext::from_raw(
+            (a.as_raw() * &b_inv) % &self.n_squared,
+        ))
     }
 
     /// Homomorphic scalar multiplication ⊗: `D(scalar_mul(E(m), k)) = k·m`.
     ///
-    /// Negative scalars go through the ciphertext inverse, exactly like ⊖.
-    pub fn scalar_mul(&self, c: &Ciphertext, k: &Ibig) -> Ciphertext {
+    /// Negative scalars go through the ciphertext inverse, exactly like ⊖,
+    /// and fail the same way on non-unit ciphertexts.
+    pub fn scalar_mul(&self, c: &Ciphertext, k: &Ibig) -> Result<Ciphertext, CryptoError> {
         let powed = self.ctx_n2.pow(c.as_raw(), k.magnitude());
         if k.is_negative() {
             let inv = pisa_bigint::modular::mod_inverse(&powed, &self.n_squared)
-                .expect("ciphertext is a unit mod n²");
-            Ciphertext::from_raw(inv)
+                .ok_or(CryptoError::MalformedCiphertext)?;
+            Ok(Ciphertext::from_raw(inv))
         } else {
-            Ciphertext::from_raw(powed)
+            Ok(Ciphertext::from_raw(powed))
         }
     }
 
@@ -188,13 +201,18 @@ impl PaillierPublicKey {
         Ciphertext::from_raw((Ubig::one() + &encoded * &self.n) % &self.n_squared)
     }
 
-    fn invert(&self, c: &Ciphertext) -> Ubig {
-        mod_inverse(c.as_raw(), &self.n_squared).expect("ciphertext is a unit mod n²")
+    fn invert(&self, c: &Ciphertext) -> Result<Ubig, CryptoError> {
+        mod_inverse(c.as_raw(), &self.n_squared).ok_or(CryptoError::MalformedCiphertext)
     }
 }
 
 /// A Paillier secret key `(λ, μ)` with CRT acceleration data.
-#[derive(Debug, Clone)]
+///
+/// Tagged `pisa_secret`: pisa-lint enforces that this type never derives
+/// `Debug`/`Serialize`, redacts in its manual `Debug`, and wipes itself
+/// on drop.
+#[doc(alias = "pisa_secret")]
+#[derive(Clone)]
 pub struct PaillierSecretKey {
     pk: PaillierPublicKey,
     lambda: Ubig,
@@ -202,7 +220,28 @@ pub struct PaillierSecretKey {
     crt: CrtParams,
 }
 
-#[derive(Debug, Clone)]
+impl fmt::Debug for PaillierSecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PaillierSecretKey {{ n: {} bits, lambda: <redacted>, mu: <redacted>, \
+             crt: <redacted> }}",
+            self.pk.key_bits()
+        )
+    }
+}
+
+impl Drop for PaillierSecretKey {
+    fn drop(&mut self) {
+        self.lambda.zeroize();
+        self.mu.zeroize();
+        // `pk` is public and `crt` wipes itself via its own Drop.
+    }
+}
+
+/// CRT acceleration data — contains the prime factorization of `n`.
+#[doc(alias = "pisa_secret")]
+#[derive(Clone)]
 struct CrtParams {
     p: Ubig,
     q: Ubig,
@@ -214,6 +253,24 @@ struct CrtParams {
     hq: Ubig,
     /// `q⁻¹ mod p`
     q_inv_p: Ubig,
+}
+
+impl fmt::Debug for CrtParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CrtParams { <redacted> }")
+    }
+}
+
+impl Drop for CrtParams {
+    fn drop(&mut self) {
+        self.p.zeroize();
+        self.q.zeroize();
+        self.ctx_p2.zeroize();
+        self.ctx_q2.zeroize();
+        self.hp.zeroize();
+        self.hq.zeroize();
+        self.q_inv_p.zeroize();
+    }
 }
 
 impl PaillierSecretKey {
@@ -253,15 +310,39 @@ impl PaillierSecretKey {
     }
 }
 
-/// `L(x) = (x - 1) / d` — exact division by construction.
+/// `L(x) = (x - 1) / d` — exact division by construction for honest
+/// ciphertexts.
+///
+/// An adversarial ciphertext divisible by the prime behind `d` makes the
+/// inner power `x` come out zero; `x - 1` would then underflow and panic,
+/// turning STP decryption into a remotely triggerable panic oracle.
+/// Mapping `x = 0` to `L = 0` keeps the function total — the garbage
+/// plaintext that results is handled (and rejected) downstream.
 fn l_function(x: &Ubig, d: &Ubig) -> Ubig {
+    if x.is_zero() {
+        return Ubig::zero();
+    }
     (x - &Ubig::one()) / d
 }
 
 /// A freshly generated Paillier key pair.
-#[derive(Debug, Clone)]
+///
+/// Tagged `pisa_secret`; the wipe-on-drop lives in the inner
+/// [`PaillierSecretKey`], which is this type's only field.
+#[doc(alias = "pisa_secret")]
+#[derive(Clone)]
 pub struct PaillierKeyPair {
     sk: PaillierSecretKey,
+}
+
+impl fmt::Debug for PaillierKeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PaillierKeyPair {{ n: {} bits, sk: <redacted> }}",
+            self.public().key_bits()
+        )
+    }
 }
 
 impl PaillierKeyPair {
@@ -434,6 +515,59 @@ mod tests {
         let c = kp.public().encrypt(&Ibig::from(5i64), &mut rng);
         let same = kp.public().add(&c, &kp.public().trivial_zero());
         assert_eq!(kp.secret().decrypt(&same), Ibig::from(5i64));
+    }
+
+    #[test]
+    fn secret_key_debug_redacts_and_drop_wipes() {
+        let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).unwrap();
+        let dbg_pair = format!("{:?}", kp);
+        assert!(dbg_pair.contains("sk: <redacted>"), "{dbg_pair}");
+        let dbg_sk = format!("{:?}", kp.secret());
+        assert!(dbg_sk.contains("lambda: <redacted>"), "{dbg_sk}");
+        assert!(dbg_sk.contains("mu: <redacted>"), "{dbg_sk}");
+        // λ = lcm(292, 432) = 31536 for these primes; its digits must
+        // not leak through Debug.
+        assert!(!dbg_sk.contains("31536"), "λ digits must not appear");
+        // Drop glue exists (the zeroizing Drop impls make these types
+        // non-trivially droppable).
+        assert!(std::mem::needs_drop::<PaillierSecretKey>());
+        assert!(std::mem::needs_drop::<CrtParams>());
+    }
+
+    #[test]
+    fn sub_rejects_non_unit_ciphertext() {
+        let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).unwrap();
+        let pk = kp.public();
+        let a = pk.encrypt_with_r(&Ibig::from(4i64), &Ubig::from(7u64));
+        // A multiple of p shares a factor with n², so it has no inverse:
+        // the adversarial shape that used to panic the decryption oracle.
+        let evil = Ciphertext::from_raw(Ubig::from(293u64));
+        assert_eq!(
+            pk.sub(&a, &evil),
+            Err(CryptoError::MalformedCiphertext),
+            "subtracting a non-unit ciphertext must fail, not panic"
+        );
+        // The honest direction still works.
+        let b = pk.encrypt_with_r(&Ibig::from(1i64), &Ubig::from(11u64));
+        let diff = pk.sub(&a, &b).expect("honest ciphertexts are units");
+        assert_eq!(kp.secret().decrypt(&diff), Ibig::from(3i64));
+    }
+
+    #[test]
+    fn scalar_mul_negative_rejects_non_unit_ciphertext() {
+        let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).unwrap();
+        let pk = kp.public();
+        let evil = Ciphertext::from_raw(Ubig::from(293u64 * 293));
+        assert_eq!(
+            pk.scalar_mul(&evil, &Ibig::from(-2i64)),
+            Err(CryptoError::MalformedCiphertext)
+        );
+        // Positive scalars never need an inverse and always succeed.
+        let c = pk.encrypt_with_r(&Ibig::from(6i64), &Ubig::from(5u64));
+        let tripled = pk
+            .scalar_mul(&c, &Ibig::from(3i64))
+            .expect("positive scalar");
+        assert_eq!(kp.secret().decrypt(&tripled), Ibig::from(18i64));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use crate::sha256::{sha256, Sha256};
 use crate::CryptoError;
 use pisa_bigint::modular::{lcm, mod_inverse, MontCtx};
+use pisa_bigint::zeroize::Zeroize;
 use pisa_bigint::{prime, Ubig};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,8 @@ impl RsaPublicKey {
     ///
     /// Panics if `n` is even.
     pub fn from_modulus(n: Ubig) -> Self {
+        // pisa-lint: allow(panic-freedom): documented panic; an even modulus
+        // means corrupted key material, not attacker-reachable input.
         let ctx = MontCtx::new(&n).expect("odd RSA modulus");
         RsaPublicKey {
             n,
@@ -104,8 +107,12 @@ impl Signature {
 
 /// Exported RSA key material (modulus and private exponent).
 ///
-/// Treat as a secret: serializing this serializes the signing key.
-#[derive(Clone, Serialize, Deserialize)]
+/// Treat as a secret: persisting this persists the signing key, which is
+/// why it is only produced by the explicitly named
+/// [`RsaKeyPair::export_secret_parts`] and never implements `Serialize`.
+/// The private exponent is wiped on drop.
+#[doc(alias = "pisa_secret")]
+#[derive(Clone)]
 pub struct RsaKeyParts {
     /// The modulus `n`.
     pub n: Ubig,
@@ -124,11 +131,34 @@ impl std::fmt::Debug for RsaKeyParts {
     }
 }
 
-/// An RSA key pair.
-#[derive(Debug, Clone)]
+impl Drop for RsaKeyParts {
+    fn drop(&mut self) {
+        self.d.zeroize();
+    }
+}
+
+/// An RSA key pair. The private exponent is wiped on drop.
+#[doc(alias = "pisa_secret")]
+#[derive(Clone)]
 pub struct RsaKeyPair {
     pk: RsaPublicKey,
     d: Ubig,
+}
+
+impl std::fmt::Debug for RsaKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RsaKeyPair(n: {} bits, d: <redacted>)",
+            self.pk.n.bit_len()
+        )
+    }
+}
+
+impl Drop for RsaKeyPair {
+    fn drop(&mut self) {
+        self.d.zeroize();
+    }
 }
 
 impl RsaKeyPair {
@@ -185,8 +215,10 @@ impl RsaKeyPair {
         &self.pk
     }
 
-    /// Exports the key material for persistence.
-    pub fn to_parts(&self) -> RsaKeyParts {
+    /// Exports the key material — **including the private exponent** —
+    /// for persistence. The name is deliberately loud: callers that
+    /// reach for this are writing a signing key somewhere.
+    pub fn export_secret_parts(&self) -> RsaKeyParts {
         RsaKeyParts {
             n: self.pk.n.clone(),
             d: self.d.clone(),
@@ -198,10 +230,14 @@ impl RsaKeyPair {
     /// # Panics
     ///
     /// Panics if the modulus is even (not a valid RSA modulus).
-    pub fn from_parts(parts: RsaKeyParts) -> Self {
+    pub fn from_parts(mut parts: RsaKeyParts) -> Self {
+        // `RsaKeyParts` has a wiping `Drop`, so move the fields out with
+        // `take` (the leftover zeros are wiped again, harmlessly).
+        let n = std::mem::take(&mut parts.n);
+        let d = std::mem::take(&mut parts.d);
         RsaKeyPair {
-            pk: RsaPublicKey::from_modulus(parts.n),
-            d: parts.d,
+            pk: RsaPublicKey::from_modulus(n),
+            d,
         }
     }
 
@@ -228,7 +264,9 @@ fn full_domain_hash(message: &[u8], n: &Ubig) -> Ubig {
     }
     out.truncate(out_len);
     // Clear the top byte so the value is comfortably below n.
-    out[0] = 0;
+    if let Some(top) = out.first_mut() {
+        *top = 0;
+    }
     Ubig::from_be_bytes(&out) % n
 }
 
@@ -281,12 +319,16 @@ mod tests {
     fn export_import_roundtrip() {
         let kp = RsaKeyPair::generate(&mut rng(), 256);
         let sig = kp.sign(b"persisted");
-        let restored = RsaKeyPair::from_parts(kp.to_parts());
+        let restored = RsaKeyPair::from_parts(kp.export_secret_parts());
         assert_eq!(restored.sign(b"persisted"), sig);
         assert!(restored.public().verify(b"persisted", &sig).is_ok());
-        // Debug never leaks d.
-        let dbg = format!("{:?}", kp.to_parts());
+        // Debug never leaks d, for the parts or the pair itself.
+        let dbg = format!("{:?}", kp.export_secret_parts());
         assert!(dbg.contains("redacted"));
+        assert!(format!("{kp:?}").contains("redacted"));
+        // The wiping Drop is real, not optimized away by the type system.
+        assert!(std::mem::needs_drop::<RsaKeyPair>());
+        assert!(std::mem::needs_drop::<RsaKeyParts>());
     }
 
     #[test]

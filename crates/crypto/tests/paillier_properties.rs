@@ -46,7 +46,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let ca = kp.public().encrypt(&Ibig::from(a as i64), &mut rng);
         let cb = kp.public().encrypt(&Ibig::from(b as i64), &mut rng);
-        let diff = kp.public().sub(&ca, &cb);
+        let diff = kp.public().sub(&ca, &cb).unwrap();
         prop_assert_eq!(kp.secret().decrypt(&diff), Ibig::from(a as i64 - b as i64));
     }
 
@@ -55,7 +55,7 @@ proptest! {
         let kp = keys();
         let mut rng = StdRng::seed_from_u64(seed);
         let c = kp.public().encrypt(&Ibig::from(m), &mut rng);
-        let ck = kp.public().scalar_mul(&c, &Ibig::from(k));
+        let ck = kp.public().scalar_mul(&c, &Ibig::from(k)).unwrap();
         prop_assert_eq!(kp.secret().decrypt(&ck), Ibig::from(m * k));
     }
 
@@ -113,7 +113,7 @@ proptest! {
         let pk = kp.public();
         let ca = pk.encrypt(&Ibig::from(a), &mut rng);
         let cb = pk.encrypt(&Ibig::from(b), &mut rng);
-        let combo = pk.add(&ca, &pk.scalar_mul(&cb, &Ibig::from(k)));
+        let combo = pk.add(&ca, &pk.scalar_mul(&cb, &Ibig::from(k)).unwrap());
         prop_assert_eq!(kp.secret().decrypt(&combo), Ibig::from(a + k * b));
     }
 

@@ -1,0 +1,95 @@
+//! Finding suppression: inline `// pisa-lint: allow(rule): reason`
+//! comments and file-level `[[allow]]` entries from `lint.toml`.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::scan::Workspace;
+
+/// Marks findings as allowed in place. A finding is suppressed when
+///
+/// * the line it points at — or the contiguous `//` comment block
+///   directly above it — contains `pisa-lint: allow(<rule>)` (or
+///   `allow(all)`), or
+/// * a `[[allow]]` entry matches its rule (or `all`) and its file by
+///   path prefix.
+///
+/// The suppression reason is recorded on the finding so the JSON report
+/// keeps an audit trail.
+pub fn apply_allows(ws: &Workspace, cfg: &Config, findings: &mut [Finding]) {
+    for f in findings.iter_mut() {
+        if let Some(reason) = inline_allow(ws, f) {
+            f.allowed = Some(reason);
+            continue;
+        }
+        if let Some(entry) = cfg
+            .allows
+            .iter()
+            .find(|a| (a.rule == f.rule || a.rule == "all") && f.file.starts_with(a.file.as_str()))
+        {
+            f.allowed = Some(format!("lint.toml: {}", entry.reason));
+        }
+    }
+}
+
+fn inline_allow(ws: &Workspace, f: &Finding) -> Option<String> {
+    let file = ws.files.iter().find(|sf| sf.rel_path == f.file)?;
+    let lines: Vec<&str> = file.source.lines().collect();
+    let idx = f.line.checked_sub(1)? as usize;
+    // The flagged line itself (trailing comment) …
+    if let Some(reason) = lines.get(idx).and_then(|l| parse_inline(l, f.rule)) {
+        return Some(reason);
+    }
+    // … or any line of the contiguous `//` comment block above it, so a
+    // multi-line justification still counts.
+    let mut above = idx;
+    while above > 0 {
+        above -= 1;
+        let line = lines.get(above)?.trim_start();
+        if !line.starts_with("//") {
+            break;
+        }
+        if let Some(reason) = parse_inline(line, f.rule) {
+            return Some(reason);
+        }
+    }
+    None
+}
+
+/// Parses `… pisa-lint: allow(rule): reason` from a source line.
+fn parse_inline(line: &str, rule: &str) -> Option<String> {
+    let pos = line.find("pisa-lint: allow(")?;
+    let rest = &line[pos + "pisa-lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let named = rest[..close].trim();
+    if named != rule && named != "all" {
+        return None;
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    Some(if reason.is_empty() {
+        "inline allow".to_string()
+    } else {
+        format!("inline: {reason}")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_inline;
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let line = "    x as u32 // pisa-lint: allow(panic-freedom): bounded by header check";
+        assert_eq!(
+            parse_inline(line, "panic-freedom").unwrap(),
+            "inline: bounded by header check"
+        );
+        assert!(parse_inline(line, "conventions").is_none());
+    }
+
+    #[test]
+    fn allow_all_matches_any_rule() {
+        let line = "// pisa-lint: allow(all): fixture";
+        assert!(parse_inline(line, "secret-hygiene").is_some());
+    }
+}

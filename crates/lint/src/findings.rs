@@ -1,0 +1,224 @@
+//! Finding and report types, with rustc-style text rendering and a
+//! hand-rolled JSON emitter (the workspace has no serde_json).
+
+use std::fmt::Write as _;
+
+/// All rule families, in the order they run.
+pub const RULES: [&str; 4] = [
+    "secret-hygiene",
+    "panic-freedom",
+    "secret-branching",
+    "conventions",
+];
+
+/// Severity a finding is reported at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Reported but does not fail the run.
+    Warn,
+    /// Fails the run (non-zero exit).
+    Deny,
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule family name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Main message.
+    pub message: String,
+    /// Supporting notes (e.g. the taint chain), printed as `note:` lines.
+    pub notes: Vec<String>,
+    /// Severity after applying CLI overrides.
+    pub level: Level,
+    /// If suppressed by an allowlist entry, the recorded reason.
+    pub allowed: Option<String>,
+}
+
+/// The result of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Files that failed to parse (path, error) — reported as warnings.
+    pub parse_failures: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Active (non-suppressed) findings at deny level.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.allowed.is_none() && f.level == Level::Deny)
+            .count()
+    }
+
+    /// Active (non-suppressed) findings at warn level.
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.allowed.is_none() && f.level == Level::Warn)
+            .count()
+    }
+
+    /// Number of findings suppressed by allowlists.
+    pub fn allowed_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.allowed.is_some()).count()
+    }
+
+    /// Renders rustc-style diagnostics followed by a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.allowed.is_some() {
+                continue;
+            }
+            let head = match f.level {
+                Level::Deny => "error",
+                Level::Warn => "warning",
+            };
+            let _ = writeln!(out, "{head}[{}]: {}", f.rule, f.message);
+            let _ = writeln!(out, "  --> {}:{}", f.file, f.line);
+            for n in &f.notes {
+                let _ = writeln!(out, "  note: {n}");
+            }
+        }
+        for (file, err) in &self.parse_failures {
+            let _ = writeln!(out, "warning[parse]: could not parse {file}: {err}");
+        }
+        let _ = writeln!(
+            out,
+            "pisa-lint: {} file(s) scanned, {} error(s), {} warning(s), {} allowed",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.allowed_count(),
+        );
+        out
+    }
+
+    /// Renders the full report (including suppressed findings) as JSON.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"files_scanned\": ");
+        let _ = write!(out, "{}", self.files_scanned);
+        let _ = write!(
+            out,
+            ",\n  \"errors\": {},\n  \"warnings\": {},\n  \"allowed\": {},\n  \"findings\": [",
+            self.deny_count(),
+            self.warn_count(),
+            self.allowed_count()
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"rule\": {}", json_str(f.rule));
+            let _ = write!(out, ", \"file\": {}", json_str(&f.file));
+            let _ = write!(out, ", \"line\": {}", f.line);
+            let _ = write!(
+                out,
+                ", \"level\": {}",
+                json_str(match f.level {
+                    Level::Deny => "deny",
+                    Level::Warn => "warn",
+                })
+            );
+            let _ = write!(out, ", \"message\": {}", json_str(&f.message));
+            out.push_str(", \"notes\": [");
+            for (j, n) in f.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_str(n));
+            }
+            out.push(']');
+            match &f.allowed {
+                Some(reason) => {
+                    let _ = write!(out, ", \"allowed\": {}", json_str(reason));
+                }
+                None => out.push_str(", \"allowed\": null"),
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    rule: "panic-freedom",
+                    file: "crates/core/src/wire.rs".into(),
+                    line: 10,
+                    message: "`.unwrap()` in message-handling path".into(),
+                    notes: vec!["convert to a ProtocolError variant".into()],
+                    level: Level::Deny,
+                    allowed: None,
+                },
+                Finding {
+                    rule: "conventions",
+                    file: "crates/cli/src/main.rs".into(),
+                    line: 1,
+                    message: "missing #![forbid(unsafe_code)]".into(),
+                    notes: vec![],
+                    level: Level::Deny,
+                    allowed: Some("legacy \"quoted\" reason".into()),
+                },
+            ],
+            files_scanned: 2,
+            parse_failures: vec![],
+        }
+    }
+
+    #[test]
+    fn text_hides_allowed_and_counts() {
+        let r = sample();
+        let text = r.render_text();
+        assert!(text.contains("error[panic-freedom]"));
+        assert!(!text.contains("conventions"));
+        assert!(text.contains("1 error(s), 0 warning(s), 1 allowed"));
+    }
+
+    #[test]
+    fn json_includes_allowed_and_escapes() {
+        let r = sample();
+        let json = r.render_json();
+        assert!(json.contains("\"rule\": \"conventions\""));
+        assert!(json.contains("legacy \\\"quoted\\\" reason"));
+        assert!(json.contains("\"allowed\": null"));
+    }
+}

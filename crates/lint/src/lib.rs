@@ -1,0 +1,75 @@
+//! `pisa-lint`: secret-hygiene and panic-freedom static analysis for
+//! the PISA workspace.
+//!
+//! PISA's security argument (PAPER.md §IV–V) requires that the SDC and
+//! STP never observe PU reception data, SU locations, or decisions.
+//! That argument quietly assumes three code-level invariants that the
+//! type system does not enforce: key material is never printed or
+//! serialized, adversarial frames cannot turn library panics into an
+//! oracle, and constant-time-sensitive arithmetic does not branch on
+//! secrets. This crate machine-checks all three (plus some workspace
+//! conventions) on every run; see [`rules`] for the four families.
+//!
+//! The tool parses the workspace with the vendored `syn` shim
+//! (`shims/syn`), so it needs no network and no rustc internals.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod config;
+pub mod findings;
+pub mod rules;
+pub mod scan;
+
+use std::path::Path;
+
+pub use config::{parse_config, serialize_config, Config};
+pub use findings::{Finding, Level, Report, RULES};
+
+/// Per-rule severity overrides from the CLI.
+#[derive(Debug, Clone, Default)]
+pub struct LevelOverrides {
+    /// Rules forced to deny (`"all"` matches every rule).
+    pub deny: Vec<String>,
+    /// Rules downgraded to warn (`"all"` matches every rule).
+    pub warn: Vec<String>,
+}
+
+impl LevelOverrides {
+    fn level_for(&self, rule: &str) -> Level {
+        // Default is deny (this is a gate); --warn downgrades, --deny
+        // re-upgrades (so `--warn all --deny secret-hygiene` works).
+        let mut level = Level::Deny;
+        if self.warn.iter().any(|r| r == rule || r == "all") {
+            level = Level::Warn;
+        }
+        if self.deny.iter().any(|r| r == rule || r == "all") {
+            level = Level::Deny;
+        }
+        level
+    }
+}
+
+/// Runs all four rule families over the workspace rooted at `root` and
+/// returns the report (allowlists already applied).
+pub fn run_lint(root: &Path, cfg: &Config, levels: &LevelOverrides) -> Report {
+    let ws = scan::scan_workspace(root);
+    let mut findings: Vec<Finding> = Vec::new();
+    rules::secret::run(&ws, cfg, &mut findings);
+    rules::panics::run(&ws, cfg, &mut findings);
+    rules::branching::run(&ws, cfg, &mut findings);
+    rules::conventions::run(&ws, cfg, &mut findings);
+
+    allow::apply_allows(&ws, cfg, &mut findings);
+    for f in &mut findings {
+        f.level = levels.level_for(f.rule);
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    Report {
+        findings,
+        files_scanned: ws.files.len(),
+        parse_failures: ws.failures,
+    }
+}

@@ -1,0 +1,318 @@
+//! Rule family 3: secret-dependent branching.
+//!
+//! Inside the configured constant-time-sensitive paths (`[branching]
+//! paths`, i.e. `crypto/` and `bigint/src/modular/`), control flow must
+//! not depend on secret values: a branch taken or skipped based on a key
+//! bit shows up in the timing profile (the classic square-and-multiply
+//! leak).
+//!
+//! Taint seeds per function:
+//! * parameters whose type mentions a secret-marked type,
+//! * `self` when the surrounding impl's type is secret,
+//! * `[branching] secret_params` entries of the form `"fn.param"`.
+//!
+//! Taint propagates through `let` bindings and `for` loop patterns
+//! (linear token scan: a `let` whose initializer — or a `for` whose
+//! iterable — mentions a tainted identifier taints the bound names,
+//! recording the chain). Any `if` / `while` / `match` whose condition
+//! mentions a tainted identifier is flagged, with the chain reported
+//! as notes.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::findings::{Finding, Level};
+use crate::scan::{for_each_fn, for_each_type, ty_mentions, Workspace};
+use syn::{Token, TokenKind};
+
+const RULE: &str = "secret-branching";
+
+pub fn run(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    // Secret type names: markers plus the configured list.
+    let mut secret_types: BTreeSet<String> = cfg.secret_types.iter().cloned().collect();
+    for file in &ws.files {
+        for_each_type(&file.ast, &mut |td| {
+            if td.attrs().iter().any(|a| a.contains("pisa_secret")) {
+                secret_types.insert(td.ident().to_string());
+            }
+        });
+    }
+
+    for file in &ws.files {
+        if !cfg
+            .branching_paths
+            .iter()
+            .any(|p| file.rel_path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        for_each_fn(&file.ast, &mut |ctx| {
+            let fn_name = &ctx.func.sig.ident;
+            // Seed the taint map: ident -> chain of how it became tainted.
+            let mut taint: BTreeMap<String, Vec<String>> = BTreeMap::new();
+            for arg in &ctx.func.sig.inputs {
+                let secret_ty = secret_types.iter().find(|s| ty_mentions(&arg.ty, s));
+                let configured = cfg
+                    .branching_secret_params
+                    .iter()
+                    .any(|sp| sp == &format!("{fn_name}.{}", arg.name));
+                if arg.name == "self" {
+                    let self_secret = ctx
+                        .self_ty
+                        .map(|t| secret_types.contains(t))
+                        .unwrap_or(false);
+                    if self_secret || configured {
+                        taint.insert(
+                            "self".to_string(),
+                            vec![format!(
+                                "`self` is secret: impl block is for secret type `{}`",
+                                ctx.self_ty.unwrap_or("?")
+                            )],
+                        );
+                    }
+                } else if let Some(s) = secret_ty {
+                    taint.insert(
+                        arg.name.clone(),
+                        vec![format!(
+                            "parameter `{}: {}` of fn `{fn_name}` carries secret type `{s}`",
+                            arg.name, arg.ty
+                        )],
+                    );
+                } else if configured {
+                    taint.insert(
+                        arg.name.clone(),
+                        vec![format!(
+                            "parameter `{}` of fn `{fn_name}` is listed in \
+                             [branching] secret_params",
+                            arg.name
+                        )],
+                    );
+                }
+            }
+            if taint.is_empty() {
+                return;
+            }
+            scan_body(&file.rel_path, fn_name, &ctx.func.body, &mut taint, out);
+        });
+    }
+}
+
+fn scan_body(
+    file: &str,
+    fn_name: &str,
+    body: &[Token],
+    taint: &mut BTreeMap<String, Vec<String>>,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = &body[i];
+        match t.kind {
+            TokenKind::Ident if t.text == "let" => {
+                i = handle_let(file, body, i, taint);
+            }
+            TokenKind::Ident if t.text == "for" => {
+                i = handle_for(body, i, taint);
+            }
+            TokenKind::Ident if t.text == "if" || t.text == "while" || t.text == "match" => {
+                let kw = t.text.clone();
+                let line = t.line;
+                // Condition runs to the first `{` at relative depth 0.
+                let mut j = i + 1;
+                let mut depth = 0i32;
+                let mut cond_idents: Vec<(String, u32)> = Vec::new();
+                while j < body.len() {
+                    let c = &body[j];
+                    match c.kind {
+                        TokenKind::Open('{') if depth == 0 => break,
+                        TokenKind::Open(_) => depth += 1,
+                        TokenKind::Close(_) => depth -= 1,
+                        TokenKind::Ident => cond_idents.push((c.text.clone(), c.line)),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let hit = cond_idents
+                    .iter()
+                    .find(|(name, _)| taint.contains_key(name));
+                if let Some((name, _)) = hit {
+                    let mut notes = taint[name].clone();
+                    notes.push(format!(
+                        "`{kw}` condition reads tainted value `{name}` — make the \
+                         operation unconditional or branch on public data only"
+                    ));
+                    out.push(Finding {
+                        rule: RULE,
+                        file: file.to_string(),
+                        line,
+                        message: format!(
+                            "`{kw}` on secret-derived value `{name}` in fn `{fn_name}`"
+                        ),
+                        notes,
+                        level: Level::Deny,
+                        allowed: None,
+                    });
+                }
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Processes a `for` loop starting at `body[start]` (the `for`
+/// keyword): taints the loop-pattern bindings when the iterable
+/// mentions a tainted identifier (the square-and-multiply shape,
+/// `for bit in key.bits { if bit { … } }`). Returns the index of the
+/// first iterable token so the main loop still scans the iterable and
+/// the loop body.
+fn handle_for(body: &[Token], start: usize, taint: &mut BTreeMap<String, Vec<String>>) -> usize {
+    // Pattern identifiers: idents between `for` and `in` at depth 0.
+    let mut i = start + 1;
+    let mut pattern: Vec<String> = Vec::new();
+    let mut depth = 0i32;
+    while i < body.len() {
+        let t = &body[i];
+        match t.kind {
+            TokenKind::Ident if t.text == "in" && depth == 0 => break,
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            TokenKind::Ident if t.text != "mut" && t.text != "ref" => {
+                let ctor = matches!(body.get(i + 1), Some(n) if n.kind == TokenKind::Open('('));
+                if !ctor {
+                    pattern.push(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= body.len() {
+        return i;
+    }
+    // Iterable: from after `in` to the loop-body `{` at depth 0.
+    let iter_start = i + 1;
+    let mut j = iter_start;
+    let mut depth = 0i32;
+    while j < body.len() {
+        let t = &body[j];
+        match t.kind {
+            TokenKind::Open('{') if depth == 0 => break,
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let source: Option<(String, u32)> = body[iter_start..j.min(body.len())]
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && taint.contains_key(&t.text))
+        .map(|t| (t.text.clone(), t.line));
+    if let Some((src_ident, line)) = source {
+        let chain = taint[&src_ident].clone();
+        for name in &pattern {
+            let mut c = chain.clone();
+            c.push(format!(
+                "`{name}` iterates over tainted `{src_ident}` at line {line}"
+            ));
+            taint.insert(name.clone(), c);
+        }
+    }
+    iter_start
+}
+
+/// Processes a `let` starting at `body[start]` (the `let` keyword).
+/// Returns the index to resume scanning from (just past the pattern;
+/// the initializer is rescanned by the main loop so nested `if`/`let`
+/// inside it are still seen).
+fn handle_let(
+    file: &str,
+    body: &[Token],
+    start: usize,
+    taint: &mut BTreeMap<String, Vec<String>>,
+) -> usize {
+    let _ = file;
+    // Pattern identifiers: idents between `let` and `=` (stopping at `:`
+    // to exclude type ascription, and at `;` for uninitialized lets).
+    let mut i = start + 1;
+    let mut pattern: Vec<String> = Vec::new();
+    let mut depth = 0i32;
+    let mut in_ty = false;
+    while i < body.len() {
+        let t = &body[i];
+        match t.kind {
+            TokenKind::Punct if t.text == "=" && depth == 0 => break,
+            TokenKind::Punct if t.text == ";" && depth == 0 => return i + 1,
+            TokenKind::Punct if t.text == ":" && depth == 0 => in_ty = true,
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            TokenKind::Ident if !in_ty && t.text != "mut" && t.text != "ref" => {
+                // Skip enum constructors in patterns (`Some`, `Ok`, …)
+                // only when followed by `(`: the payload idents are the
+                // bindings.
+                let ctor = matches!(body.get(i + 1), Some(n) if n.kind == TokenKind::Open('('));
+                if !ctor {
+                    pattern.push(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= body.len() {
+        return i;
+    }
+    // Initializer: from after `=` to the `;` at depth 0.
+    let init_start = i + 1;
+    let mut j = init_start;
+    let mut depth = 0i32;
+    while j < body.len() {
+        let t = &body[j];
+        match t.kind {
+            TokenKind::Punct if t.text == ";" && depth == 0 => break,
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let source: Option<(String, u32)> = body[init_start..j.min(body.len())]
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && taint.contains_key(&t.text))
+        .map(|t| (t.text.clone(), t.line));
+    if let Some((src_ident, line)) = source {
+        let mut chain = taint[&src_ident].clone();
+        for name in &pattern {
+            let mut c = chain.clone();
+            c.push(format!(
+                "`{name}` bound from tainted `{src_ident}` at line {line}"
+            ));
+            taint.insert(name.clone(), std::mem::take(&mut c));
+            chain = taint[&src_ident].clone();
+        }
+    }
+    // Resume *inside* the initializer so nested `if`/`let` expressions
+    // are scanned too.
+    init_start
+}

@@ -1,0 +1,122 @@
+//! Rule family 4: workspace conventions.
+//!
+//! * Every crate root must carry `#![forbid(unsafe_code)]`. Crates in
+//!   `[conventions] unsafe_exempt` (the bigint crate, whose zeroize
+//!   module needs `volatile` writes) may use `#![deny(unsafe_code)]`
+//!   with scoped allows instead — but must still carry one of the two.
+//! * `dbg!` never ships: it prints whatever it is handed (including
+//!   tainted values) to stderr and is a debugging leftover by
+//!   definition.
+//! * `println!`-family output is confined to the crates listed in
+//!   `[conventions] print_exempt` (the CLI and bench harness); library
+//!   crates that handle key material must not print at all, which is
+//!   the cheap structural way to guarantee they never print a secret.
+
+use crate::config::Config;
+use crate::findings::{Finding, Level};
+use crate::scan::{for_each_fn, Workspace};
+use syn::TokenKind;
+
+const RULE: &str = "conventions";
+
+const PRINT_MACROS: [&str; 4] = ["println", "print", "eprintln", "eprint"];
+
+pub fn run(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    // Check crate roots for the unsafe-code lint attribute.
+    for file in &ws.files {
+        if !file.is_crate_root {
+            continue;
+        }
+        let exempt = cfg
+            .unsafe_exempt
+            .iter()
+            .any(|c| file.crate_path == *c || file.rel_path.starts_with(c.as_str()));
+        let has = |lint_level: &str| {
+            file.ast
+                .attrs
+                .iter()
+                .any(|a| a.path == lint_level && a.tokens.iter().any(|t| t == "unsafe_code"))
+        };
+        let forbids = has("forbid");
+        let denies = has("deny");
+        if exempt {
+            if !forbids && !denies {
+                out.push(finding(
+                    &file.rel_path,
+                    1,
+                    "crate root has neither #![forbid(unsafe_code)] nor \
+                     #![deny(unsafe_code)]"
+                        .to_string(),
+                    vec![
+                        "this crate is unsafe_exempt, which only relaxes `forbid` to \
+                         `deny` + scoped allows"
+                            .to_string(),
+                    ],
+                ));
+            }
+        } else if !forbids {
+            out.push(finding(
+                &file.rel_path,
+                1,
+                "crate root is missing #![forbid(unsafe_code)]".to_string(),
+                vec![
+                    "every non-bigint crate forbids unsafe code; add the attribute or \
+                     add the crate to [conventions] unsafe_exempt with a reason"
+                        .to_string(),
+                ],
+            ));
+        }
+    }
+
+    // Check function bodies for dbg!/print-family macros.
+    for file in &ws.files {
+        let print_ok = cfg
+            .print_exempt
+            .iter()
+            .any(|c| file.crate_path == *c || file.rel_path.starts_with(c.as_str()));
+        for_each_fn(&file.ast, &mut |ctx| {
+            let body = &ctx.func.body;
+            for (i, t) in body.iter().enumerate() {
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let bang = matches!(body.get(i + 1), Some(n) if n.is_punct('!'));
+                if !bang {
+                    continue;
+                }
+                if t.text == "dbg" {
+                    out.push(finding(
+                        &file.rel_path,
+                        t.line,
+                        format!("`dbg!` left in fn `{}`", ctx.func.sig.ident),
+                        vec!["dbg! prints its argument (possibly tainted) to stderr".to_string()],
+                    ));
+                } else if !print_ok && PRINT_MACROS.contains(&t.text.as_str()) {
+                    out.push(finding(
+                        &file.rel_path,
+                        t.line,
+                        format!(
+                            "`{}!` in library crate (fn `{}`)",
+                            t.text, ctx.func.sig.ident
+                        ),
+                        vec!["library crates must not print; route output through the \
+                             CLI crate or add the crate to [conventions] print_exempt"
+                            .to_string()],
+                    ));
+                }
+            }
+        });
+    }
+}
+
+fn finding(file: &str, line: u32, message: String, notes: Vec<String>) -> Finding {
+    Finding {
+        rule: RULE,
+        file: file.to_string(),
+        line,
+        message,
+        notes,
+        level: Level::Deny,
+        allowed: None,
+    }
+}

@@ -1,0 +1,6 @@
+//! The four rule families.
+
+pub mod branching;
+pub mod conventions;
+pub mod panics;
+pub mod secret;

@@ -1,0 +1,123 @@
+//! Rule family 2: panic-freedom.
+//!
+//! Within the configured message-handling paths (`[panic] paths`), a
+//! panic is an adversary-observable oracle: a malformed frame that
+//! crashes the SDC/STP leaks which validation step rejected it and can
+//! take the service down. Non-test functions in those paths must not
+//! contain `.unwrap()`, `.expect(…)`, `panic!`-family macros, direct
+//! slice indexing, or truncating integer `as` casts.
+
+use crate::config::Config;
+use crate::findings::{Finding, Level};
+use crate::scan::{for_each_fn, Workspace};
+use syn::{Token, TokenKind};
+
+const RULE: &str = "panic-freedom";
+
+/// `as` targets that can silently truncate or wrap a wider value. Casts
+/// *to* 64-bit and wider are accepted (every length/index in the wire
+/// format fits).
+const TRUNCATING_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if !cfg
+            .panic_paths
+            .iter()
+            .any(|p| file.rel_path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        for_each_fn(&file.ast, &mut |ctx| {
+            scan_body(&file.rel_path, &ctx.func.sig.ident, &ctx.func.body, out);
+        });
+    }
+}
+
+fn scan_body(file: &str, fn_name: &str, body: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in body.iter().enumerate() {
+        let prev = i.checked_sub(1).and_then(|j| body.get(j));
+        let next = body.get(i + 1);
+        match t.kind {
+            TokenKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let after_dot = prev.map(|p| p.is_punct('.')).unwrap_or(false);
+                let called = matches!(next, Some(n) if n.kind == TokenKind::Open('('));
+                if after_dot && called {
+                    out.push(finding(
+                        file,
+                        t.line,
+                        format!("`.{}(…)` in message-handling path (fn `{fn_name}`)", t.text),
+                        vec![
+                            "a malformed or adversarial input reaching this call panics the \
+                             process — convert to a typed error variant"
+                                .to_string(),
+                        ],
+                    ));
+                }
+            }
+            TokenKind::Ident if PANIC_MACROS.contains(&t.text.as_str()) => {
+                if matches!(next, Some(n) if n.is_punct('!')) {
+                    out.push(finding(
+                        file,
+                        t.line,
+                        format!("`{}!` in message-handling path (fn `{fn_name}`)", t.text),
+                        vec!["return a typed error instead of panicking".to_string()],
+                    ));
+                }
+            }
+            TokenKind::Open('[') => {
+                // Indexing: `expr[...]` — the `[` directly follows an
+                // identifier or a closing `)` / `]`. Array/slice type
+                // syntax and attributes follow punctuation instead.
+                let indexes = matches!(
+                    prev,
+                    Some(p) if p.kind == TokenKind::Ident
+                        || p.kind == TokenKind::Close(')')
+                        || p.kind == TokenKind::Close(']')
+                );
+                if indexes {
+                    out.push(finding(
+                        file,
+                        t.line,
+                        format!("slice indexing in message-handling path (fn `{fn_name}`)"),
+                        vec!["out-of-range indices panic; use `.get(…)` and propagate a \
+                             typed error"
+                            .to_string()],
+                    ));
+                }
+            }
+            TokenKind::Ident if t.text == "as" => {
+                if let Some(n) = next {
+                    if n.kind == TokenKind::Ident && TRUNCATING_TARGETS.contains(&n.text.as_str()) {
+                        out.push(finding(
+                            file,
+                            t.line,
+                            format!(
+                                "truncating `as {}` cast in message-handling path (fn `{fn_name}`)",
+                                n.text
+                            ),
+                            vec!["use `try_from` (or document boundedness with an inline \
+                                 allow and a reason)"
+                                .to_string()],
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn finding(file: &str, line: u32, message: String, notes: Vec<String>) -> Finding {
+    Finding {
+        rule: RULE,
+        file: file.to_string(),
+        line,
+        message,
+        notes,
+        level: Level::Deny,
+        allowed: None,
+    }
+}

@@ -1,0 +1,228 @@
+//! Rule family 1: secret-hygiene.
+//!
+//! Secret types are seeded from the `#[doc(alias = "pisa_secret")]`
+//! marker attribute (anything whose attribute tokens contain
+//! `pisa_secret`) or from the `[secret] types` list in `lint.toml`, then
+//! closed transitively through struct/enum field types.
+//!
+//! Directly-marked types must not derive `Debug`/`Serialize`/
+//! `Deserialize`, must not implement `Display`, must redact in any
+//! manual `Debug` impl (the body must contain a `"redacted"` literal),
+//! and must wipe themselves on drop (an `impl Drop`), unless every
+//! secret-bearing field is itself a marked type (the wrapper case) or
+//! the type is listed in `zeroize_exempt` (e.g. `Copy` enums, which
+//! cannot implement `Drop`).
+//!
+//! Transitively-secret types (types that merely *contain* a marked
+//! type) must not derive `Serialize`/`Deserialize`; deriving `Debug` on
+//! them is fine because the inner type's `Debug` is guaranteed redacted.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::findings::{Finding, Level};
+use crate::scan::{for_each_impl, for_each_type, ty_mentions, Workspace};
+use syn::TokenKind;
+
+const RULE: &str = "secret-hygiene";
+
+struct TypeInfo {
+    file: String,
+    line: u32,
+    derives: Vec<String>,
+    field_tys: Vec<String>,
+    marked: bool,
+}
+
+pub fn run(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    // Pass 1: collect every type definition in the workspace. Type names
+    // are treated as globally unique (true for this workspace; a clash
+    // would only make the lint stricter, never blind).
+    let mut types: BTreeMap<String, TypeInfo> = BTreeMap::new();
+    for file in &ws.files {
+        for_each_type(&file.ast, &mut |td| {
+            let marked = td.attrs().iter().any(|a| a.contains("pisa_secret"))
+                || cfg.secret_types.iter().any(|t| t == td.ident());
+            types.insert(
+                td.ident().to_string(),
+                TypeInfo {
+                    file: file.rel_path.clone(),
+                    line: td.line(),
+                    derives: td.attrs().iter().flat_map(|a| a.derives()).collect(),
+                    field_tys: td.fields().iter().map(|f| f.ty.clone()).collect(),
+                    marked,
+                },
+            );
+        });
+    }
+
+    // Names configured as secret but never found anywhere: surface as a
+    // config problem so the list cannot silently rot.
+    for name in &cfg.secret_types {
+        if !types.contains_key(name) {
+            out.push(Finding {
+                rule: RULE,
+                file: "lint.toml".to_string(),
+                line: 1,
+                message: format!("configured secret type `{name}` was not found in the workspace"),
+                notes: vec!["remove it from [secret] types or fix the name".to_string()],
+                level: Level::Deny,
+                allowed: None,
+            });
+        }
+    }
+
+    let marked: BTreeSet<String> = types
+        .iter()
+        .filter(|(_, t)| t.marked)
+        .map(|(n, _)| n.clone())
+        .collect();
+
+    // Pass 2: transitive closure — a type whose field types mention any
+    // secret type is itself secret-bearing.
+    let mut secret_bearing: BTreeSet<String> = marked.clone();
+    loop {
+        let mut grew = false;
+        for (name, info) in &types {
+            if secret_bearing.contains(name) {
+                continue;
+            }
+            let carries = info
+                .field_tys
+                .iter()
+                .any(|ty| secret_bearing.iter().any(|s| ty_mentions(ty, s)));
+            if carries {
+                secret_bearing.insert(name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Pass 3: collect trait impls per type: Display, Debug (+ redaction
+    // evidence), Drop.
+    let mut impl_display: BTreeSet<String> = BTreeSet::new();
+    let mut impl_drop: BTreeSet<String> = BTreeSet::new();
+    // type -> (file, line, redacts)
+    let mut impl_debug: BTreeMap<String, (String, u32, bool)> = BTreeMap::new();
+    for file in &ws.files {
+        for_each_impl(&file.ast, &mut |imp| {
+            let Some(tr) = imp.trait_.as_deref() else {
+                return;
+            };
+            match tr {
+                "Display" => {
+                    impl_display.insert(imp.self_ty.clone());
+                }
+                "Drop" => {
+                    impl_drop.insert(imp.self_ty.clone());
+                }
+                "Debug" => {
+                    let redacts = imp.fns.iter().any(|f| {
+                        f.body
+                            .iter()
+                            .any(|t| t.kind == TokenKind::Literal && t.text.contains("redacted"))
+                    });
+                    impl_debug.insert(
+                        imp.self_ty.clone(),
+                        (file.rel_path.clone(), imp.line, redacts),
+                    );
+                }
+                _ => {}
+            }
+        });
+    }
+
+    // Pass 4: checks on directly-marked types.
+    for name in &marked {
+        let info = &types[name];
+        for bad in ["Debug", "Serialize", "Deserialize"] {
+            if info.derives.iter().any(|d| d == bad) {
+                out.push(finding(
+                    info,
+                    format!("secret type `{name}` derives `{bad}`"),
+                    vec![format!(
+                        "derived `{bad}` exposes key material; write a manual redacted impl \
+                         (Debug) or an explicitly named export method instead"
+                    )],
+                ));
+            }
+        }
+        if impl_display.contains(name) {
+            out.push(finding(
+                info,
+                format!("secret type `{name}` implements `Display`"),
+                vec!["secret values must not be printable via `{}`".to_string()],
+            ));
+        }
+        if let Some((file, line, redacts)) = impl_debug.get(name) {
+            if !*redacts {
+                out.push(Finding {
+                    rule: RULE,
+                    file: file.clone(),
+                    line: *line,
+                    message: format!(
+                        "manual `Debug` impl for secret type `{name}` does not redact"
+                    ),
+                    notes: vec![
+                        "the impl body must print a literal containing \"redacted\" \
+                         in place of key material"
+                            .to_string(),
+                    ],
+                    level: Level::Deny,
+                    allowed: None,
+                });
+            }
+        }
+        let exempt = cfg.zeroize_exempt.iter().any(|t| t == name);
+        let wrapper_only = !info.field_tys.is_empty()
+            && info
+                .field_tys
+                .iter()
+                .all(|ty| marked.iter().any(|s| ty_mentions(ty, s)));
+        if !impl_drop.contains(name) && !exempt && !wrapper_only {
+            out.push(finding(
+                info,
+                format!("secret type `{name}` has no zeroize-on-drop impl"),
+                vec![
+                    "implement `Drop` and wipe key material (see pisa_bigint::zeroize), \
+                     or add the type to [secret] zeroize_exempt with a reason"
+                        .to_string(),
+                ],
+            ));
+        }
+    }
+
+    // Pass 5: checks on transitively secret-bearing (but unmarked) types.
+    for name in secret_bearing.difference(&marked) {
+        let info = &types[name];
+        for bad in ["Serialize", "Deserialize"] {
+            if info.derives.iter().any(|d| d == bad) {
+                out.push(finding(
+                    info,
+                    format!(
+                        "type `{name}` transitively contains secret material but derives `{bad}`"
+                    ),
+                    vec![format!(
+                        "`{name}` holds a field of a pisa_secret-marked type; serializing \
+                         it would export key material"
+                    )],
+                ));
+            }
+        }
+    }
+}
+
+fn finding(info: &TypeInfo, message: String, notes: Vec<String>) -> Finding {
+    Finding {
+        rule: RULE,
+        file: info.file.clone(),
+        line: info.line,
+        message,
+        notes,
+        level: Level::Deny,
+        allowed: None,
+    }
+}

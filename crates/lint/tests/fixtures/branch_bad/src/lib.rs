@@ -1,0 +1,59 @@
+//! Fixture: secret-dependent control flow the rule must catch.
+#![forbid(unsafe_code)]
+
+/// A tagged secret scalar.
+#[doc(alias = "pisa_secret")]
+pub struct SecretExponent {
+    pub bits: Vec<bool>,
+}
+
+impl Drop for SecretExponent {
+    fn drop(&mut self) {
+        self.bits.clear();
+    }
+}
+
+impl std::fmt::Debug for SecretExponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SecretExponent(<redacted>)")
+    }
+}
+
+/// Branches directly on a secret-typed parameter.
+pub fn square_and_multiply(base: u64, exp: &SecretExponent) -> u64 {
+    let mut acc = 1u64;
+    for &bit in &exp.bits {
+        acc = acc.wrapping_mul(acc);
+        if bit {
+            acc = acc.wrapping_mul(base);
+        }
+    }
+    acc
+}
+
+/// Taint flows through a let binding before the branch.
+pub fn leading_zeros(exp: &SecretExponent) -> u32 {
+    let width = exp.bits.len();
+    let mut count = 0;
+    while count < width {
+        count += 1;
+    }
+    count as u32
+}
+
+/// Seeded by `[branching] secret_params` even though the type is plain.
+pub fn mod_pow(base: u64, exponent: u64, modulus: u64) -> u64 {
+    if exponent == 0 {
+        return 1 % modulus;
+    }
+    base % modulus
+}
+
+/// Branching on public data stays quiet.
+pub fn public_branch(len: usize) -> usize {
+    if len > 16 {
+        16
+    } else {
+        len
+    }
+}

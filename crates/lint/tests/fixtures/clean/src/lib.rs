@@ -1,0 +1,39 @@
+//! Fixture: a well-behaved crate every rule family stays quiet on.
+#![forbid(unsafe_code)]
+
+/// A properly handled secret: redacted Debug, wiped on drop, never
+/// serialized, never branched on.
+#[doc(alias = "pisa_secret")]
+#[derive(Clone)]
+pub struct CarefulKey {
+    lambda: u64,
+}
+
+impl std::fmt::Debug for CarefulKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CarefulKey(<redacted>)")
+    }
+}
+
+impl Drop for CarefulKey {
+    fn drop(&mut self) {
+        self.lambda = 0;
+    }
+}
+
+/// Total decoding: typed errors instead of panics, `try_from` instead
+/// of truncating casts, `get` instead of indexing.
+pub fn decode(frame: &[u8]) -> Result<u16, String> {
+    let first = frame.first().ok_or("empty frame")?;
+    let value = u16::try_from(*first).map_err(|_| "overflow".to_string())?;
+    Ok(value)
+}
+
+/// Branching on public lengths only.
+pub fn clamp(len: usize) -> usize {
+    if len > 64 {
+        64
+    } else {
+        len
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: workspace-convention violations (no `#![forbid(unsafe_code)]`
+//! attribute anywhere in this file, debug printing in library code).
+
+pub fn inspect(value: u64) -> u64 {
+    let doubled = dbg!(value * 2);
+    println!("value = {value}");
+    eprintln!("doubled = {doubled}");
+    doubled
+}

@@ -1,0 +1,36 @@
+//! Fixture: every panic-oracle pattern the rule must catch.
+#![forbid(unsafe_code)]
+
+pub fn decode(frame: &[u8]) -> u32 {
+    let tag = frame[0];
+    let len = frame.len() as u32;
+    let body = std::str::from_utf8(&frame[1..]).unwrap();
+    let n: u32 = body.parse().expect("numeric body");
+    if tag == 0 {
+        panic!("zero tag");
+    }
+    match tag {
+        1 => n,
+        2 => len,
+        _ => unreachable!(),
+    }
+}
+
+pub fn truncate(v: u64) -> u16 {
+    v as u16
+}
+
+pub fn justified(v: u64) -> usize {
+    // pisa-lint: allow(panic-freedom): v is a header field checked < 16
+    v as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Option<u32> = None;
+        let _ = v.unwrap_or(0);
+        assert!(super::decode(&[1, 0x35]) == 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! Fixture: every way to mishandle a secret-tagged type.
+#![forbid(unsafe_code)]
+
+/// Tagged secret that leaks through derives and never wipes itself.
+#[doc(alias = "pisa_secret")]
+#[derive(Debug, Clone, Serialize)]
+pub struct LeakyKey {
+    lambda: u64,
+}
+
+impl std::fmt::Display for LeakyKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.lambda)
+    }
+}
+
+/// Manual Debug that still prints the secret field.
+#[doc(alias = "pisa_secret")]
+pub struct ChattyKey {
+    d: u64,
+}
+
+impl std::fmt::Debug for ChattyKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChattyKey({})", self.d)
+    }
+}
+
+impl Drop for ChattyKey {
+    fn drop(&mut self) {
+        self.d = 0;
+    }
+}
+
+/// Not tagged itself, but holds a secret — serializing it exfiltrates
+/// the key.
+#[derive(Serialize, Deserialize)]
+pub struct Envelope {
+    inner: LeakyKey,
+}
+
+/// Named in `[secret] types` but nowhere marked in source.
+pub struct SomethingElse {
+    x: u64,
+}

@@ -1,0 +1,123 @@
+//! Golden tests: each fixture mini-crate under `tests/fixtures/` is
+//! linted with its own `lint.toml` and the rendered report must match
+//! the checked-in `expected.txt` byte for byte.
+//!
+//! The fixtures prove both directions of every rule family: the four
+//! `*_bad` crates show the rules *fire* on violating code (with the
+//! exact messages, line numbers, and taint-chain notes pinned), and
+//! `clean` shows they stay *quiet* on well-behaved code.
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use pisa_lint::{parse_config, run_lint, LevelOverrides};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lints one fixture with `--deny all` semantics and compares the
+/// rustc-style rendering against its golden file.
+fn check_fixture(name: &str) {
+    let root = fixture_root(name);
+    let cfg_src = std::fs::read_to_string(root.join("lint.toml"))
+        .unwrap_or_else(|e| panic!("fixture {name}: read lint.toml: {e}"));
+    let cfg = parse_config(&cfg_src).unwrap_or_else(|e| panic!("fixture {name}: parse: {e}"));
+    let levels = LevelOverrides {
+        deny: vec!["all".to_string()],
+        warn: Vec::new(),
+    };
+    let report = run_lint(&root, &cfg, &levels);
+    let rendered = report.render_text();
+    let expected = std::fs::read_to_string(root.join("expected.txt"))
+        .unwrap_or_else(|e| panic!("fixture {name}: read expected.txt: {e}"));
+    assert_eq!(
+        rendered, expected,
+        "fixture {name}: report drifted from golden expected.txt\n\
+         --- got ---\n{rendered}\n--- want ---\n{expected}"
+    );
+}
+
+#[test]
+fn secret_bad_fires_all_hygiene_rules() {
+    check_fixture("secret_bad");
+}
+
+#[test]
+fn panic_bad_fires_all_panic_rules() {
+    check_fixture("panic_bad");
+}
+
+#[test]
+fn branch_bad_fires_taint_tracking() {
+    check_fixture("branch_bad");
+}
+
+#[test]
+fn convention_bad_fires_convention_rules() {
+    check_fixture("convention_bad");
+}
+
+#[test]
+fn clean_fixture_is_quiet() {
+    check_fixture("clean");
+    // Belt and braces: the clean fixture must have zero findings, not
+    // merely match a golden that happens to contain findings.
+    let root = fixture_root("clean");
+    let cfg = parse_config(&std::fs::read_to_string(root.join("lint.toml")).unwrap()).unwrap();
+    let report = run_lint(&root, &cfg, &LevelOverrides::default());
+    assert_eq!(report.deny_count(), 0);
+    assert_eq!(report.warn_count(), 0);
+    assert_eq!(report.allowed_count(), 0);
+}
+
+/// `--warn` downgrades findings without hiding them; `--deny` wins
+/// when both name a rule.
+#[test]
+fn warn_override_downgrades_without_hiding() {
+    let root = fixture_root("convention_bad");
+    let cfg = parse_config(&std::fs::read_to_string(root.join("lint.toml")).unwrap()).unwrap();
+    let levels = LevelOverrides {
+        deny: Vec::new(),
+        warn: vec!["all".to_string()],
+    };
+    let report = run_lint(&root, &cfg, &levels);
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "warn-all must leave no deny findings"
+    );
+    assert_eq!(
+        report.warn_count(),
+        4,
+        "all four findings survive as warnings"
+    );
+
+    let levels = LevelOverrides {
+        deny: vec!["conventions".to_string()],
+        warn: vec!["all".to_string()],
+    };
+    let report = run_lint(&root, &cfg, &levels);
+    assert_eq!(report.deny_count(), 4, "--deny re-upgrades past --warn all");
+}
+
+/// The allowed finding in `panic_bad` (a justified inline allow) is
+/// visible in the JSON report even though the text rendering hides it.
+#[test]
+fn panic_bad_allowed_finding_survives_in_json() {
+    let root = fixture_root("panic_bad");
+    let cfg = parse_config(&std::fs::read_to_string(root.join("lint.toml")).unwrap()).unwrap();
+    let report = run_lint(&root, &cfg, &LevelOverrides::default());
+    assert_eq!(report.allowed_count(), 1);
+    let json = report.render_json();
+    assert!(
+        json.contains("\"allowed\": 1"),
+        "JSON must count the suppressed finding: {json}"
+    );
+    assert!(
+        json.contains("v is a header field checked < 16"),
+        "JSON must carry the allow reason: {json}"
+    );
+}

@@ -1,0 +1,73 @@
+//! Self-gate: the real workspace, linted with the real `lint.toml`,
+//! must be clean under `--deny all`. This is the same check CI runs
+//! via the binary; having it as a test means `cargo test` alone
+//! catches a regression (e.g. reverting one of the hygiene fixes made
+//! alongside the linter) without needing the CI job.
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use pisa_lint::{parse_config, run_lint, LevelOverrides};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint always sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_deny_all() {
+    let root = workspace_root();
+    let cfg_src =
+        std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml exists");
+    let cfg = parse_config(&cfg_src).expect("workspace lint.toml parses");
+    let levels = LevelOverrides {
+        deny: vec!["all".to_string()],
+        warn: Vec::new(),
+    };
+    let report = run_lint(&root, &cfg, &levels);
+    assert!(
+        report.files_scanned > 50,
+        "sanity: expected to scan the whole workspace, got {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.parse_failures.is_empty(),
+        "all workspace sources must parse: {:?}",
+        report.parse_failures
+    );
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "workspace has lint findings:\n{}",
+        report.render_text()
+    );
+    assert_eq!(
+        report.warn_count(),
+        0,
+        "workspace has lint warnings:\n{}",
+        report.render_text()
+    );
+}
+
+/// Every suppression must carry a reason — the allowlist formats make
+/// reasons syntactically mandatory, but this pins it end to end.
+#[test]
+fn every_allowed_finding_has_a_nonempty_reason() {
+    let root = workspace_root();
+    let cfg = parse_config(&std::fs::read_to_string(root.join("lint.toml")).unwrap()).unwrap();
+    let report = run_lint(&root, &cfg, &LevelOverrides::default());
+    for f in report.findings.iter().filter(|f| f.allowed.is_some()) {
+        let reason = f.allowed.as_deref().unwrap_or_default();
+        assert!(
+            reason.trim().len() >= 10,
+            "{}:{} [{}] allowed without a substantive reason: {reason:?}",
+            f.file,
+            f.line,
+            f.rule
+        );
+    }
+}

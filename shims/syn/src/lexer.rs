@@ -1,0 +1,437 @@
+//! A small Rust tokenizer.
+//!
+//! Produces a flat token stream with line numbers. Comments and doc
+//! comments are discarded (tools that care about comments — e.g. inline
+//! allow directives — scan the raw source text themselves). String,
+//! char, raw-string and byte-string literals are lexed as single
+//! [`TokenKind::Literal`] tokens so that delimiters inside them never
+//! confuse downstream parsing.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `Ubig`, `r#type`).
+    Ident,
+    /// Any literal: numbers, strings, chars, byte strings.
+    Literal,
+    /// A lifetime such as `'a` (without the quote in `text`? no — kept).
+    Lifetime,
+    /// A single punctuation character (`.`, `;`, `<`, …).
+    Punct,
+    /// An opening delimiter: `(`, `[` or `{`.
+    Open(char),
+    /// A closing delimiter: `)`, `]` or `}`.
+    Close(char),
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The verbatim token text.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` if this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenizes `src`, dropping comments. Never fails: unterminated
+/// constructs are lexed to the end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                '\'' => self.quote(line),
+                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_literal(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                '(' | '[' | '{' => {
+                    self.bump();
+                    self.push(TokenKind::Open(c), c.to_string(), line);
+                }
+                ')' | ']' | '}' => {
+                    self.bump();
+                    self.push(TokenKind::Close(c), c.to_string(), line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Consume "/*" then scan for the matching "*/", allowing nesting.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('"'));
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(self.bump().unwrap_or('\\'));
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                continue;
+            }
+            text.push(c);
+            self.bump();
+            if c == '"' {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// After a `'`: lifetime (`'a`, `'static`) or char literal (`'x'`,
+    /// `'\n'`). A quote followed by an ident char that is *not* closed by
+    /// another quote right after is a lifetime.
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = matches!(next, Some(c) if c == '_' || c.is_alphabetic())
+            && after != Some('\'')
+            && next != Some('\\');
+        if is_lifetime {
+            let mut text = String::new();
+            text.push(self.bump().unwrap_or('\''));
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            let mut text = String::new();
+            text.push(self.bump().unwrap_or('\''));
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    text.push(self.bump().unwrap_or('\\'));
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Literal, text, line);
+        }
+    }
+
+    /// `true` when the current `r`/`b` starts a raw string, byte string
+    /// or raw identifier rather than a plain identifier.
+    fn raw_or_byte_prefix(&self) -> bool {
+        matches!(
+            (self.peek(0), self.peek(1), self.peek(2)),
+            (Some('r'), Some('"'), _)
+                | (Some('r'), Some('#'), _)
+                | (Some('b'), Some('"'), _)
+                | (Some('b'), Some('\''), _)
+                | (Some('b'), Some('r'), Some('"'))
+                | (Some('b'), Some('r'), Some('#'))
+        )
+    }
+
+    fn prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        // Consume prefix letters.
+        while matches!(self.peek(0), Some('r') | Some('b')) {
+            text.push(self.bump().unwrap_or('r'));
+        }
+        if self.peek(0) == Some('#') && !text.contains('r') {
+            // `b#`? Not valid Rust; treat the consumed letters as ident.
+            self.push(TokenKind::Ident, text, line);
+            return;
+        }
+        if text.ends_with('r') || text.contains('r') {
+            // Raw (byte) string or raw identifier: r"…", r#"…"#, r#ident.
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                text.push(self.bump().unwrap_or('#'));
+                hashes += 1;
+            }
+            if self.peek(0) == Some('"') {
+                text.push(self.bump().unwrap_or('"'));
+                loop {
+                    match self.peek(0) {
+                        None => break,
+                        Some('"') => {
+                            text.push(self.bump().unwrap_or('"'));
+                            let mut seen = 0usize;
+                            while seen < hashes && self.peek(0) == Some('#') {
+                                text.push(self.bump().unwrap_or('#'));
+                                seen += 1;
+                            }
+                            if seen == hashes {
+                                break;
+                            }
+                        }
+                        Some(c) => {
+                            text.push(c);
+                            self.bump();
+                        }
+                    }
+                }
+                self.push(TokenKind::Literal, text, line);
+            } else {
+                // Raw identifier r#foo: emit the ident without prefix.
+                let mut ident = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        ident.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Ident, ident, line);
+            }
+        } else if self.peek(0) == Some('"') {
+            // Byte string b"…".
+            text.push(self.bump().unwrap_or('"'));
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    text.push(self.bump().unwrap_or('\\'));
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+                if c == '"' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Literal, text, line);
+        } else {
+            // Byte char b'x'.
+            text.push(self.bump().unwrap_or('\''));
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    text.push(self.bump().unwrap_or('\\'));
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Literal, text, line);
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.'
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                    && !text.contains('.'));
+            if take {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = kinds("fn f(x: u32) -> u32 { x + 1 }");
+        assert!(toks.contains(&(TokenKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokenKind::Open('{'), "{".into())));
+        assert!(toks.contains(&(TokenKind::Literal, "1".into())));
+    }
+
+    #[test]
+    fn comments_dropped() {
+        let toks = kinds("a // unwrap()\n/* panic! /* nested */ */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Ident, "b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_opaque() {
+        let toks = kinds(r#"let s = "unwrap() { ] }"; x"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("unwrap")));
+        // No stray delimiters leaked from inside the string.
+        assert!(!toks.iter().any(|(k, _)| matches!(k, TokenKind::Close(']'))));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let s = r#"has "quotes" and }"#; y"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("quotes")));
+        assert!(toks.iter().any(|(_, t)| t == "y"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Literal, "'x'".into())));
+        assert!(toks.contains(&(TokenKind::Literal, "'\\n'".into())));
+    }
+
+    #[test]
+    fn byte_and_raw_idents() {
+        let toks = kinds(r##"let a = b"bytes"; let b = r#type; let c = b'x';"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("bytes")));
+        assert!(toks.contains(&(TokenKind::Ident, "type".into())));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "b'x'"));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn floats_and_ranges() {
+        let toks = kinds("1.5 + 0..n + 2.0e3");
+        assert!(toks.contains(&(TokenKind::Literal, "1.5".into())));
+        assert!(toks.contains(&(TokenKind::Literal, "0".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "n".into())));
+    }
+}
