@@ -12,7 +12,12 @@ commands:
                                metro-area churn simulation
   storm [--sus N] [--drop P] [--dup P] [--reorder P] [--corrupt P]
         [--seed S] [--retries N] [--timeout-ms T]
-                               concurrent sessions over a faulty network
+        [--metrics-out FILE] [--trace-out FILE]
+                               concurrent sessions over a faulty network;
+                               --metrics-out writes a per-phase JSON report,
+                               --trace-out a chrome://tracing file
+  bench [--bits N] [--iters N] [--metrics] [--metrics-out FILE]
+                               per-phase protocol timing (paper Tables 2-3)
   attack                       curious-SDC inference demo (WATCH vs PISA)
   info                         print the paper's Table I configuration";
 
@@ -55,6 +60,21 @@ pub enum Command {
         retries: u32,
         /// Base receive deadline in milliseconds.
         timeout_ms: u64,
+        /// Where to write the per-phase metrics report as JSON.
+        metrics_out: Option<String>,
+        /// Where to write the Chrome-trace (`chrome://tracing`) file.
+        trace_out: Option<String>,
+    },
+    /// Per-phase protocol benchmark mirroring the paper's Tables 2-3.
+    Bench {
+        /// Paillier modulus bits.
+        bits: usize,
+        /// Iterations to average over.
+        iters: usize,
+        /// Print the per-phase metrics table.
+        metrics: bool,
+        /// Where to write the metrics report as JSON.
+        metrics_out: Option<String>,
     },
     /// Inference-attack demo.
     Attack,
@@ -118,6 +138,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "storm" => {
             let (mut sus, mut seed, mut retries, mut timeout_ms) = (8u32, 2017u64, 8u32, 1500u64);
             let (mut drop, mut dup, mut reorder, mut corrupt) = (0.1f64, 0.1f64, 0.1f64, 0.0f64);
+            let (mut metrics_out, mut trace_out) = (None, None);
             let prob = |flag: &str, value: &str, slot: &mut f64| -> Result<(), String> {
                 *slot = parse_num(flag, value)?;
                 if !(0.0..=1.0).contains(slot) {
@@ -146,6 +167,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     timeout_ms = parse_num(flag, value)?;
                     Ok(())
                 }
+                "--metrics-out" => {
+                    metrics_out = Some(value.to_owned());
+                    Ok(())
+                }
+                "--trace-out" => {
+                    trace_out = Some(value.to_owned());
+                    Ok(())
+                }
                 other => Err(format!("unknown flag {other}")),
             })?;
             if sus == 0 || timeout_ms == 0 {
@@ -160,6 +189,48 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 seed,
                 retries,
                 timeout_ms,
+                metrics_out,
+                trace_out,
+            })
+        }
+        "bench" => {
+            let (mut bits, mut iters) = (512usize, 4usize);
+            let mut metrics = false;
+            let mut metrics_out = None;
+            let mut it = it.peekable();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--metrics" => metrics = true,
+                    "--bits" => {
+                        let value = it.next().ok_or("flag --bits needs a value")?;
+                        bits = parse_num(flag, value)?;
+                        // The bench config's blinding budget needs a
+                        // 256-bit plaintext space at minimum.
+                        if bits < 256 || !bits.is_multiple_of(2) {
+                            return Err(format!(
+                                "--bits must be an even number >= 256, got {bits}"
+                            ));
+                        }
+                    }
+                    "--iters" => {
+                        let value = it.next().ok_or("flag --iters needs a value")?;
+                        iters = parse_num(flag, value)?;
+                    }
+                    "--metrics-out" => {
+                        let value = it.next().ok_or("flag --metrics-out needs a value")?;
+                        metrics_out = Some(value.to_owned());
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if iters == 0 {
+                return Err("--iters must be positive".into());
+            }
+            Ok(Command::Bench {
+                bits,
+                iters,
+                metrics,
+                metrics_out,
             })
         }
         "--help" | "-h" | "help" => Err("help requested".into()),
@@ -261,6 +332,8 @@ mod tests {
                 seed: 2017,
                 retries: 8,
                 timeout_ms: 1500,
+                metrics_out: None,
+                trace_out: None,
             }
         );
         assert_eq!(
@@ -278,11 +351,61 @@ mod tests {
                 seed: 9,
                 retries: 3,
                 timeout_ms: 700,
+                metrics_out: None,
+                trace_out: None,
             }
         );
         assert!(parse(&argv("storm --drop 1.5")).is_err());
         assert!(parse(&argv("storm --sus 0")).is_err());
         assert!(parse(&argv("storm --what 1")).is_err());
+    }
+
+    #[test]
+    fn storm_metrics_flags() {
+        let cmd = parse(&argv(
+            "storm --sus 2 --metrics-out m.json --trace-out t.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Storm {
+                metrics_out,
+                trace_out,
+                ..
+            } => {
+                assert_eq!(metrics_out.as_deref(), Some("m.json"));
+                assert_eq!(trace_out.as_deref(), Some("t.json"));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&argv("storm --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn bench_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("bench")).unwrap(),
+            Command::Bench {
+                bits: 512,
+                iters: 4,
+                metrics: false,
+                metrics_out: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "bench --bits 256 --iters 2 --metrics --metrics-out b.json"
+            ))
+            .unwrap(),
+            Command::Bench {
+                bits: 256,
+                iters: 2,
+                metrics: true,
+                metrics_out: Some("b.json".into()),
+            }
+        );
+        assert!(parse(&argv("bench --bits 63")).is_err());
+        assert!(parse(&argv("bench --iters 0")).is_err());
+        assert!(parse(&argv("bench --what 1")).is_err());
     }
 
     #[test]

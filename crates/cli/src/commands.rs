@@ -6,19 +6,22 @@ use pisa::prelude::*;
 use pisa_watch::{PuInput, SuRequest, WatchSdc};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::process::ExitCode;
 use std::time::Instant;
 
-/// Dispatches a parsed command.
-pub fn run(cmd: Command) {
+/// Dispatches a parsed command. Returns a failure code when a
+/// requested export (metrics/trace file) could not be written, so
+/// scripts don't mistake a missing report for a successful run.
+pub fn run(cmd: Command) -> ExitCode {
     match cmd {
-        Command::Demo => demo(),
-        Command::Keygen { bits } => keygen(bits),
+        Command::Demo => done(demo),
+        Command::Keygen { bits } => done(|| keygen(bits)),
         Command::Simulate {
             hours,
             pus,
             sus,
             seed,
-        } => simulate(hours, pus, sus, seed),
+        } => done(|| simulate(hours, pus, sus, seed)),
         Command::Storm {
             sus,
             drop,
@@ -28,14 +31,39 @@ pub fn run(cmd: Command) {
             seed,
             retries,
             timeout_ms,
-        } => storm(sus, drop, dup, reorder, corrupt, seed, retries, timeout_ms),
-        Command::Attack => attack(),
-        Command::Info => info(),
+            metrics_out,
+            trace_out,
+        } => storm(StormOpts {
+            sus,
+            drop,
+            dup,
+            reorder,
+            corrupt,
+            seed,
+            retries,
+            timeout_ms,
+            metrics_out,
+            trace_out,
+        }),
+        Command::Bench {
+            bits,
+            iters,
+            metrics,
+            metrics_out,
+        } => bench(bits, iters, metrics, metrics_out),
+        Command::Attack => done(attack),
+        Command::Info => done(info),
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn storm(
+/// Runs an infallible command for the `run` dispatch table.
+fn done(f: impl FnOnce()) -> ExitCode {
+    f();
+    ExitCode::SUCCESS
+}
+
+/// Parsed `storm` options (one struct instead of ten positional args).
+struct StormOpts {
     sus: u32,
     drop: f64,
     dup: f64,
@@ -44,10 +72,77 @@ fn storm(
     seed: u64,
     retries: u32,
     timeout_ms: u64,
-) {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+/// Builds the "net" section grafted into the metrics report: total
+/// traffic, injected faults, and session resilience counters.
+fn net_section(metrics: &pisa_net::NetMetrics) -> pisa_obs::json::Value {
+    use pisa_obs::json::Value;
+    let f = metrics.fault_totals();
+    let s = metrics.session_totals();
+    Value::object(vec![
+        ("bytes_on_wire", Value::from_u64(metrics.total_bytes())),
+        ("messages", Value::from_u64(metrics.total_messages())),
+        (
+            "faults",
+            Value::object(vec![
+                ("dropped", Value::from_u64(f.dropped)),
+                ("duplicated", Value::from_u64(f.duplicated)),
+                ("reordered", Value::from_u64(f.reordered)),
+                ("corrupted", Value::from_u64(f.corrupted)),
+                ("corrupt_dropped", Value::from_u64(f.corrupt_dropped)),
+            ]),
+        ),
+        (
+            "sessions",
+            Value::object(vec![
+                ("retries", Value::from_u64(s.retries)),
+                ("timeouts", Value::from_u64(s.timeouts)),
+                ("rejected", Value::from_u64(s.rejected)),
+            ]),
+        ),
+    ])
+}
+
+/// Writes `contents` to `path`, reporting failures without panicking.
+/// Returns whether the write succeeded.
+fn write_output(kind: &str, path: &str, contents: &str) -> bool {
+    match std::fs::write(path, contents) {
+        Ok(()) => {
+            println!("{kind} written to {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("failed to write {kind} to {path}: {e}");
+            false
+        }
+    }
+}
+
+fn storm(opts: StormOpts) -> ExitCode {
     use pisa::{run_storm, EngineConfig};
     use pisa_net::{FaultConfig, FaultPlan};
     use std::time::Duration;
+
+    let StormOpts {
+        sus,
+        drop,
+        dup,
+        reorder,
+        corrupt,
+        seed,
+        retries,
+        timeout_ms,
+        metrics_out,
+        trace_out,
+    } = opts;
+    let observing = metrics_out.is_some() || trace_out.is_some();
+    if observing {
+        pisa_obs::set_enabled(true);
+        pisa_obs::reset();
+    }
 
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = SystemConfig::small_test();
@@ -135,6 +230,84 @@ fn storm(
         elapsed.as_secs_f64(),
         report.metrics.total_bytes() as f64 / 1024.0
     );
+
+    let mut exports_ok = true;
+    if observing {
+        pisa_obs::set_enabled(false);
+        let obs_report = pisa_obs::report();
+        println!("\nper-phase breakdown (paper Tables 2-3):");
+        print!("{}", obs_report.render_table());
+        if let Some(path) = metrics_out {
+            let mut doc = obs_report.to_value();
+            if let pisa_obs::json::Value::Obj(fields) = &mut doc {
+                fields.push(("net".to_owned(), net_section(&report.metrics)));
+            }
+            exports_ok &= write_output("metrics report", &path, &doc.to_json());
+        }
+        if let Some(path) = trace_out {
+            exports_ok &= write_output("chrome trace", &path, &obs_report.to_chrome_trace());
+        }
+    }
+    if exports_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Per-phase protocol benchmark: runs `iters` full request rounds on an
+/// in-process system with obs enabled and prints the phase table the
+/// paper reports as Tables 2-3.
+fn bench(bits: usize, iters: usize, metrics: bool, metrics_out: Option<String>) -> ExitCode {
+    use pisa_watch::WatchConfig;
+
+    let mut rng = StdRng::seed_from_u64(0xb37c);
+    let cfg = SystemConfig::new(WatchConfig::small_test(), bits, 64, 64);
+    println!(
+        "bench: {} channels x {} blocks, {bits}-bit keys, {iters} iteration(s)\n",
+        cfg.channels(),
+        cfg.blocks()
+    );
+
+    let mut system = PisaSystem::setup(cfg, &mut rng);
+    system.pu_update(0, BlockId(0), Some(Channel(0)), &mut rng);
+    let su = system.register_su(BlockId(1), &mut rng);
+
+    pisa_obs::set_enabled(true);
+    pisa_obs::reset();
+    let t = Instant::now();
+    let mut request_bytes = 0u64;
+    for i in 0..iters {
+        let outcome = system.request(su, &[Channel(i % 2)], &mut rng);
+        request_bytes = outcome.request_bytes as u64;
+    }
+    let elapsed = t.elapsed();
+    pisa_obs::set_enabled(false);
+
+    let report = pisa_obs::report();
+    if metrics || metrics_out.is_some() {
+        println!("per-phase breakdown (paper Tables 2-3):");
+        print!("{}", report.render_table());
+        println!();
+    }
+    println!(
+        "{iters} round(s) in {:.2} s; request size {:.1} KiB; totals: \
+         {} mod-exps, {} encryptions, {} decryptions",
+        elapsed.as_secs_f64(),
+        request_bytes as f64 / 1024.0,
+        report.totals.mod_exps,
+        report.totals.encryptions,
+        report.totals.decryptions,
+    );
+    if metrics_out.is_none() && !metrics {
+        println!("(pass --metrics for the per-phase table, --metrics-out FILE for JSON)");
+    }
+    if let Some(path) = metrics_out {
+        if !write_output("metrics report", &path, &report.to_json()) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn demo() {

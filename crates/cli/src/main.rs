@@ -22,10 +22,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
-        Ok(cmd) => {
-            commands::run(cmd);
-            ExitCode::SUCCESS
-        }
+        Ok(cmd) => commands::run(cmd),
         Err(msg) => {
             eprintln!("error: {msg}\n");
             eprintln!("{}", args::USAGE);

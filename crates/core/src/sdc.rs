@@ -148,6 +148,7 @@ impl SdcServer {
     /// [`PisaError::DimensionMismatch`] if the update does not carry
     /// exactly `C` ciphertexts.
     pub fn handle_pu_update(&mut self, pu_id: u64, msg: PuUpdateMsg) -> Result<(), PisaError> {
+        let _span = pisa_obs::span("matrix_update");
         if msg.w_column.len() != self.cfg.channels() {
             return Err(PisaError::DimensionMismatch {
                 got: (msg.w_column.len(), 1),
@@ -217,6 +218,7 @@ impl SdcServer {
         msg: &SuRequestMsg,
         rng: &mut R,
     ) -> Result<SdcToStpMsg, PisaError> {
+        let _span = pisa_obs::span("sign_test");
         let region = msg.region_blocks;
         if region == 0 || region > self.cfg.blocks() {
             return Err(PisaError::BadRegion {
@@ -324,6 +326,7 @@ impl SdcServer {
         rng: &mut R,
     ) -> Result<SdcToStpMsg, PisaError> {
         assert!(threads > 0, "need at least one worker");
+        let _span = pisa_obs::span("sign_test");
         let region = msg.region_blocks;
         if region == 0 || region > self.cfg.blocks() {
             return Err(PisaError::BadRegion {
@@ -421,6 +424,7 @@ impl SdcServer {
         su_pk: &PaillierPublicKey,
         rng: &mut R,
     ) -> Result<SdcResponseMsg, PisaError> {
+        let _span = pisa_obs::span("signature_release");
         let pending = self
             .pending
             .remove(&msg.su_id)

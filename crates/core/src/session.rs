@@ -86,6 +86,7 @@ impl WireSize for SessionMsg {
 impl SessionMsg {
     /// Serializes to a wire frame: session id, attempt, inner message.
     pub fn encode(&self) -> bytes::Bytes {
+        let _span = pisa_obs::span("net.serialize");
         let inner = self.msg.encode();
         let mut w = Writer::with_capacity(SESSION_HEADER_BYTES + inner.len());
         w.put_u64(self.session);
@@ -100,6 +101,7 @@ impl SessionMsg {
     ///
     /// Any [`CodecError`] on truncated or malformed frames.
     pub fn decode(frame: &[u8]) -> Result<SessionMsg, CodecError> {
+        let _span = pisa_obs::span("net.deserialize");
         let mut r = Reader::new(frame);
         let session = r.get_u64()?;
         let attempt = r.get_u32()?;
@@ -521,6 +523,9 @@ pub fn run_storm(
         su_handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed ^ (0x50 + i as u64));
             let session = u64::from(su.id().0);
+            // One span per SU session, parent of this thread's request
+            // build / license verification spans.
+            let _session_span = pisa_obs::span("session");
             let request = su.build_request(&cfg, &pk_g, &channels, &mut rng);
             let digest = License::digest_request(request.f_matrix.ciphertexts());
             let frame = |attempt: u32| SessionMsg {

@@ -85,6 +85,7 @@ impl StpServer {
         msg: &SdcToStpMsg,
         rng: &mut R,
     ) -> Result<(StpToSdcMsg, StpObservation), PisaError> {
+        let _span = pisa_obs::span("key_conversion");
         let su_pk = self
             .directory
             .lookup(msg.su_id)
@@ -141,6 +142,7 @@ impl StpServer {
         rng: &mut R,
     ) -> Result<(StpToSdcMsg, StpObservation), PisaError> {
         assert!(threads > 0, "need at least one worker");
+        let _span = pisa_obs::span("key_conversion");
         let su_pk = self
             .directory
             .lookup(msg.su_id)

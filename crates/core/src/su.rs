@@ -109,6 +109,7 @@ impl SuClient {
         request: &SuRequest,
         rng: &mut R,
     ) -> SuRequestMsg {
+        let _span = pisa_obs::span("su.build_request");
         let region = self.privacy.region_blocks(cfg);
         assert!(
             self.block.0 < region,
@@ -165,6 +166,7 @@ impl SuClient {
         pk_g: &PaillierPublicKey,
         rng: &mut R,
     ) -> SuRequestMsg {
+        let _span = pisa_obs::span("su.refresh_request");
         let cached = self
             .cached
             .as_ref()
@@ -195,6 +197,7 @@ impl SuClient {
     /// No other party can perform this step: `G̃` is encrypted under
     /// `pk_j`.
     pub fn handle_response(&self, msg: &SdcResponseMsg, sdc_signing_key: &RsaPublicKey) -> bool {
+        let _span = pisa_obs::span("su.verify_license");
         let plain = self.keys.secret().decrypt(&msg.g_cipher);
         // A valid signature is a non-negative integer below the RSA
         // modulus; a garbled one decodes to anything in the plaintext

@@ -30,6 +30,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Records one crypto operation in the observability layer when the
+/// `obs` feature is on; compiles to nothing otherwise, so the hot
+/// paths carry zero cost in un-instrumented builds.
+#[cfg(feature = "obs")]
+macro_rules! obs_count {
+    ($op:ident) => {
+        pisa_obs::count(pisa_obs::Op::$op)
+    };
+}
+
+/// Records one crypto operation in the observability layer when the
+/// `obs` feature is on; compiles to nothing otherwise.
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_count {
+    ($op:ident) => {};
+}
+
 pub mod blind;
 mod error;
 pub mod paillier;

@@ -2,7 +2,7 @@
 
 use super::ops::{Ciphertext, Randomizer};
 use crate::error::CryptoError;
-use pisa_bigint::modular::{lcm, mod_inverse, MontCtx};
+use pisa_bigint::modular::{gcd, lcm, mod_inverse, MontCtx};
 use pisa_bigint::random::random_coprime;
 use pisa_bigint::zeroize::Zeroize;
 use pisa_bigint::{prime, Ibig, Sign, Ubig};
@@ -110,17 +110,37 @@ impl PaillierPublicKey {
     ///
     /// Panics if `|m| > n/2`.
     pub fn encrypt<R: Rng + ?Sized>(&self, m: &Ibig, rng: &mut R) -> Ciphertext {
+        // `random_coprime` samples until gcd(r, n) = 1, so the unit
+        // precondition of `raw_encrypt` holds by construction.
         let r = random_coprime(rng, &self.n);
-        self.encrypt_with_r(m, &r)
+        self.raw_encrypt(m, &r)
     }
 
-    /// Encrypts with an explicit random factor `r ∈ Z_n*` (deterministic;
-    /// used by tests and by the re-randomization benchmarks).
-    pub fn encrypt_with_r(&self, m: &Ibig, r: &Ubig) -> Ciphertext {
+    /// Encrypts with an explicit random factor `r` (deterministic; used
+    /// by tests and by the re-randomization benchmarks).
+    ///
+    /// Fails with [`CryptoError::MalformedCiphertext`] unless
+    /// `r ∈ Z_n*`: `r = 0`, `r ≥ n` sharing a factor with `n`, or any
+    /// other non-unit would produce a ciphertext that is not a unit
+    /// modulo `n²` — undecryptable, and poison for every later
+    /// `sub`/`scalar_mul`/`invert` that touches it.
+    pub fn encrypt_with_r(&self, m: &Ibig, r: &Ubig) -> Result<Ciphertext, CryptoError> {
+        // gcd(0, n) = n, so this single check also rejects r = 0.
+        if !gcd(r, &self.n).is_one() {
+            return Err(CryptoError::MalformedCiphertext);
+        }
+        Ok(self.raw_encrypt(m, r))
+    }
+
+    /// Shared encryption core; callers must guarantee `r ∈ Z_n*`.
+    fn raw_encrypt(&self, m: &Ibig, r: &Ubig) -> Ciphertext {
         let encoded = self.encode(m);
         // g^m = (n+1)^m = 1 + m·n (mod n²)
         let g_m = (Ubig::one() + &encoded * &self.n) % &self.n_squared;
         let r_n = self.ctx_n2.pow(r, &self.n);
+        obs_count!(ModExp);
+        obs_count!(ModMul);
+        obs_count!(Encrypt);
         Ciphertext::from_raw((&g_m * &r_n) % &self.n_squared)
     }
 
@@ -143,6 +163,7 @@ impl PaillierPublicKey {
     /// exponentiation, done ahead of time).
     pub fn precompute_randomizer<R: Rng + ?Sized>(&self, rng: &mut R) -> Randomizer {
         let r = random_coprime(rng, &self.n);
+        obs_count!(ModExp);
         Randomizer(self.ctx_n2.pow(&r, &self.n))
     }
 
@@ -152,11 +173,14 @@ impl PaillierPublicKey {
     /// Each factor must be used for at most one ciphertext; reuse would
     /// correlate the refreshed entries.
     pub fn rerandomize_precomputed(&self, c: &Ciphertext, factor: &Randomizer) -> Ciphertext {
+        obs_count!(Rerandomize);
+        obs_count!(ModMul);
         Ciphertext::from_raw((c.as_raw() * &factor.0) % &self.n_squared)
     }
 
     /// Homomorphic addition ⊕: `D(add(E(a), E(b))) = a + b`.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        obs_count!(ModMul);
         Ciphertext::from_raw((a.as_raw() * b.as_raw()) % &self.n_squared)
     }
 
@@ -178,6 +202,7 @@ impl PaillierPublicKey {
     /// Negative scalars go through the ciphertext inverse, exactly like ⊖,
     /// and fail the same way on non-unit ciphertexts.
     pub fn scalar_mul(&self, c: &Ciphertext, k: &Ibig) -> Result<Ciphertext, CryptoError> {
+        obs_count!(ModExp);
         let powed = self.ctx_n2.pow(c.as_raw(), k.magnitude());
         if k.is_negative() {
             let inv = pisa_bigint::modular::mod_inverse(&powed, &self.n_squared)
@@ -197,6 +222,7 @@ impl PaillierPublicKey {
     /// semantically secure; used only for public constants such as the
     /// paper's matrix `E` (maximum SU EIRP is public data).
     pub fn encrypt_public_constant(&self, m: &Ibig) -> Ciphertext {
+        obs_count!(Encrypt);
         let encoded = self.encode(m);
         Ciphertext::from_raw((Ubig::one() + &encoded * &self.n) % &self.n_squared)
     }
@@ -282,6 +308,10 @@ impl PaillierSecretKey {
     /// Decrypts via the CRT fast path (the default; ~4× standard
     /// decryption).
     pub fn decrypt(&self, c: &Ciphertext) -> Ibig {
+        // CRT decryption is two half-size exponentiations.
+        obs_count!(ModExp);
+        obs_count!(ModExp);
+        obs_count!(Decrypt);
         let crt = &self.crt;
         let mp = {
             let cp = crt.ctx_p2.pow(c.as_raw(), &(&crt.p - &Ubig::one()));
@@ -303,6 +333,8 @@ impl PaillierSecretKey {
     ///
     /// Kept public for the CRT-vs-standard ablation benchmark.
     pub fn decrypt_standard(&self, c: &Ciphertext) -> Ibig {
+        obs_count!(ModExp);
+        obs_count!(Decrypt);
         let c_lambda = self.pk.ctx_n2.pow(c.as_raw(), &self.lambda);
         let l = l_function(&c_lambda, &self.pk.n);
         let m = (&l * &self.mu) % &self.pk.n;
@@ -473,7 +505,10 @@ mod tests {
             .expect("valid primes");
         assert_eq!(kp.public().modulus(), &Ubig::from(293u64 * 433));
         let m = Ibig::from(521i64);
-        let c = kp.public().encrypt_with_r(&m, &Ubig::from(7u64));
+        let c = kp
+            .public()
+            .encrypt_with_r(&m, &Ubig::from(7u64))
+            .expect("7 is a unit mod n");
         assert_eq!(kp.secret().decrypt(&c), m);
         assert_eq!(kp.secret().decrypt_standard(&c), m);
     }
@@ -538,7 +573,9 @@ mod tests {
     fn sub_rejects_non_unit_ciphertext() {
         let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).unwrap();
         let pk = kp.public();
-        let a = pk.encrypt_with_r(&Ibig::from(4i64), &Ubig::from(7u64));
+        let a = pk
+            .encrypt_with_r(&Ibig::from(4i64), &Ubig::from(7u64))
+            .expect("unit r");
         // A multiple of p shares a factor with n², so it has no inverse:
         // the adversarial shape that used to panic the decryption oracle.
         let evil = Ciphertext::from_raw(Ubig::from(293u64));
@@ -548,7 +585,9 @@ mod tests {
             "subtracting a non-unit ciphertext must fail, not panic"
         );
         // The honest direction still works.
-        let b = pk.encrypt_with_r(&Ibig::from(1i64), &Ubig::from(11u64));
+        let b = pk
+            .encrypt_with_r(&Ibig::from(1i64), &Ubig::from(11u64))
+            .expect("unit r");
         let diff = pk.sub(&a, &b).expect("honest ciphertexts are units");
         assert_eq!(kp.secret().decrypt(&diff), Ibig::from(3i64));
     }
@@ -563,7 +602,9 @@ mod tests {
             Err(CryptoError::MalformedCiphertext)
         );
         // Positive scalars never need an inverse and always succeed.
-        let c = pk.encrypt_with_r(&Ibig::from(6i64), &Ubig::from(5u64));
+        let c = pk
+            .encrypt_with_r(&Ibig::from(6i64), &Ubig::from(5u64))
+            .expect("unit r");
         let tripled = pk
             .scalar_mul(&c, &Ibig::from(3i64))
             .expect("positive scalar");

@@ -84,6 +84,7 @@ impl RsaPublicKey {
         if signature.0 >= self.n {
             return Err(CryptoError::InvalidSignature);
         }
+        obs_count!(ModExp);
         let recovered = self.ctx.pow(&signature.0, &self.e);
         if recovered == full_domain_hash(message, &self.n) {
             Ok(())
@@ -244,6 +245,7 @@ impl RsaKeyPair {
     /// Signs `message` (deterministic RSA-FDH).
     pub fn sign(&self, message: &[u8]) -> Signature {
         let h = full_domain_hash(message, &self.pk.n);
+        obs_count!(ModExp);
         Signature(self.pk.ctx.pow(&h, &self.d))
     }
 }

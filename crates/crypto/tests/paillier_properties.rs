@@ -1,6 +1,6 @@
 //! Property-based tests for the Paillier cryptosystem and blinding.
 
-use pisa_bigint::Ibig;
+use pisa_bigint::{Ibig, Ubig};
 use pisa_crypto::blind::{blind_value, unblind_sign, Blinder};
 use pisa_crypto::paillier::PaillierKeyPair;
 use proptest::prelude::*;
@@ -175,4 +175,52 @@ fn ciphertext_sizes_match_table2_shape() {
     assert_eq!(kp.public().key_bits(), 256);
     assert_eq!(kp.public().modulus_squared().bit_len().div_ceil(8), 64);
     assert_eq!(kp.public().ciphertext_bytes(), 64);
+}
+
+#[test]
+fn encrypt_with_r_rejects_degenerate_r() {
+    // r must be a unit of Z_n: r = 0, r = n, and anything sharing a
+    // factor with n produce undecryptable ciphertexts that poison
+    // later sub/invert chains — they must be rejected up front.
+    let kp =
+        PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64)).expect("valid primes");
+    let pk = kp.public();
+    let m = Ibig::from(42i64);
+    for bad in [
+        Ubig::zero(),
+        pk.modulus().clone(),
+        Ubig::from(293u64),     // = p
+        Ubig::from(433u64 * 3), // multiple of q
+        pk.modulus() * &Ubig::from(5u64),
+    ] {
+        assert_eq!(
+            pk.encrypt_with_r(&m, &bad),
+            Err(pisa_crypto::CryptoError::MalformedCiphertext),
+            "r = {bad:?} must be rejected"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encrypt_with_r_accepts_exactly_the_units(r in 0u64..500_000) {
+        // Small key so gcd structure is exercised across the whole range.
+        let kp = PaillierKeyPair::from_primes(Ubig::from(293u64), Ubig::from(433u64))
+            .expect("valid primes");
+        let pk = kp.public();
+        let m = Ibig::from(17i64);
+        let r_big = Ubig::from(r);
+        let is_unit = r % 293 != 0 && r % 433 != 0;
+        match pk.encrypt_with_r(&m, &r_big) {
+            Ok(c) => {
+                prop_assert!(is_unit, "non-unit r = {} accepted", r);
+                prop_assert_eq!(kp.secret().decrypt(&c), m);
+            }
+            Err(e) => {
+                prop_assert!(!is_unit, "unit r = {} rejected: {:?}", r, e);
+            }
+        }
+    }
 }

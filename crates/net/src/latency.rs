@@ -55,9 +55,35 @@ impl LatencyModel {
     }
 
     /// Time to move `bytes` across the link in `messages` messages.
+    ///
+    /// Saturates at [`Duration::MAX`] instead of truncating or
+    /// panicking: `messages` is multiplied at full `u64` width (the
+    /// old implementation cast to `u32`, silently dropping the high
+    /// bits above 2³²−1, and `Duration * u32` panics on overflow), and
+    /// a NaN or negative `ns_per_byte` contributes zero serialization
+    /// time rather than a garbage cast.
     pub fn transfer_time(&self, bytes: u64, messages: u64) -> Duration {
-        let serialization = Duration::from_nanos((bytes as f64 * self.ns_per_byte) as u64);
-        self.per_message * (messages as u32) + serialization
+        let ser_ns = bytes as f64 * self.ns_per_byte;
+        // `as` on floats saturates and maps NaN to 0; clamping the
+        // negative side keeps a misconfigured model at "instant", not
+        // huge-wrapped.
+        let serialization = u128::from(ser_ns.max(0.0) as u64);
+        let per_msg = self
+            .per_message
+            .as_nanos()
+            .saturating_mul(u128::from(messages));
+        duration_from_nanos_saturating(per_msg.saturating_add(serialization))
+    }
+}
+
+/// Converts a nanosecond count to a `Duration`, clamping to
+/// [`Duration::MAX`] when the seconds part exceeds `u64`.
+fn duration_from_nanos_saturating(ns: u128) -> Duration {
+    let secs = ns / 1_000_000_000;
+    let sub = (ns % 1_000_000_000) as u64 as u32;
+    match u64::try_from(secs) {
+        Ok(s) => Duration::new(s, sub),
+        Err(_) => Duration::MAX,
     }
 }
 
@@ -89,5 +115,43 @@ mod tests {
         let one = m.transfer_time(0, 1);
         let ten = m.transfer_time(0, 10);
         assert_eq!(ten, one * 10);
+    }
+
+    #[test]
+    fn message_counts_above_u32_max_no_longer_truncate() {
+        let m = LatencyModel::lan();
+        // The old `messages as u32` cast wrapped this to 1 message.
+        let wrapped = m.transfer_time(0, u64::from(u32::MAX) + 2);
+        let one = m.transfer_time(0, 1);
+        assert!(wrapped > one * 1_000_000);
+        // Exact: (2^32 + 1) * 200 µs.
+        let expected_ns = (u128::from(u32::MAX) + 2) * 200_000;
+        assert_eq!(wrapped.as_nanos(), expected_ns);
+    }
+
+    #[test]
+    fn extreme_inputs_saturate_instead_of_panicking() {
+        let m = LatencyModel::wan();
+        // 20 ms × 2⁶⁴ messages ≈ 3.7e17 s: huge but representable, and
+        // it must not wrap or panic on the way there.
+        let t = m.transfer_time(u64::MAX, u64::MAX);
+        assert!(t > Duration::from_secs(1 << 57));
+        let slow = LatencyModel {
+            per_message: Duration::MAX,
+            ns_per_byte: 0.0,
+        };
+        // Duration::MAX * 2 would panic under Mul<u32>.
+        assert_eq!(slow.transfer_time(0, 2), Duration::MAX);
+    }
+
+    #[test]
+    fn degenerate_ns_per_byte_contributes_nothing() {
+        for bad in [f64::NAN, -8.0, f64::NEG_INFINITY] {
+            let m = LatencyModel {
+                per_message: Duration::from_micros(200),
+                ns_per_byte: bad,
+            };
+            assert_eq!(m.transfer_time(1 << 20, 1), Duration::from_micros(200));
+        }
     }
 }

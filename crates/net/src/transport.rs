@@ -140,6 +140,7 @@ impl<M: WireSize> Network<M> {
 
     /// Puts `env` in the recipient's mailbox, recording its wire size.
     fn deliver_direct(&self, env: Envelope<M>) -> Result<(), NetError> {
+        let _span = pisa_obs::span("net.send");
         let bytes = env.payload.wire_bytes();
         let sender = {
             let boxes = self.boxes.lock();
@@ -266,9 +267,16 @@ impl<M: WireSize + Clone> Endpoint<M> {
     ///
     /// [`NetError::Disconnected`] if every sender is gone.
     pub fn recv(&self) -> Result<Envelope<M>, NetError> {
-        self.rx
+        let received = self
+            .rx
             .recv()
-            .map_err(|_| NetError::Disconnected(self.party))
+            .map_err(|_| NetError::Disconnected(self.party));
+        if received.is_ok() {
+            // Record only successful receives: blocking time is the
+            // sender's latency, but an empty poll is not a "recv".
+            let _span = pisa_obs::span("net.recv");
+        }
+        received
     }
 
     /// Receives without blocking; `None` when the mailbox is empty.
@@ -279,7 +287,11 @@ impl<M: WireSize + Clone> Endpoint<M> {
     /// Receives with a deadline; `None` if nothing arrives in time (the
     /// caller decides whether that is a retry or a protocol failure).
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Envelope<M>> {
-        self.rx.recv_timeout(timeout).ok()
+        let received = self.rx.recv_timeout(timeout).ok();
+        if received.is_some() {
+            let _span = pisa_obs::span("net.recv");
+        }
+        received
     }
 }
 

@@ -1,0 +1,60 @@
+//! Property-based tests for the latency model: `transfer_time` must be
+//! monotone in both arguments across the full `u64` range — including
+//! message counts above `u32::MAX`, where the pre-fix implementation
+//! truncated — and must never panic.
+
+use pisa_net::LatencyModel;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn models() -> [LatencyModel; 3] {
+    [
+        LatencyModel::ideal(),
+        LatencyModel::lan(),
+        LatencyModel::wan(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn monotone_in_messages(bytes in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for m in models() {
+            prop_assert!(m.transfer_time(bytes, lo) <= m.transfer_time(bytes, hi));
+        }
+    }
+
+    #[test]
+    fn monotone_in_bytes(messages in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for m in models() {
+            prop_assert!(m.transfer_time(lo, messages) <= m.transfer_time(hi, messages));
+        }
+    }
+
+    #[test]
+    fn beyond_u32_messages_dominate_the_wrapped_count(extra in 1u64..1_000_000) {
+        // Regression for the `messages as u32` truncation: a count just
+        // past 2^32 must cost at least as much as the full 2^32, not
+        // wrap to `extra` messages.
+        let big = u64::from(u32::MAX) + extra;
+        for m in [LatencyModel::lan(), LatencyModel::wan()] {
+            let t = m.transfer_time(0, big);
+            prop_assert!(t >= m.transfer_time(0, u64::from(u32::MAX)));
+            prop_assert!(t > Duration::from_secs(1000));
+        }
+    }
+
+    #[test]
+    fn never_panics_on_extremes(bytes in any::<u64>(), messages in any::<u64>()) {
+        // The shim's `any::<u64>()` covers the full range; pin the
+        // corners explicitly as well.
+        for (b, n) in [(bytes, messages), (0, u64::MAX), (u64::MAX, 0), (u64::MAX, u64::MAX)] {
+            for m in models() {
+                let _ = m.transfer_time(b, n);
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Global counters for the crypto operations priced by the paper.
+//!
+//! The paper's cost model (§VI) prices each protocol phase in modular
+//! exponentiations; everything else is noise on top. We track the five
+//! operation classes Tables 2–3 break out so a phase report can say not
+//! just "sign test took 40 ms" but "sign test performed 96 mod-exps".
+//!
+//! Counters are process-global relaxed atomics. Span guards snapshot
+//! the totals when they open and subtract on drop, so per-phase deltas
+//! are exact for serial runs; concurrent spans each observe the ops of
+//! threads running inside them (documented as approximate attribution
+//! under concurrency in DESIGN.md §8).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A crypto operation class tracked by the observability layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Modular exponentiation (the paper's unit of cost).
+    ModExp,
+    /// Modular multiplication outside an exponentiation ladder.
+    ModMul,
+    /// Paillier encryption (also counts its internal mod-exp).
+    Encrypt,
+    /// Paillier decryption (CRT or standard).
+    Decrypt,
+    /// Ciphertext re-randomization.
+    Rerandomize,
+}
+
+static MOD_EXPS: AtomicU64 = AtomicU64::new(0);
+static MOD_MULS: AtomicU64 = AtomicU64::new(0);
+static ENCRYPTIONS: AtomicU64 = AtomicU64::new(0);
+static DECRYPTIONS: AtomicU64 = AtomicU64::new(0);
+static RERANDOMIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+fn cell(op: Op) -> &'static AtomicU64 {
+    match op {
+        Op::ModExp => &MOD_EXPS,
+        Op::ModMul => &MOD_MULS,
+        Op::Encrypt => &ENCRYPTIONS,
+        Op::Decrypt => &DECRYPTIONS,
+        Op::Rerandomize => &RERANDOMIZATIONS,
+    }
+}
+
+/// Records one occurrence of `op`. No-op while obs is disabled.
+pub fn count(op: Op) {
+    if crate::enabled() {
+        cell(op).fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of the global operation totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpTotals {
+    /// Modular exponentiations.
+    pub mod_exps: u64,
+    /// Modular multiplications.
+    pub mod_muls: u64,
+    /// Paillier encryptions.
+    pub encryptions: u64,
+    /// Paillier decryptions.
+    pub decryptions: u64,
+    /// Ciphertext re-randomizations.
+    pub rerandomizations: u64,
+}
+
+impl OpTotals {
+    /// Element-wise saturating difference `self - earlier`, used to
+    /// attribute ops to the span that was open between two snapshots.
+    pub fn delta_since(&self, earlier: &OpTotals) -> OpTotals {
+        OpTotals {
+            mod_exps: self.mod_exps.saturating_sub(earlier.mod_exps),
+            mod_muls: self.mod_muls.saturating_sub(earlier.mod_muls),
+            encryptions: self.encryptions.saturating_sub(earlier.encryptions),
+            decryptions: self.decryptions.saturating_sub(earlier.decryptions),
+            rerandomizations: self
+                .rerandomizations
+                .saturating_sub(earlier.rerandomizations),
+        }
+    }
+
+    /// Element-wise saturating sum, used when aggregating spans into a
+    /// phase row.
+    pub fn merge(&self, other: &OpTotals) -> OpTotals {
+        OpTotals {
+            mod_exps: self.mod_exps.saturating_add(other.mod_exps),
+            mod_muls: self.mod_muls.saturating_add(other.mod_muls),
+            encryptions: self.encryptions.saturating_add(other.encryptions),
+            decryptions: self.decryptions.saturating_add(other.decryptions),
+            rerandomizations: self.rerandomizations.saturating_add(other.rerandomizations),
+        }
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == OpTotals::default()
+    }
+}
+
+/// Reads the current global totals.
+pub fn counters() -> OpTotals {
+    OpTotals {
+        mod_exps: MOD_EXPS.load(Ordering::Relaxed),
+        mod_muls: MOD_MULS.load(Ordering::Relaxed),
+        encryptions: ENCRYPTIONS.load(Ordering::Relaxed),
+        decryptions: DECRYPTIONS.load(Ordering::Relaxed),
+        rerandomizations: RERANDOMIZATIONS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn reset_counters() {
+    MOD_EXPS.store(0, Ordering::Relaxed);
+    MOD_MULS.store(0, Ordering::Relaxed);
+    ENCRYPTIONS.store(0, Ordering::Relaxed);
+    DECRYPTIONS.store(0, Ordering::Relaxed);
+    RERANDOMIZATIONS.store(0, Ordering::Relaxed);
+}

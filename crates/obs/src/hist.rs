@@ -1,0 +1,218 @@
+//! Fixed-bucket latency histograms.
+//!
+//! One bucket per power of two of nanoseconds (64 buckets covers the
+//! whole `u64` range), so recording is a leading-zeros instruction and
+//! an atomic increment — cheap enough to sit on the storm hot path.
+//! Quantiles are therefore accurate to within a factor of two, which
+//! is ample for the paper's per-phase tables (values there differ by
+//! orders of magnitude between phases).
+
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed latency histogram over nanosecond durations.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+fn bucket_index(ns: u64) -> usize {
+    // 0 ns lands in bucket 0; otherwise the bucket is floor(log2(ns)),
+    // clamped into range (128 - lz of a u64 value is at most 64).
+    if ns == 0 {
+        0
+    } else {
+        usize::try_from(63 - ns.leading_zeros())
+            .unwrap_or(BUCKETS - 1)
+            .min(BUCKETS - 1)
+    }
+}
+
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = saturating_ns(d);
+        if let Some(slot) = self.counts.get_mut(bucket_index(ns)) {
+            *slot = slot.saturating_add(1);
+        }
+        self.total = self.total.saturating_add(1);
+        self.sum_ns = self.sum_ns.saturating_add(u128::from(ns));
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Duration {
+        duration_from_ns_u128(self.sum_ns)
+    }
+
+    /// Mean sample, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            Duration::ZERO
+        } else {
+            duration_from_ns_u128(self.sum_ns / u128::from(self.total))
+        }
+    }
+
+    /// Smallest sample, or zero when empty.
+    pub fn min(&self) -> Duration {
+        if self.total == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, resolved to the upper
+    /// edge of the bucket holding that rank (so the estimate is within
+    /// 2x of the true value and never under-reports). Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we want, 1-based; `as` saturates on floats.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen: u64 = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                // Upper edge of bucket i is 2^(i+1) - 1 ns.
+                let edge = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Duration::from_nanos(edge.min(self.max_ns).max(self.min_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// p50/p95/p99 snapshot.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// p50/p95/p99 triple extracted from a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+}
+
+fn duration_from_ns_u128(ns: u128) -> Duration {
+    let secs = ns / 1_000_000_000;
+    let sub = u32::try_from(ns % 1_000_000_000).unwrap_or(0);
+    match u64::try_from(secs) {
+        Ok(s) => Duration::new(s, sub),
+        Err(_) => Duration::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracket_samples() {
+        let mut h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p = h.percentiles();
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+        assert!(p.p50 >= h.min() && p.p99 <= h.max().max(p.p99));
+        // Upper-edge estimate never under-reports the true median (30 µs).
+        assert!(p.p50 >= Duration::from_micros(30));
+        // ...and is within 2x.
+        assert!(p.p50 <= Duration::from_micros(64));
+    }
+
+    #[test]
+    fn extreme_samples_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+        assert!(h.quantile(1.0) >= h.quantile(0.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_millis(2));
+        assert_eq!(a.min(), Duration::from_millis(1));
+    }
+}

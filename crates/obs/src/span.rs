@@ -1,0 +1,95 @@
+//! Hierarchical span guards.
+//!
+//! A [`span`] opens a named region on the current thread; dropping the
+//! guard closes it. Nesting is tracked per thread with a thread-local
+//! stack, so each finished span knows its parent and depth — enough to
+//! reconstruct the tree for the Chrome-trace export and to check in
+//! tests that children's durations sum to at most the parent's.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::counters::{counters, OpTotals};
+use crate::registry::{self, FinishedSpan};
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    // Stack of names of currently open spans on this thread.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A small, stable id for the current thread (assigned on first use;
+/// unrelated to the OS thread id).
+pub(crate) fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Opens a span named `name` on the current thread.
+///
+/// The returned guard closes the span when dropped. While obs is
+/// disabled (see [`crate::set_enabled`]) this returns an inert guard
+/// whose construction and drop cost one relaxed atomic load each.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { live: None };
+    }
+    let parent = STACK.with(|s| s.borrow().last().copied());
+    let depth = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.len() - 1
+    });
+    SpanGuard {
+        live: Some(LiveSpan {
+            name,
+            parent,
+            depth,
+            tid: current_tid(),
+            start: Instant::now(),
+            start_ops: counters(),
+        }),
+    }
+}
+
+struct LiveSpan {
+    name: &'static str,
+    parent: Option<&'static str>,
+    depth: usize,
+    tid: u64,
+    start: Instant,
+    start_ops: OpTotals,
+}
+
+/// Guard returned by [`span`]; closing happens on drop.
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let elapsed = live.start.elapsed();
+        let ops = counters().delta_since(&live.start_ops);
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop our own frame. Guards drop in LIFO order within a
+            // thread, so the top is ours unless a guard was leaked
+            // (mem::forget); truncating to our depth resyncs then.
+            s.truncate(live.depth);
+        });
+        registry::submit(FinishedSpan {
+            name: live.name,
+            parent: live.parent,
+            depth: live.depth,
+            tid: live.tid,
+            start_ns: registry::epoch_offset_ns(live.start),
+            dur_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            ops,
+        });
+    }
+}

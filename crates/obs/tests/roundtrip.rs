@@ -1,0 +1,169 @@
+//! Round-trip tests: exports parse back with the obs JSON parser and
+//! the span tree they describe is internally consistent (children sum
+//! to at most the parent's duration).
+//!
+//! The registry is process-global, so every test serializes on one
+//! mutex and resets state up front.
+
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+use pisa_obs::json::Value;
+use pisa_obs::{count, report, reset, set_enabled, span, Op};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn run_nested_workload() {
+    set_enabled(true);
+    reset();
+    {
+        let _parent = span("session");
+        {
+            let _child = span("sign_test");
+            count(Op::ModExp);
+            count(Op::ModExp);
+            count(Op::Encrypt);
+            thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _child = span("signature_release");
+            count(Op::Decrypt);
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+    set_enabled(false);
+}
+
+#[test]
+fn json_export_round_trips_and_children_fit_in_parent() {
+    let _guard = exclusive();
+    run_nested_workload();
+    let rpt = report();
+    let text = rpt.to_json();
+
+    let doc = Value::parse(&text).expect("report JSON must parse back");
+    let spans = doc
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("report has a spans array");
+    assert_eq!(spans.len(), 3);
+
+    let field = |s: &Value, k: &str| s.get(k).and_then(Value::as_u64).expect("numeric field");
+    let by_name = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("span {name} missing"))
+    };
+
+    let parent = by_name("session");
+    let children_sum: u64 = ["sign_test", "signature_release"]
+        .iter()
+        .map(|n| field(by_name(n), "dur_ns"))
+        .sum();
+    assert!(
+        children_sum <= field(parent, "dur_ns"),
+        "children ({children_sum} ns) exceed parent ({} ns)",
+        field(parent, "dur_ns")
+    );
+    for name in ["sign_test", "signature_release"] {
+        let s = by_name(name);
+        assert_eq!(s.get("parent").and_then(Value::as_str), Some("session"));
+        assert!(field(s, "start_ns") >= field(parent, "start_ns"));
+    }
+
+    // Counter attribution: the ops of both children roll up into the
+    // parent's delta, and the phase rows aggregate them.
+    let sign = by_name("sign_test");
+    assert_eq!(
+        sign.get("ops")
+            .and_then(|o| o.get("mod_exps"))
+            .and_then(Value::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        parent
+            .get("ops")
+            .and_then(|o| o.get("decryptions"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    let phases = doc
+        .get("phases")
+        .and_then(Value::as_array)
+        .expect("phases array");
+    assert_eq!(phases.len(), 3);
+    assert_eq!(doc.get("spans_dropped").and_then(Value::as_u64), Some(0));
+}
+
+#[test]
+fn chrome_trace_export_is_wellformed() {
+    let _guard = exclusive();
+    run_nested_workload();
+    let rpt = report();
+    let text = rpt.to_chrome_trace();
+
+    let doc = Value::parse(&text).expect("chrome trace must parse back");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), 3);
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(Value::as_str), Some("X"));
+        assert!(ev.get("ts").and_then(Value::as_f64).is_some());
+        assert!(ev.get("dur").and_then(Value::as_f64).is_some());
+        assert!(ev.get("tid").and_then(Value::as_u64).is_some());
+        assert!(ev.get("name").and_then(Value::as_str).is_some());
+    }
+    // Microsecond timestamps: a 2 ms child must report dur >= 2000 µs.
+    let sign = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("sign_test"))
+        .expect("sign_test event");
+    assert!(sign.get("dur").and_then(Value::as_f64).unwrap_or(0.0) >= 2000.0);
+}
+
+#[test]
+fn disabled_obs_records_nothing() {
+    let _guard = exclusive();
+    set_enabled(false);
+    reset();
+    {
+        let _s = span("ghost");
+        count(Op::ModExp);
+    }
+    let rpt = report();
+    assert!(rpt.spans.is_empty());
+    assert!(rpt.totals.is_zero());
+}
+
+#[test]
+fn spans_on_other_threads_get_distinct_tids() {
+    let _guard = exclusive();
+    set_enabled(true);
+    reset();
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            thread::spawn(|| {
+                let _s = span("worker");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    set_enabled(false);
+    let rpt = report();
+    let mut tids: Vec<u64> = rpt.spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 3, "each thread should get its own tid");
+}

@@ -124,3 +124,50 @@ fn corruption_is_rejected_not_trusted() {
         "{faults_seen:?}"
     );
 }
+
+/// Observability must be close to free: the 16-session chaos storm
+/// with spans + counters enabled may cost at most 3% more wall time
+/// than the identical run with them disabled. Min-of-N is used on
+/// both sides to shed scheduler noise; the workload itself is
+/// Paillier-bound, so span bookkeeping is far off the critical path.
+/// Soak lane (ignored): two timed release-mode storms per round.
+#[test]
+#[ignore]
+fn observability_overhead_is_under_three_percent() {
+    const ROUNDS: usize = 3;
+    let seed = 0xc0a7;
+
+    let timed_storm = |observe: bool| {
+        pisa_obs::set_enabled(observe);
+        if observe {
+            pisa_obs::reset();
+        }
+        let (sus, sdc, stp) = build_system(SESSIONS, seed);
+        let engine = EngineConfig::default().with_timeout(Duration::from_secs(5));
+        let start = std::time::Instant::now();
+        let (report, _, _) = run_storm(sus, sdc, stp, None, &engine, seed).unwrap();
+        let elapsed = start.elapsed();
+        pisa_obs::set_enabled(false);
+        assert!(report.all_completed());
+        elapsed
+    };
+
+    // Warm-up pass so allocator/page-cache effects don't bias the
+    // first measured configuration.
+    timed_storm(false);
+
+    let mut off = Duration::MAX;
+    let mut on = Duration::MAX;
+    for _ in 0..ROUNDS {
+        off = off.min(timed_storm(false));
+        on = on.min(timed_storm(true));
+    }
+    assert!(!pisa_obs::report().spans.is_empty(), "no spans recorded");
+
+    let overhead = on.as_secs_f64() / off.as_secs_f64() - 1.0;
+    assert!(
+        overhead < 0.03,
+        "observability overhead {:.2}% exceeds 3% (off {off:?}, on {on:?})",
+        overhead * 100.0
+    );
+}
