@@ -16,6 +16,13 @@ commands:
                                concurrent sessions over a faulty network;
                                --metrics-out writes a per-phase JSON report,
                                --trace-out a chrome://tracing file
+  sim [--sus N] [--drop P] [--dup P] [--reorder P] [--corrupt P]
+      [--seed S] [--retries N] [--timeout-ms T] [--mode real|modeled]
+      [--sweep] [--metrics-out FILE]
+                               deterministic virtual-time storm simulator;
+                               --mode modeled (default) scales to 100k SUs,
+                               --mode real drives the actual crypto engines,
+                               --sweep runs a multi-seed fault-rate sweep
   bench [--bits N] [--iters N] [--metrics] [--metrics-out FILE]
                                per-phase protocol timing (paper Tables 2-3)
   attack                       curious-SDC inference demo (WATCH vs PISA)
@@ -64,6 +71,31 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Where to write the Chrome-trace (`chrome://tracing`) file.
         trace_out: Option<String>,
+    },
+    /// Deterministic discrete-event storm simulation on virtual time.
+    Sim {
+        /// Number of concurrent SU sessions.
+        sus: u32,
+        /// Per-link drop probability.
+        drop: f64,
+        /// Per-link duplicate probability.
+        dup: f64,
+        /// Per-link reorder probability.
+        reorder: f64,
+        /// Per-link corruption probability.
+        corrupt: f64,
+        /// Storm seed (engines, faults and latency all derive from it).
+        seed: u64,
+        /// Retry budget per session.
+        retries: u32,
+        /// Base receive deadline in (virtual) milliseconds.
+        timeout_ms: u64,
+        /// Run the real crypto engines instead of the plaintext model.
+        real: bool,
+        /// Run the multi-seed sweep harness instead of one storm.
+        sweep: bool,
+        /// Where to write the storm/sweep report as JSON.
+        metrics_out: Option<String>,
     },
     /// Per-phase protocol benchmark mirroring the paper's Tables 2-3.
     Bench {
@@ -191,6 +223,68 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 timeout_ms,
                 metrics_out,
                 trace_out,
+            })
+        }
+        "sim" => {
+            let (mut sus, mut seed, mut retries, mut timeout_ms) = (1024u32, 2017u64, 6u32, 200u64);
+            let (mut drop, mut dup, mut reorder, mut corrupt) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut real, mut sweep) = (false, false);
+            let mut metrics_out = None;
+            let prob = |flag: &str, value: &str, slot: &mut f64| -> Result<(), String> {
+                *slot = parse_num(flag, value)?;
+                if !(0.0..=1.0).contains(slot) {
+                    return Err(format!("{flag} must be a probability in [0, 1]"));
+                }
+                Ok(())
+            };
+            let mut it = it;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| format!("flag {flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--sweep" => sweep = true,
+                    "--mode" => match value()?.as_str() {
+                        "real" => real = true,
+                        "modeled" => real = false,
+                        other => {
+                            return Err(format!("--mode must be real or modeled, got {other:?}"))
+                        }
+                    },
+                    "--sus" => sus = parse_num(flag, value()?)?,
+                    "--drop" => prob(flag, value()?, &mut drop)?,
+                    "--dup" => prob(flag, value()?, &mut dup)?,
+                    "--reorder" => prob(flag, value()?, &mut reorder)?,
+                    "--corrupt" => prob(flag, value()?, &mut corrupt)?,
+                    "--seed" => seed = parse_num(flag, value()?)?,
+                    "--retries" => retries = parse_num(flag, value()?)?,
+                    "--timeout-ms" => timeout_ms = parse_num(flag, value()?)?,
+                    "--metrics-out" => metrics_out = Some(value()?.to_owned()),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if sus == 0 || timeout_ms == 0 {
+                return Err("--sus and --timeout-ms must be positive".into());
+            }
+            if real && sus > 4096 {
+                return Err(format!(
+                    "--mode real runs the full cryptosystem; {sus} SUs would take \
+                     hours (use --mode modeled beyond 4096)"
+                ));
+            }
+            Ok(Command::Sim {
+                sus,
+                drop,
+                dup,
+                reorder,
+                corrupt,
+                seed,
+                retries,
+                timeout_ms,
+                real,
+                sweep,
+                metrics_out,
             })
         }
         "bench" => {
@@ -378,6 +472,61 @@ mod tests {
             other => panic!("parsed {other:?}"),
         }
         assert!(parse(&argv("storm --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn sim_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("sim")).unwrap(),
+            Command::Sim {
+                sus: 1024,
+                drop: 0.0,
+                dup: 0.0,
+                reorder: 0.0,
+                corrupt: 0.0,
+                seed: 2017,
+                retries: 6,
+                timeout_ms: 200,
+                real: false,
+                sweep: false,
+                metrics_out: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "sim --sus 100000 --drop 0.1 --dup 0.05 --reorder 0.1 --corrupt 0.02 \
+                 --seed 7 --retries 4 --timeout-ms 300 --mode modeled --sweep \
+                 --metrics-out s.json"
+            ))
+            .unwrap(),
+            Command::Sim {
+                sus: 100_000,
+                drop: 0.1,
+                dup: 0.05,
+                reorder: 0.1,
+                corrupt: 0.02,
+                seed: 7,
+                retries: 4,
+                timeout_ms: 300,
+                real: false,
+                sweep: true,
+                metrics_out: Some("s.json".into()),
+            }
+        );
+        match parse(&argv("sim --mode real --sus 16")).unwrap() {
+            Command::Sim { real, sus, .. } => {
+                assert!(real);
+                assert_eq!(sus, 16);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Real mode refuses storm sizes the cryptosystem cannot reach.
+        assert!(parse(&argv("sim --mode real --sus 100000")).is_err());
+        assert!(parse(&argv("sim --mode turbo")).is_err());
+        assert!(parse(&argv("sim --drop 1.5")).is_err());
+        assert!(parse(&argv("sim --sus 0")).is_err());
+        assert!(parse(&argv("sim --metrics-out")).is_err());
+        assert!(parse(&argv("sim --what 1")).is_err());
     }
 
     #[test]

@@ -45,6 +45,31 @@ pub fn run(cmd: Command) -> ExitCode {
             metrics_out,
             trace_out,
         }),
+        Command::Sim {
+            sus,
+            drop,
+            dup,
+            reorder,
+            corrupt,
+            seed,
+            retries,
+            timeout_ms,
+            real,
+            sweep,
+            metrics_out,
+        } => sim(SimOpts {
+            sus,
+            drop,
+            dup,
+            reorder,
+            corrupt,
+            seed,
+            retries,
+            timeout_ms,
+            real,
+            sweep,
+            metrics_out,
+        }),
         Command::Bench {
             bits,
             iters,
@@ -252,6 +277,150 @@ fn storm(opts: StormOpts) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Parsed `sim` options.
+struct SimOpts {
+    sus: u32,
+    drop: f64,
+    dup: f64,
+    reorder: f64,
+    corrupt: f64,
+    seed: u64,
+    retries: u32,
+    timeout_ms: u64,
+    real: bool,
+    sweep: bool,
+    metrics_out: Option<String>,
+}
+
+/// Deterministic discrete-event storm simulation: the `pisa storm`
+/// scenario replayed on virtual time, bit-reproducible per seed.
+fn sim(opts: SimOpts) -> ExitCode {
+    use pisa::EngineConfig;
+    use pisa_net::FaultPlan;
+    use pisa_obs::json::Value;
+    use pisa_sim::{run_sim_storm, run_sweep, Fidelity, SimConfig, SweepConfig};
+    use std::time::Duration;
+
+    let SimOpts {
+        sus,
+        drop,
+        dup,
+        reorder,
+        corrupt,
+        seed,
+        retries,
+        timeout_ms,
+        real,
+        sweep,
+        metrics_out,
+    } = opts;
+    let plan = FaultPlan::none()
+        .with_drop(drop)
+        .with_duplicate(dup)
+        .with_reorder(reorder)
+        .with_corrupt(corrupt);
+    let fidelity = if real {
+        Fidelity::Real
+    } else {
+        Fidelity::Modeled
+    };
+    let engine = EngineConfig::default()
+        .with_timeout(Duration::from_millis(timeout_ms))
+        .with_max_retries(retries);
+    let config = SimConfig::modeled(sus).with_plan(plan).with_engine(engine);
+    let config = SimConfig { fidelity, ..config };
+
+    if sweep {
+        let sweep_cfg = SweepConfig {
+            seed,
+            session_counts: if sus >= 16 {
+                vec![sus / 16, sus / 4, sus]
+            } else {
+                vec![sus]
+            },
+            fault_rates: vec![0.0, 0.05, 0.15, 0.3],
+            seeds_per_cell: 8,
+            fidelity,
+            template: config,
+            determinism_every: 16,
+        };
+        println!(
+            "sim sweep: {} session counts x {} fault rates x {} seeds/cell ({})",
+            sweep_cfg.session_counts.len(),
+            sweep_cfg.fault_rates.len(),
+            sweep_cfg.seeds_per_cell,
+            fidelity.label(),
+        );
+        let t = Instant::now();
+        let report = run_sweep(&sweep_cfg);
+        let elapsed = t.elapsed();
+        println!(
+            "ran {} storms / {} sessions in {:.2} s; {} determinism double-runs",
+            report.storms,
+            report.sessions,
+            elapsed.as_secs_f64(),
+            report.determinism_checks,
+        );
+        for f in &report.failures {
+            println!("  FAIL {}", f.to_line());
+        }
+        if report.clean() {
+            println!("all storms satisfied every invariant");
+        }
+        let mut exports_ok = true;
+        if let Some(path) = metrics_out {
+            exports_ok &= write_output("sweep report", &path, &report.to_json());
+        }
+        if report.clean() && exports_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else {
+        println!(
+            "sim storm: {sus} sessions ({}), faults/link: {:.0}% drop, {:.0}% dup, {:.0}% reorder, {:.0}% corrupt",
+            fidelity.label(),
+            drop * 100.0,
+            dup * 100.0,
+            reorder * 100.0,
+            corrupt * 100.0
+        );
+        let t = Instant::now();
+        let report = run_sim_storm(seed, &config);
+        let elapsed = t.elapsed();
+        println!(
+            "{} granted, {} denied, {} undecided, {} unfinished ({} attempts total)",
+            report.granted,
+            report.denied,
+            report.undecided,
+            report.unfinished,
+            report.attempts_total
+        );
+        println!(
+            "virtual makespan {:.3} s; {} events and {:.1} KiB in {:.3} s wall ({:.0} events/s)",
+            report.makespan_ns as f64 / 1e9,
+            report.events,
+            report.bytes as f64 / 1024.0,
+            elapsed.as_secs_f64(),
+            report.events as f64 / elapsed.as_secs_f64().max(1e-9),
+        );
+        println!("decisions digest: {:016x}", report.decisions_digest);
+        let mut exports_ok = true;
+        if let Some(path) = metrics_out {
+            let doc = Value::object(vec![
+                ("sim", report.to_value()),
+                ("wall_ms", Value::from_f64(elapsed.as_secs_f64() * 1e3)),
+            ]);
+            exports_ok &= write_output("sim report", &path, &doc.to_json());
+        }
+        if report.all_terminal() && exports_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
     }
 }
 

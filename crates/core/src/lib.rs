@@ -52,6 +52,7 @@ pub mod ablation;
 pub mod adversary;
 mod cipher_matrix;
 mod config;
+mod engine;
 mod error;
 mod keys;
 mod license;
@@ -68,6 +69,9 @@ mod wire;
 
 pub use cipher_matrix::CipherMatrix;
 pub use config::SystemConfig;
+pub use engine::{
+    SdcSessionEngine, StpSessionEngine, SuAction, SuEvent, SuSessionEngine, SuSessionParams,
+};
 pub use error::PisaError;
 pub use keys::{GlobalKeys, SuId, SuKeyDirectory};
 pub use license::License;

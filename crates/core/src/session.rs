@@ -41,10 +41,12 @@
 //! attempt carried them, so a faulty run reaches exactly the outcomes of
 //! a fault-free run — the chaos tests assert this byte for byte.
 
+use crate::engine::{
+    SdcSessionEngine, StpSessionEngine, SuAction, SuEvent, SuSessionEngine, SuSessionParams,
+};
 use crate::error::PisaError;
 use crate::keys::SuId;
-use crate::license::License;
-use crate::messages::{PisaMessage, SdcResponseMsg, SdcToStpMsg};
+use crate::messages::PisaMessage;
 use crate::sdc::SdcServer;
 use crate::stp::StpServer;
 use crate::su::SuClient;
@@ -189,31 +191,11 @@ impl EngineConfig {
     }
 
     /// The SU receive deadline for a given attempt (exponential
-    /// backoff: `timeout · 2^min(attempt, 3)`).
-    fn deadline(&self, attempt: u32) -> Duration {
+    /// backoff: `timeout · 2^min(attempt, 3)`). Public so virtual-time
+    /// drivers can arm the same timers the threaded engine uses.
+    pub fn deadline(&self, attempt: u32) -> Duration {
         self.timeout * (1u32 << attempt.min(3))
     }
-}
-
-/// Where one session stands inside the SDC service loop — the explicit
-/// per-session state machine of the protocol's server side.
-enum SessionPhase {
-    /// Phase 1 ran (request blinded, ε retained); the query is in
-    /// flight to the STP for the sign test. Stored so a retried or
-    /// duplicated request re-sends the *same* blinding instead of
-    /// desynchronizing ε.
-    AwaitingStp {
-        attempt: u32,
-        digest: [u8; 32],
-        query: SdcToStpMsg,
-    },
-    /// Phase 2 ran and the license was released; the response replays
-    /// idempotently for retries of the same attempt.
-    Completed {
-        attempt: u32,
-        digest: [u8; 32],
-        response: SdcResponseMsg,
-    },
 }
 
 /// Final state of one SU session after a storm.
@@ -308,15 +290,14 @@ pub fn run_storm(
     let stop = Arc::new(AtomicBool::new(false));
 
     // ---- SDC service loop ------------------------------------------
+    // The protocol logic lives in the transport-agnostic engines (see
+    // crate::engine); these loops only pump mailboxes into them.
     let sdc_handle = {
         let stop = Arc::clone(&stop);
-        let metrics = metrics.clone();
         let poll = engine.poll;
-        let workers = engine.workers;
-        let mut sdc = sdc;
+        let mut machine =
+            SdcSessionEngine::new(sdc, su_keys, engine.workers, metrics.clone(), seed ^ 0x5dc);
         std::thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(seed ^ 0x5dc);
-            let mut sessions: HashMap<SuId, SessionPhase> = HashMap::new();
             loop {
                 let Some(env) = sdc_ep.recv_timeout(poll) else {
                     if stop.load(Ordering::Acquire) {
@@ -324,163 +305,20 @@ pub fn run_storm(
                     }
                     continue;
                 };
-                let frame = env.payload;
-                match frame.msg {
-                    PisaMessage::SuRequest(req) => {
-                        let session = u64::from(req.su_id.0);
-                        let digest = License::digest_request(req.f_matrix.ciphertexts());
-                        enum Action {
-                            Replay(SdcResponseMsg, u32),
-                            Resend(SdcToStpMsg, u32),
-                            Reject,
-                            Fresh,
-                        }
-                        let action = match sessions.get_mut(&req.su_id) {
-                            // Idempotent replay for a retried request
-                            // this engine already answered.
-                            Some(SessionPhase::Completed {
-                                attempt,
-                                digest: d,
-                                response,
-                            }) if *d == digest && frame.attempt == *attempt => {
-                                Action::Replay(response.clone(), *attempt)
-                            }
-                            // A stale duplicate of a superseded attempt:
-                            // the SU has moved on, don't recompute.
-                            Some(SessionPhase::Completed {
-                                attempt, digest: d, ..
-                            }) if *d == digest && frame.attempt < *attempt => Action::Reject,
-                            // Retry or duplicate while the sign test is
-                            // in flight: ε must not change, so re-send
-                            // the stored query under the newest attempt
-                            // instead of re-blinding.
-                            Some(SessionPhase::AwaitingStp {
-                                attempt,
-                                digest: d,
-                                query,
-                            }) if *d == digest => {
-                                *attempt = (*attempt).max(frame.attempt);
-                                Action::Resend(query.clone(), *attempt)
-                            }
-                            // New request, a fresh attempt after a bad
-                            // response, or a corrupted digest: phase 1.
-                            _ => Action::Fresh,
-                        };
-                        match action {
-                            Action::Replay(response, attempt) => {
-                                let _ = sdc_ep.try_send(
-                                    Party::Su(req.su_id.0),
-                                    SessionMsg {
-                                        session,
-                                        attempt,
-                                        msg: PisaMessage::SdcResponse(response),
-                                    },
-                                );
-                            }
-                            Action::Resend(query, attempt) => {
-                                let _ = sdc_ep.try_send(
-                                    Party::Stp,
-                                    SessionMsg {
-                                        session,
-                                        attempt,
-                                        msg: PisaMessage::SdcToStp(query),
-                                    },
-                                );
-                            }
-                            Action::Reject => metrics.record_session_reject(session),
-                            Action::Fresh => {
-                                match sdc.process_request_phase1_parallel(&req, workers, &mut rng) {
-                                    Ok(query) => {
-                                        sessions.insert(
-                                            req.su_id,
-                                            SessionPhase::AwaitingStp {
-                                                attempt: frame.attempt,
-                                                digest,
-                                                query: query.clone(),
-                                            },
-                                        );
-                                        let _ = sdc_ep.try_send(
-                                            Party::Stp,
-                                            SessionMsg {
-                                                session,
-                                                attempt: frame.attempt,
-                                                msg: PisaMessage::SdcToStp(query),
-                                            },
-                                        );
-                                    }
-                                    Err(_) => metrics.record_session_reject(session),
-                                }
-                            }
-                        }
-                    }
-                    PisaMessage::StpToSdc(reply) => {
-                        let session = u64::from(reply.su_id.0);
-                        let current = match sessions.get(&reply.su_id) {
-                            Some(SessionPhase::AwaitingStp {
-                                attempt, digest, ..
-                            }) if *attempt == frame.attempt => Some((*attempt, *digest)),
-                            // Stale attempt, duplicate of a consumed
-                            // reply, or no phase-1 state: reject.
-                            _ => None,
-                        };
-                        let Some((attempt, digest)) = current else {
-                            metrics.record_session_reject(session);
-                            continue;
-                        };
-                        let Some(su_pk) = su_keys.get(&reply.su_id) else {
-                            metrics.record_session_reject(session);
-                            continue;
-                        };
-                        match sdc.process_request_phase2(&reply, su_pk, &mut rng) {
-                            Ok(response) => {
-                                sessions.insert(
-                                    reply.su_id,
-                                    SessionPhase::Completed {
-                                        attempt,
-                                        digest,
-                                        response: response.clone(),
-                                    },
-                                );
-                                let _ = sdc_ep.try_send(
-                                    Party::Su(reply.su_id.0),
-                                    SessionMsg {
-                                        session,
-                                        attempt,
-                                        msg: PisaMessage::SdcResponse(response),
-                                    },
-                                );
-                            }
-                            // Shape mismatch keeps the server-side ε
-                            // state; an SU retry will re-drive the round.
-                            Err(PisaError::DimensionMismatch { .. }) => {
-                                metrics.record_session_reject(session);
-                            }
-                            // Any other failure means the engine's view
-                            // desynchronized from the server state —
-                            // drop it so the next retry re-runs phase 1.
-                            Err(_) => {
-                                metrics.record_session_reject(session);
-                                sessions.remove(&reply.su_id);
-                            }
-                        }
-                    }
-                    // PU updates and reflected responses are outside
-                    // this loop's protocol: reject, never panic.
-                    _ => metrics.record_session_reject(frame.session),
+                for (to, frame) in machine.handle(env.payload) {
+                    let _ = sdc_ep.try_send(to, frame);
                 }
             }
-            sdc
+            machine.into_server()
         })
     };
 
     // ---- STP service loop ------------------------------------------
     let stp_handle = {
         let stop = Arc::clone(&stop);
-        let metrics = metrics.clone();
         let poll = engine.poll;
-        let workers = engine.workers;
+        let mut machine = StpSessionEngine::new(stp, engine.workers, metrics.clone(), seed ^ 0x517);
         std::thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(seed ^ 0x517);
             loop {
                 let Some(env) = stp_ep.recv_timeout(poll) else {
                     if stop.load(Ordering::Acquire) {
@@ -488,33 +326,17 @@ pub fn run_storm(
                     }
                     continue;
                 };
-                let frame = env.payload;
-                match frame.msg {
-                    PisaMessage::SdcToStp(query) => {
-                        match stp.key_convert_parallel(&query, workers, &mut rng) {
-                            Ok((reply, _obs)) => {
-                                let _ = stp_ep.try_send(
-                                    Party::Sdc,
-                                    SessionMsg {
-                                        session: frame.session,
-                                        attempt: frame.attempt,
-                                        msg: PisaMessage::StpToSdc(reply),
-                                    },
-                                );
-                            }
-                            Err(_) => metrics.record_session_reject(frame.session),
-                        }
-                    }
-                    _ => metrics.record_session_reject(frame.session),
+                for (to, frame) in machine.handle(env.payload) {
+                    let _ = stp_ep.try_send(to, frame);
                 }
             }
-            stp
+            machine.into_server()
         })
     };
 
     // ---- One session state machine per SU --------------------------
     let mut su_handles = Vec::new();
-    for (i, ((mut su, channels), ep)) in sus.into_iter().zip(su_eps).enumerate() {
+    for (i, ((su, channels), ep)) in sus.into_iter().zip(su_eps).enumerate() {
         let cfg = cfg.clone();
         let pk_g = pk_g.clone();
         let signing = signing.clone();
@@ -522,69 +344,32 @@ pub fn run_storm(
         let engine = engine.clone();
         su_handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed ^ (0x50 + i as u64));
-            let session = u64::from(su.id().0);
             // One span per SU session, parent of this thread's request
             // build / license verification spans.
             let _session_span = pisa_obs::span("session");
-            let request = su.build_request(&cfg, &pk_g, &channels, &mut rng);
-            let digest = License::digest_request(request.f_matrix.ciphertexts());
-            let frame = |attempt: u32| SessionMsg {
-                session,
-                attempt,
-                msg: PisaMessage::SuRequest(request.clone()),
+            let params = SuSessionParams {
+                cfg: &cfg,
+                pk_g: &pk_g,
+                signing: &signing,
+                corrupt_possible,
+                engine: &engine,
+                metrics: &metrics,
             };
-
-            let mut attempt = 0u32;
-            ep.send(Party::Sdc, frame(attempt));
-            let granted = loop {
-                match ep.recv_timeout(engine.deadline(attempt)) {
-                    Some(env) => match env.payload.msg {
-                        PisaMessage::SdcResponse(resp)
-                            if resp.license.su_id == su.id()
-                                && resp.license.request_digest == digest =>
-                        {
-                            if su.handle_response(&resp, &signing) {
-                                // A flipped bit cannot forge a valid RSA
-                                // signature: a verified grant is final.
-                                break Some(true);
-                            }
-                            if !corrupt_possible {
-                                // Links never mangle payloads, and the
-                                // attempt tags rule out ε mismatches, so
-                                // an unverifiable signature IS the deny.
-                                break Some(false);
-                            }
-                            // Could be a denial or a flipped bit in G̃ —
-                            // indistinguishable by design, so spend a
-                            // retry to find out.
-                            metrics.record_session_reject(session);
-                            if attempt >= engine.max_retries {
-                                break Some(false);
-                            }
-                            attempt += 1;
-                            metrics.record_session_retry(session);
-                            ep.send(Party::Sdc, frame(attempt));
+            let mut machine = SuSessionEngine::new(su, &channels, &params, &mut rng);
+            let mut action = machine.start();
+            loop {
+                match action {
+                    SuAction::Continue { sends, deadline } => {
+                        for frame in sends {
+                            ep.send(Party::Sdc, frame);
                         }
-                        // Foreign digest, foreign SU, duplicate or
-                        // out-of-protocol message: reject and keep
-                        // waiting out the current deadline.
-                        _ => metrics.record_session_reject(session),
-                    },
-                    None => {
-                        metrics.record_session_timeout(session);
-                        if attempt >= engine.max_retries {
-                            break None;
-                        }
-                        attempt += 1;
-                        metrics.record_session_retry(session);
-                        ep.send(Party::Sdc, frame(attempt));
+                        action = match ep.recv_timeout(deadline) {
+                            Some(env) => machine.on_event(SuEvent::Frame(env.payload)),
+                            None => machine.on_event(SuEvent::Timeout),
+                        };
                     }
+                    SuAction::Finish(outcome) => break outcome,
                 }
-            };
-            SessionOutcome {
-                su_id: su.id(),
-                granted,
-                attempts: attempt + 1,
             }
         }));
     }

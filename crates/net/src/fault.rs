@@ -145,10 +145,13 @@ impl FaultConfig {
 }
 
 /// What the fault layer decided for one message.
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct FaultDraw {
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDraw {
+    /// The message silently disappears.
     pub dropped: bool,
+    /// The message is delivered twice.
     pub duplicated: bool,
+    /// The message is held back and swapped with the next on its link.
     pub reordered: bool,
     /// 64 tweak bits for the corruption oracle, when corruption fired.
     pub corrupt: Option<u64>,
@@ -158,10 +161,56 @@ pub(crate) struct FaultDraw {
 /// decodes, `None` if the receiver would discard it as unparseable.
 pub type Corruptor<M> = Arc<dyn Fn(&M, u64) -> Option<M> + Send + Sync>;
 
+/// The deterministic core of fault injection: a [`FaultConfig`] plus the
+/// per-link RNG streams it seeds. Single-threaded by construction, so a
+/// virtual-time simulator can drive it directly and observe the *same*
+/// per-link fault sequence as the threaded [`Network`](crate::Network)
+/// (which wraps one of these in a mutex): the draw for the k-th send on
+/// a link is a pure function of `(seed, link, k)`.
+#[derive(Debug)]
+pub struct FaultLottery {
+    config: FaultConfig,
+    rngs: HashMap<(Party, Party), StdRng>,
+}
+
+impl FaultLottery {
+    /// A lottery drawing from `config`'s seed.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultLottery {
+            config,
+            rngs: HashMap::new(),
+        }
+    }
+
+    /// The fault policy this lottery draws from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Rolls the dice for one message on `from → to`.
+    pub fn draw(&mut self, from: Party, to: Party) -> FaultDraw {
+        let plan = self.config.plan_for(from, to);
+        if plan.is_quiet() {
+            return FaultDraw::default();
+        }
+        let rng = self
+            .rngs
+            .entry((from, to))
+            .or_insert_with(|| StdRng::seed_from_u64(link_stream_seed(self.config.seed, from, to)));
+        let mut chance = |p: f64| (rng.next_u64() >> 11) as f64 * 2f64.powi(-53) < p;
+        FaultDraw {
+            dropped: chance(plan.drop),
+            duplicated: chance(plan.duplicate),
+            reordered: chance(plan.reorder),
+            corrupt: chance(plan.corrupt).then(|| rng.next_u64()),
+        }
+    }
+}
+
 /// Shared mutable state backing fault injection on one network.
 pub(crate) struct FaultState<M> {
+    lottery: Mutex<FaultLottery>,
     config: FaultConfig,
-    rngs: Mutex<HashMap<(Party, Party), StdRng>>,
     holdback: Mutex<HashMap<(Party, Party), Envelope<M>>>,
     corruptor: Mutex<Option<Corruptor<M>>>,
 }
@@ -169,8 +218,8 @@ pub(crate) struct FaultState<M> {
 impl<M> FaultState<M> {
     pub fn new(config: FaultConfig) -> Self {
         FaultState {
+            lottery: Mutex::new(FaultLottery::new(config.clone())),
             config,
-            rngs: Mutex::new(HashMap::new()),
             holdback: Mutex::new(HashMap::new()),
             corruptor: Mutex::new(None),
         }
@@ -190,21 +239,7 @@ impl<M> FaultState<M> {
 
     /// Rolls the dice for one message on `from → to`.
     pub fn draw(&self, from: Party, to: Party) -> FaultDraw {
-        let plan = self.config.plan_for(from, to);
-        if plan.is_quiet() {
-            return FaultDraw::default();
-        }
-        let mut rngs = self.rngs.lock();
-        let rng = rngs
-            .entry((from, to))
-            .or_insert_with(|| StdRng::seed_from_u64(link_seed(self.config.seed, from, to)));
-        let mut chance = |p: f64| (rng.next_u64() >> 11) as f64 * 2f64.powi(-53) < p;
-        FaultDraw {
-            dropped: chance(plan.drop),
-            duplicated: chance(plan.duplicate),
-            reordered: chance(plan.reorder),
-            corrupt: chance(plan.corrupt).then(|| rng.next_u64()),
-        }
+        self.lottery.lock().draw(from, to)
     }
 
     /// Removes and returns the message held back on `link`, if any.
@@ -234,8 +269,11 @@ fn party_code(party: Party) -> u64 {
 }
 
 /// Per-link RNG seed: a splitmix64 mix of the master seed and both
-/// endpoint codes, so distinct links get decorrelated streams.
-fn link_seed(seed: u64, from: Party, to: Party) -> u64 {
+/// endpoint codes, so distinct links get decorrelated streams. Public
+/// so the virtual-time simulator can derive *other* per-link streams
+/// (e.g. latency jitter) that are decorrelated from the fault streams
+/// by salting the master seed.
+pub fn link_stream_seed(seed: u64, from: Party, to: Party) -> u64 {
     let mut z = seed ^ party_code(from).rotate_left(17) ^ party_code(to).rotate_left(43);
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -293,6 +331,17 @@ mod tests {
             .map(|_| state.draw(Party::Su(1), Party::Sdc).dropped)
             .collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lottery_matches_threaded_state_streams() {
+        let cfg = FaultConfig::new(0x11ce).with_default_plan(FaultPlan::uniform(0.4));
+        let state: FaultState<Vec<u8>> = FaultState::new(cfg.clone());
+        let mut lottery = FaultLottery::new(cfg);
+        for i in 0..128 {
+            let from = Party::Su(i % 3);
+            assert_eq!(state.draw(from, Party::Sdc), lottery.draw(from, Party::Sdc));
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Link latency model.
 
+use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -74,6 +75,35 @@ impl LatencyModel {
             .saturating_mul(u128::from(messages));
         duration_from_nanos_saturating(per_msg.saturating_add(serialization))
     }
+
+    /// [`transfer_time`](Self::transfer_time) with multiplicative jitter
+    /// drawn from a seeded RNG: the deterministic transfer time is
+    /// scaled by a factor uniform in `[1 − jitter, 1 + jitter]`.
+    ///
+    /// Exactly **one** `u64` is consumed from `rng` per call, even when
+    /// `jitter` is zero or degenerate, so the per-link RNG stream
+    /// advances identically regardless of the jitter knob — a
+    /// virtual-time simulator can therefore toggle jitter without
+    /// perturbing every later draw on the link. A NaN, negative or
+    /// over-unity `jitter` is clamped into `[0, 1]`.
+    pub fn sample_transfer_time(
+        &self,
+        bytes: u64,
+        messages: u64,
+        jitter: f64,
+        rng: &mut impl RngCore,
+    ) -> Duration {
+        let unit = (rng.next_u64() >> 11) as f64 * 2f64.powi(-53); // [0, 1)
+        let jitter = if jitter.is_nan() {
+            0.0
+        } else {
+            jitter.clamp(0.0, 1.0)
+        };
+        let base = self.transfer_time(bytes, messages);
+        let scale = 1.0 + jitter * (2.0 * unit - 1.0);
+        let ns = u64::try_from(base.as_nanos()).unwrap_or(u64::MAX) as f64 * scale;
+        duration_from_nanos_saturating(u128::from(ns.max(0.0) as u64))
+    }
 }
 
 /// Converts a nanosecond count to a `Duration`, clamping to
@@ -142,6 +172,40 @@ mod tests {
         };
         // Duration::MAX * 2 would panic under Mul<u32>.
         assert_eq!(slow.transfer_time(0, 2), Duration::MAX);
+    }
+
+    #[test]
+    fn sampled_transfer_time_is_bounded_and_stream_stable() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let m = LatencyModel::lan();
+        let base = m.transfer_time(4096, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            let t = m.sample_transfer_time(4096, 1, 0.25, &mut rng);
+            assert!(t >= base.mul_f64(0.74) && t <= base.mul_f64(1.26), "{t:?}");
+        }
+
+        // Zero jitter: exact base time, but the stream still advances —
+        // the same number of draws regardless of the jitter knob.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..8 {
+            assert_eq!(
+                m.sample_transfer_time(100, 1, 0.0, &mut a),
+                m.transfer_time(100, 1)
+            );
+            let _ = m.sample_transfer_time(100, 1, 0.9, &mut b);
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+
+        // Degenerate jitter values are clamped, not propagated.
+        let mut rng = StdRng::seed_from_u64(3);
+        for bad in [f64::NAN, -3.0, 17.0] {
+            let t = m.sample_transfer_time(100, 1, bad, &mut rng);
+            assert!(t <= m.transfer_time(100, 1) * 2);
+        }
     }
 
     #[test]

@@ -46,10 +46,10 @@ mod metrics;
 mod transport;
 
 pub use error::NetError;
-pub use fault::{Corruptor, FaultConfig, FaultPlan};
+pub use fault::{link_stream_seed, Corruptor, FaultConfig, FaultDraw, FaultLottery, FaultPlan};
 pub use latency::LatencyModel;
 pub use metrics::{FaultKind, FaultStats, LinkStats, NetMetrics, SessionStats};
-pub use transport::{Endpoint, Envelope, Network, Party};
+pub use transport::{Endpoint, Envelope, Network, Party, Transport};
 
 /// Serialized size of a message on the wire, in bytes.
 ///

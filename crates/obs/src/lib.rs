@@ -47,7 +47,7 @@ mod registry;
 mod span;
 
 pub use counters::{count, counters, Op, OpTotals};
-pub use registry::{report, reset, FinishedSpan, PhaseReport, Report};
+pub use registry::{record_span, report, reset, FinishedSpan, PhaseReport, Report};
 pub use span::{span, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,0 +1,150 @@
+//! Edge-case and property tests for the log₂-bucketed latency
+//! histogram: the degenerate shapes (empty, single sample, saturating
+//! samples above the top bucket) and the ordering/bracketing invariants
+//! that must hold for every possible sample set.
+
+use pisa_obs::hist::Histogram;
+use proptest::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn empty_histogram_reports_zeros_everywhere() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), Duration::ZERO);
+    assert_eq!(h.mean(), Duration::ZERO);
+    assert_eq!(h.min(), Duration::ZERO);
+    assert_eq!(h.max(), Duration::ZERO);
+    let p = h.percentiles();
+    assert_eq!(p.p50, Duration::ZERO);
+    assert_eq!(p.p95, Duration::ZERO);
+    assert_eq!(p.p99, Duration::ZERO);
+    // Out-of-range quantiles clamp rather than panic, even when empty.
+    assert_eq!(h.quantile(-1.0), Duration::ZERO);
+    assert_eq!(h.quantile(2.0), Duration::ZERO);
+}
+
+#[test]
+fn single_sample_pins_every_statistic() {
+    let mut h = Histogram::new();
+    let s = Duration::from_micros(37);
+    h.record(s);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum(), s);
+    assert_eq!(h.mean(), s);
+    assert_eq!(h.min(), s);
+    assert_eq!(h.max(), s);
+    // With one sample every quantile resolves to the same bucket, and
+    // the upper-edge estimate is clamped to the (known) max = s.
+    let p = h.percentiles();
+    assert_eq!(p.p50, s);
+    assert_eq!(p.p95, s);
+    assert_eq!(p.p99, s);
+}
+
+#[test]
+fn zero_duration_samples_land_in_the_bottom_bucket() {
+    let mut h = Histogram::new();
+    h.record(Duration::ZERO);
+    h.record(Duration::ZERO);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.min(), Duration::ZERO);
+    assert_eq!(h.max(), Duration::ZERO);
+    assert_eq!(h.quantile(0.5), Duration::ZERO);
+}
+
+#[test]
+fn samples_above_the_top_bucket_saturate_instead_of_panicking() {
+    // Duration::MAX is ~5.8e11 years; its nanosecond count overflows
+    // u64 and must saturate to u64::MAX, landing in the top bucket.
+    let mut h = Histogram::new();
+    h.record(Duration::MAX);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+    assert_eq!(h.quantile(0.99), Duration::from_nanos(u64::MAX));
+    // A second astronomically large sample keeps the sum finite.
+    h.record(Duration::MAX);
+    assert!(h.sum() >= h.max());
+    assert_eq!(h.percentiles().p50, Duration::from_nanos(u64::MAX));
+}
+
+#[test]
+fn merge_with_empty_is_identity_in_both_directions() {
+    let mut a = Histogram::new();
+    a.record(Duration::from_millis(3));
+    let before = (a.count(), a.sum(), a.min(), a.max(), a.percentiles());
+    a.merge(&Histogram::new());
+    assert_eq!(
+        (a.count(), a.sum(), a.min(), a.max(), a.percentiles()),
+        before
+    );
+
+    let mut empty = Histogram::new();
+    empty.merge(&a);
+    assert_eq!(empty.count(), a.count());
+    assert_eq!(empty.min(), a.min());
+    assert_eq!(empty.max(), a.max());
+    assert_eq!(empty.percentiles(), a.percentiles());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any sample set: percentiles are ordered, bracketed by
+    /// min/max, and the quantile curve is monotone in `q`.
+    #[test]
+    fn percentiles_are_ordered_and_bracketed(
+        samples in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let mut h = Histogram::new();
+        for &ns in &samples {
+            h.record(Duration::from_nanos(ns));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let p = h.percentiles();
+        prop_assert!(p.p50 <= p.p95, "p50 {:?} > p95 {:?}", p.p50, p.p95);
+        prop_assert!(p.p95 <= p.p99, "p95 {:?} > p99 {:?}", p.p95, p.p99);
+        prop_assert!(p.p50 >= h.min());
+        prop_assert!(p.p99 <= h.max());
+        let mut prev = Duration::ZERO;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+        // Upper-edge estimate: within 2x of the true value and never
+        // under-reporting. The true median is >= the bucket's lower
+        // edge, so p50 <= 2 * true_median for nonzero samples.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[(sorted.len() - 1) / 2];
+        prop_assert!(p.p50 >= Duration::from_nanos(true_median).min(h.max()));
+    }
+
+    /// Recording `a ++ b` into one histogram equals recording them
+    /// separately and merging: same count, sum, extrema, percentiles.
+    #[test]
+    fn merge_equals_bulk_recording(
+        a in proptest::collection::vec(any::<u64>(), 0..32),
+        b in proptest::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let mut bulk = Histogram::new();
+        for &ns in a.iter().chain(&b) {
+            bulk.record(Duration::from_nanos(ns));
+        }
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for &ns in &a {
+            ha.record(Duration::from_nanos(ns));
+        }
+        for &ns in &b {
+            hb.record(Duration::from_nanos(ns));
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), bulk.count());
+        prop_assert_eq!(ha.sum(), bulk.sum());
+        prop_assert_eq!(ha.min(), bulk.min());
+        prop_assert_eq!(ha.max(), bulk.max());
+        prop_assert_eq!(ha.percentiles(), bulk.percentiles());
+    }
+}

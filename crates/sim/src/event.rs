@@ -1,0 +1,145 @@
+//! The virtual-time event heap.
+//!
+//! A discrete-event simulation is a loop over a priority queue: pop the
+//! earliest event, advance the clock to its timestamp, let the handler
+//! schedule more events. Determinism requires a total order, so ties on
+//! the timestamp are broken by a monotonically increasing sequence
+//! number — two events scheduled for the same instant pop in the order
+//! they were pushed, regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry. Ordering looks only at `(at, seq)` so the
+/// payload type needs no bounds.
+struct Slot<E> {
+    at: u64,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Slot<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Slot<E> {}
+
+impl<E> PartialOrd for Slot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Slot<E> {
+    /// Reversed so the std max-heap pops the *earliest* `(at, seq)`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic event queue keyed by `(virtual_time_ns, seq)`.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(20, "late");
+/// q.push(10, "early");
+/// q.push(10, "early-too"); // same instant: FIFO by push order
+/// assert_eq!(q.pop(), Some((10, "early")));
+/// assert_eq!(q.pop(), Some((10, "early-too")));
+/// assert_eq!(q.pop(), Some((20, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Slot<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at virtual time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `ev` at virtual time `at` (nanoseconds).
+    pub fn push(&mut self, at: u64, ev: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Slot { at, seq, ev });
+    }
+
+    /// Pops the earliest event and its timestamp.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|s| (s.at, s.ev))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 'c');
+        q.push(1, 'a');
+        q.push(3, 'b');
+        assert_eq!(q.peek_time(), Some(1));
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(7, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_pushes_stay_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10, "first@10");
+        assert_eq!(q.pop(), Some((10, "first@10")));
+        // Later pushes at earlier times still pop first.
+        q.push(20, "late");
+        q.push(15, "early");
+        assert_eq!(q.pop(), Some((15, "early")));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((20, "late")));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,775 @@
+//! Modeled-fidelity protocol: the storm state machines without the
+//! cryptography.
+//!
+//! A 10⁵-session storm cannot run real Paillier in CI, but almost none
+//! of the *resilience* behaviour depends on the ciphertexts: grant/deny
+//! decisions are a pure function of the plaintext WATCH matrices, and
+//! the retry/replay/reject logic keys on session ids, attempt counters
+//! and request digests. This module therefore mirrors the session
+//! engines of `pisa-core` over a lightweight [`ModelMsg`] whose wire
+//! size is computed analytically (exactly how the real messages size
+//! themselves) and whose decisions come from the plaintext
+//! [`WatchSdc`] oracle — the same oracle the watch-equivalence tests
+//! pin the encrypted pipeline against.
+//!
+//! The mirroring is deliberate and per-arm: every match arm in
+//! [`ModelSdc::handle`] / [`ModelSu`] corresponds to a named arm of
+//! `SdcSessionEngine::handle` / `SuSessionEngine::on_event`, including
+//! the replay, stale-duplicate, ε-preserving resend and
+//! unverifiable-response paths.
+
+use pisa::EngineConfig;
+use pisa_net::{NetMetrics, Party, WireSize};
+use pisa_radio::tv::Channel;
+use pisa_radio::BlockId;
+use pisa_watch::{PuInput, SuRequest, WatchConfig, WatchSdc};
+use std::collections::HashMap;
+
+/// Bytes of the session header (id + attempt), as in the real codec.
+const SESSION_HEADER_BYTES: usize = 12;
+/// Bytes of the inner message header, as in the real codec.
+const HEADER_BYTES: usize = 64;
+/// Modeled size of a serialized license (id, serial, digest, padding).
+const MODEL_LICENSE_BYTES: usize = 96;
+
+/// The protocol step a [`ModelMsg`] carries, mirroring the four
+/// in-session `PisaMessage` variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelPayload {
+    /// SU → SDC encrypted request (`F̃`).
+    Request {
+        /// The requesting SU (mirrors `SuRequestMsg::su_id`).
+        su: u32,
+        /// Digest of the request content (mirrors the license digest
+        /// over the `F̃` ciphertexts; corruption perturbs it).
+        digest: u64,
+    },
+    /// SDC → STP blinded sign-test query (`Ṽ`).
+    Query {
+        /// Session owner.
+        su: u32,
+        /// Content digest carried through the round.
+        digest: u64,
+    },
+    /// STP → SDC key-converted reply (`X̃`).
+    Reply {
+        /// Session owner.
+        su: u32,
+        /// Content digest carried through the round.
+        digest: u64,
+    },
+    /// SDC → SU license release (`G̃`).
+    Response {
+        /// The SU named in the license.
+        su: u32,
+        /// Digest the license binds to (the SU rejects mismatches).
+        digest: u64,
+        /// Whether the plaintext decision granted the request.
+        granted: bool,
+        /// Whether the signature ciphertext was mangled in transit: a
+        /// garbled response never verifies, like a flipped bit in
+        /// `G̃` — and, like the real RSA signature, corruption can
+        /// garble a grant but never forge one.
+        garbled: bool,
+    },
+}
+
+/// A modeled session frame: header fields plus payload, sized
+/// analytically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelMsg {
+    /// Session identifier (the engines use the SU id).
+    pub session: u64,
+    /// Originating SU attempt, as in `SessionMsg`.
+    pub attempt: u32,
+    /// The protocol step.
+    pub payload: ModelPayload,
+    /// Analytic wire size in bytes.
+    pub bytes: usize,
+}
+
+impl WireSize for ModelMsg {
+    fn wire_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Analytic wire sizes for one storm configuration, mirroring the
+/// formulas in `pisa-core`'s message types: matrix-bearing messages
+/// cost `channels × blocks` ciphertexts, the response one ciphertext
+/// plus a license.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelWire {
+    request: usize,
+    query: usize,
+    reply: usize,
+    response: usize,
+}
+
+impl ModelWire {
+    /// Sizes for a `channels × blocks` system with `ct_bytes`-byte
+    /// ciphertexts.
+    pub fn new(channels: usize, blocks: usize, ct_bytes: usize) -> Self {
+        let matrix = channels * blocks * ct_bytes;
+        ModelWire {
+            request: SESSION_HEADER_BYTES + HEADER_BYTES + matrix,
+            query: SESSION_HEADER_BYTES + HEADER_BYTES + matrix,
+            reply: SESSION_HEADER_BYTES + HEADER_BYTES + matrix,
+            response: SESSION_HEADER_BYTES + HEADER_BYTES + MODEL_LICENSE_BYTES + ct_bytes,
+        }
+    }
+
+    fn sized(&self, session: u64, attempt: u32, payload: ModelPayload) -> ModelMsg {
+        let bytes = match payload {
+            ModelPayload::Request { .. } => self.request,
+            ModelPayload::Query { .. } => self.query,
+            ModelPayload::Reply { .. } => self.reply,
+            ModelPayload::Response { .. } => self.response,
+        };
+        ModelMsg {
+            session,
+            attempt,
+            payload,
+            bytes,
+        }
+    }
+}
+
+/// The canonical request digest of one SU's (only) request — the model
+/// analog of `License::digest_request` over its ciphertexts.
+pub fn model_digest(su: u32) -> u64 {
+    let mut z = 0x00d1_6e57_u64 ^ (u64::from(su) << 1);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+/// The corruption oracle for modeled frames: a deterministic stand-in
+/// for "flip one bit of the encoded frame and re-parse". Depending on
+/// the tweak the flip lands in dead padding (absorbed), a header field
+/// (attempt / session), the content (digest), or — for responses — the
+/// signature ciphertext (garbled). Like the real oracle it never turns
+/// a denial into a verifiable grant.
+pub fn corrupt_model_frame(msg: &ModelMsg, tweak: u64) -> Option<ModelMsg> {
+    let mut m = *msg;
+    match tweak % 6 {
+        // The flip lands somewhere the decoder chokes on: absorbed.
+        0 => None,
+        // Header attempt counter.
+        1 => {
+            m.attempt ^= 1 << (tweak >> 3 & 0x7);
+            Some(m)
+        }
+        // Header session id.
+        2 => {
+            m.session ^= 1 << (tweak >> 3 & 0x3f);
+            Some(m)
+        }
+        // Payload identity: the embedded SU id.
+        3 => {
+            let flip = 1u32 << (tweak >> 3 & 0x7);
+            match &mut m.payload {
+                ModelPayload::Request { su, .. }
+                | ModelPayload::Query { su, .. }
+                | ModelPayload::Reply { su, .. }
+                | ModelPayload::Response { su, .. } => *su ^= flip,
+            }
+            Some(m)
+        }
+        // Payload content: the digest.
+        4 => {
+            let flip = (tweak >> 3) | 1;
+            match &mut m.payload {
+                ModelPayload::Request { digest, .. }
+                | ModelPayload::Query { digest, .. }
+                | ModelPayload::Reply { digest, .. }
+                | ModelPayload::Response { digest, .. } => *digest ^= flip,
+            }
+            Some(m)
+        }
+        // The ciphertext: responses garble (unverifiable, never
+        // forged), matrix messages take a content flip instead.
+        _ => {
+            match &mut m.payload {
+                ModelPayload::Response { garbled, .. } => *garbled = true,
+                ModelPayload::Request { digest, .. }
+                | ModelPayload::Query { digest, .. }
+                | ModelPayload::Reply { digest, .. } => *digest ^= 0x8000_0000_0000_0001,
+            }
+            Some(m)
+        }
+    }
+}
+
+/// The plaintext decision oracle: one [`WatchSdc`] with the storm's PU
+/// population applied, memoized per `(block, channel)` — 10⁵ SUs share
+/// at most `blocks × channels` distinct decisions.
+pub struct ModelOracle {
+    watch: WatchSdc,
+    cfg: WatchConfig,
+    channels: usize,
+    blocks: usize,
+    cache: HashMap<(usize, usize), bool>,
+}
+
+impl ModelOracle {
+    /// Builds the oracle for the canonical storm population: one PU at
+    /// block 0 tuned to channel 0 (the `pisa storm` recipe), SU `i` at
+    /// block `i % blocks` requesting channel `i % channels`.
+    pub fn new(cfg: &WatchConfig) -> Self {
+        let mut watch = WatchSdc::new(cfg.clone());
+        watch.pu_update(0, PuInput::tuned(cfg, BlockId(0), Channel(0)));
+        ModelOracle {
+            watch,
+            cfg: cfg.clone(),
+            channels: cfg.channels(),
+            blocks: cfg.blocks(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Whether a full-power request at `block` for `channel` is
+    /// granted.
+    pub fn decision(&mut self, block: usize, channel: usize) -> bool {
+        let block = block % self.blocks;
+        let channel = channel % self.channels;
+        if let Some(&cached) = self.cache.get(&(block, channel)) {
+            return cached;
+        }
+        let req = SuRequest::full_power(&self.cfg, BlockId(block), &[Channel(channel)]);
+        let granted = self.watch.process_request(&req).is_granted();
+        self.cache.insert((block, channel), granted);
+        granted
+    }
+
+    /// The decision for storm SU `i` under the canonical placement.
+    pub fn su_decision(&mut self, su: u32) -> bool {
+        self.decision(su as usize % self.blocks, su as usize % self.channels)
+    }
+}
+
+/// Where one modeled session stands inside the SDC, mirroring the
+/// real engine's `SessionPhase`.
+enum Phase {
+    AwaitingStp {
+        attempt: u32,
+        digest: u64,
+        granted: bool,
+    },
+    Completed {
+        attempt: u32,
+        digest: u64,
+        granted: bool,
+    },
+}
+
+/// The modeled SDC service engine: same replay/resend/reject state
+/// machine as `SdcSessionEngine`, decisions from the plaintext oracle.
+pub struct ModelSdc {
+    sus: u32,
+    sessions: HashMap<u32, Phase>,
+    oracle: ModelOracle,
+    wire: ModelWire,
+    metrics: NetMetrics,
+}
+
+impl ModelSdc {
+    /// An engine serving `sus` registered SUs.
+    pub fn new(sus: u32, oracle: ModelOracle, wire: ModelWire, metrics: NetMetrics) -> Self {
+        ModelSdc {
+            sus,
+            sessions: HashMap::new(),
+            oracle,
+            wire,
+            metrics,
+        }
+    }
+
+    /// Processes one frame addressed to the SDC; returns the responses.
+    pub fn handle(&mut self, frame: ModelMsg) -> Vec<(Party, ModelMsg)> {
+        match frame.payload {
+            ModelPayload::Request { su, digest } => {
+                let session = u64::from(su);
+                enum Action {
+                    Replay(bool, u32),
+                    Resend(u32),
+                    Reject,
+                    Fresh,
+                }
+                let action = match self.sessions.get_mut(&su) {
+                    // Idempotent replay of an answered attempt.
+                    Some(Phase::Completed {
+                        attempt,
+                        digest: d,
+                        granted,
+                    }) if *d == digest && frame.attempt == *attempt => {
+                        Action::Replay(*granted, *attempt)
+                    }
+                    // Stale duplicate of a superseded attempt.
+                    Some(Phase::Completed {
+                        attempt, digest: d, ..
+                    }) if *d == digest && frame.attempt < *attempt => Action::Reject,
+                    // Sign test in flight: re-send the same query under
+                    // the newest attempt (ε must not change).
+                    Some(Phase::AwaitingStp {
+                        attempt, digest: d, ..
+                    }) if *d == digest => {
+                        *attempt = (*attempt).max(frame.attempt);
+                        Action::Resend(*attempt)
+                    }
+                    // Fresh request or corrupted digest: phase 1.
+                    _ => Action::Fresh,
+                };
+                match action {
+                    Action::Replay(granted, attempt) => vec![(
+                        Party::Su(su),
+                        self.wire.sized(
+                            session,
+                            attempt,
+                            ModelPayload::Response {
+                                su,
+                                digest,
+                                granted,
+                                garbled: false,
+                            },
+                        ),
+                    )],
+                    Action::Resend(attempt) => vec![(
+                        Party::Stp,
+                        self.wire
+                            .sized(session, attempt, ModelPayload::Query { su, digest }),
+                    )],
+                    Action::Reject => {
+                        self.metrics.record_session_reject(session);
+                        Vec::new()
+                    }
+                    Action::Fresh => {
+                        // A digest that is not the SU's canonical one is
+                        // a corrupted request: garbage plaintexts can
+                        // never satisfy every budget, so it resolves to
+                        // a denial — exactly like the encrypted path.
+                        let granted = digest == model_digest(su) && self.oracle.su_decision(su);
+                        self.sessions.insert(
+                            su,
+                            Phase::AwaitingStp {
+                                attempt: frame.attempt,
+                                digest,
+                                granted,
+                            },
+                        );
+                        vec![(
+                            Party::Stp,
+                            self.wire.sized(
+                                session,
+                                frame.attempt,
+                                ModelPayload::Query { su, digest },
+                            ),
+                        )]
+                    }
+                }
+            }
+            ModelPayload::Reply { su, .. } => {
+                let session = u64::from(su);
+                let current = match self.sessions.get(&su) {
+                    Some(Phase::AwaitingStp {
+                        attempt,
+                        digest,
+                        granted,
+                    }) if *attempt == frame.attempt => Some((*attempt, *digest, *granted)),
+                    // Stale attempt, consumed reply, or no phase-1
+                    // state.
+                    _ => None,
+                };
+                let Some((attempt, digest, granted)) = current else {
+                    self.metrics.record_session_reject(session);
+                    return Vec::new();
+                };
+                // Mirror of the phase-2 key lookup: an unknown SU has
+                // no key directory entry.
+                if su >= self.sus {
+                    self.metrics.record_session_reject(session);
+                    return Vec::new();
+                }
+                self.sessions.insert(
+                    su,
+                    Phase::Completed {
+                        attempt,
+                        digest,
+                        granted,
+                    },
+                );
+                vec![(
+                    Party::Su(su),
+                    self.wire.sized(
+                        session,
+                        attempt,
+                        ModelPayload::Response {
+                            su,
+                            digest,
+                            granted,
+                            garbled: false,
+                        },
+                    ),
+                )]
+            }
+            // Out-of-protocol traffic: reject, never panic.
+            _ => {
+                self.metrics.record_session_reject(frame.session);
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// The modeled STP: stateless key conversion, mirroring
+/// `StpSessionEngine` (including the reject on an unregistered SU,
+/// whose key the conversion would need).
+pub struct ModelStp {
+    sus: u32,
+    wire: ModelWire,
+    metrics: NetMetrics,
+}
+
+impl ModelStp {
+    /// An engine serving `sus` registered SUs.
+    pub fn new(sus: u32, wire: ModelWire, metrics: NetMetrics) -> Self {
+        ModelStp { sus, wire, metrics }
+    }
+
+    /// Processes one frame addressed to the STP.
+    pub fn handle(&mut self, frame: ModelMsg) -> Vec<(Party, ModelMsg)> {
+        match frame.payload {
+            ModelPayload::Query { su, digest } if su < self.sus => vec![(
+                Party::Sdc,
+                self.wire.sized(
+                    frame.session,
+                    frame.attempt,
+                    ModelPayload::Reply { su, digest },
+                ),
+            )],
+            _ => {
+                self.metrics.record_session_reject(frame.session);
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// What one modeled SU wants next, mirroring `SuAction`.
+pub enum ModelSuStep {
+    /// Send these frames, then wait out `deadline_ns` of virtual time.
+    Wait {
+        /// Frames for the SDC, in order.
+        sends: Vec<ModelMsg>,
+        /// Full receive deadline (re-armed even after rejects).
+        deadline_ns: u64,
+    },
+    /// Terminal state.
+    Done {
+        /// `Some(granted)`, or `None` when the retry budget ran dry.
+        granted: Option<bool>,
+        /// Requests sent.
+        attempts: u32,
+    },
+}
+
+/// One modeled SU session: the exact state machine of
+/// `SuSessionEngine` over model frames.
+pub struct ModelSu {
+    su: u32,
+    session: u64,
+    digest: u64,
+    attempt: u32,
+    max_retries: u32,
+    timeout_ns: u64,
+    corrupt_possible: bool,
+    wire: ModelWire,
+    metrics: NetMetrics,
+}
+
+impl ModelSu {
+    /// A session for SU `su` under the given retry policy.
+    pub fn new(
+        su: u32,
+        engine: &EngineConfig,
+        corrupt_possible: bool,
+        wire: ModelWire,
+        metrics: NetMetrics,
+    ) -> Self {
+        ModelSu {
+            su,
+            session: u64::from(su),
+            digest: model_digest(su),
+            attempt: 0,
+            max_retries: engine.max_retries,
+            timeout_ns: u64::try_from(engine.timeout.as_nanos()).unwrap_or(u64::MAX),
+            corrupt_possible,
+            wire,
+            metrics,
+        }
+    }
+
+    fn request(&self) -> ModelMsg {
+        self.wire.sized(
+            self.session,
+            self.attempt,
+            ModelPayload::Request {
+                su: self.su,
+                digest: self.digest,
+            },
+        )
+    }
+
+    /// Exponential-backoff deadline, mirroring `EngineConfig::deadline`.
+    fn deadline_ns(&self) -> u64 {
+        self.timeout_ns.saturating_mul(1 << self.attempt.min(3))
+    }
+
+    fn wait(&self, sends: Vec<ModelMsg>) -> ModelSuStep {
+        ModelSuStep::Wait {
+            sends,
+            deadline_ns: self.deadline_ns(),
+        }
+    }
+
+    fn finish(&self, granted: Option<bool>) -> ModelSuStep {
+        ModelSuStep::Done {
+            granted,
+            attempts: self.attempt + 1,
+        }
+    }
+
+    fn retry(&mut self) -> ModelSuStep {
+        self.attempt += 1;
+        self.metrics.record_session_retry(self.session);
+        self.wait(vec![self.request()])
+    }
+
+    /// Kicks the session off: the attempt-0 request and its deadline.
+    pub fn start(&self) -> ModelSuStep {
+        self.wait(vec![self.request()])
+    }
+
+    /// A frame was delivered to this SU.
+    pub fn on_frame(&mut self, frame: ModelMsg) -> ModelSuStep {
+        match frame.payload {
+            ModelPayload::Response {
+                su,
+                digest,
+                granted,
+                garbled,
+            } if su == self.su && digest == self.digest => {
+                if granted && !garbled {
+                    // A verified grant is final (corruption cannot
+                    // forge a signature).
+                    return self.finish(Some(true));
+                }
+                if !self.corrupt_possible {
+                    // Links never mangle payloads: an unverifiable
+                    // response IS the deny.
+                    return self.finish(Some(false));
+                }
+                // Denial or flipped bit — indistinguishable; spend a
+                // retry to find out.
+                self.metrics.record_session_reject(self.session);
+                if self.attempt >= self.max_retries {
+                    return self.finish(Some(false));
+                }
+                self.retry()
+            }
+            // Foreign digest / foreign SU / out-of-protocol: reject
+            // and wait out a fresh full deadline.
+            _ => {
+                self.metrics.record_session_reject(self.session);
+                self.wait(Vec::new())
+            }
+        }
+    }
+
+    /// The receive deadline expired with nothing acceptable.
+    pub fn on_timeout(&mut self) -> ModelSuStep {
+        self.metrics.record_session_timeout(self.session);
+        if self.attempt >= self.max_retries {
+            return self.finish(None);
+        }
+        self.retry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire() -> ModelWire {
+        ModelWire::new(4, 25, 96)
+    }
+
+    #[test]
+    fn wire_sizes_mirror_real_formulas() {
+        let w = wire();
+        // 12 (session header) + 64 (message header) + 4·25·96.
+        assert_eq!(w.request, 12 + 64 + 9600);
+        assert_eq!(w.response, 12 + 64 + 96 + 96);
+        let msg = w.sized(0, 0, ModelPayload::Request { su: 0, digest: 1 });
+        assert_eq!(msg.wire_bytes(), w.request);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_never_forges_a_grant() {
+        let w = wire();
+        let denied = w.sized(
+            3,
+            1,
+            ModelPayload::Response {
+                su: 3,
+                digest: model_digest(3),
+                granted: false,
+                garbled: false,
+            },
+        );
+        for tweak in 0..4096u64 {
+            let a = corrupt_model_frame(&denied, tweak);
+            let b = corrupt_model_frame(&denied, tweak);
+            assert_eq!(a, b, "oracle must be deterministic");
+            if let Some(m) = a {
+                assert_ne!(m, denied, "a corrupted frame must differ");
+                if let ModelPayload::Response {
+                    su,
+                    digest,
+                    granted,
+                    garbled,
+                } = m.payload
+                {
+                    let verifiable = granted
+                        && !garbled
+                        && su == 3
+                        && digest == model_digest(3)
+                        && m.session == denied.session;
+                    assert!(!verifiable, "tweak {tweak} forged a grant");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_watch_decisions_and_caches() {
+        let cfg = WatchConfig::small_test();
+        let mut oracle = ModelOracle::new(&cfg);
+        // SU 0 sits on the PU's block and channel: denied.
+        assert!(!oracle.su_decision(0));
+        // Far block on another channel: granted.
+        let far = (cfg.blocks() - 2) as u32 * cfg.channels() as u32 + 1;
+        let _ = oracle.su_decision(far);
+        // Cache stays bounded by the grid.
+        for su in 0..1000 {
+            let _ = oracle.su_decision(su);
+        }
+        assert!(oracle.cache.len() <= cfg.blocks() * cfg.channels());
+    }
+
+    #[test]
+    fn quiet_round_grants_per_oracle() {
+        let cfg = WatchConfig::small_test();
+        let metrics = NetMetrics::new();
+        let mut oracle = ModelOracle::new(&cfg);
+        let su_id = 5u32;
+        let expect = oracle.su_decision(su_id);
+        let mut sdc = ModelSdc::new(16, oracle, wire(), metrics.clone());
+        let mut stp = ModelStp::new(16, wire(), metrics.clone());
+        let engine = EngineConfig::default();
+        let mut su = ModelSu::new(su_id, &engine, false, wire(), metrics);
+
+        let ModelSuStep::Wait { sends, .. } = su.start() else {
+            panic!("fresh session cannot be terminal");
+        };
+        let query = sdc.handle(sends[0]);
+        assert_eq!(query.len(), 1);
+        assert_eq!(query[0].0, Party::Stp);
+        let reply = stp.handle(query[0].1);
+        let response = sdc.handle(reply[0].1);
+        assert_eq!(response[0].0, Party::Su(su_id));
+        match su.on_frame(response[0].1) {
+            ModelSuStep::Done { granted, attempts } => {
+                assert_eq!(granted, Some(expect));
+                assert_eq!(attempts, 1);
+            }
+            ModelSuStep::Wait { .. } => panic!("matching response must be terminal"),
+        }
+    }
+
+    #[test]
+    fn replayed_request_is_idempotent_and_stale_reply_rejected() {
+        let cfg = WatchConfig::small_test();
+        let metrics = NetMetrics::new();
+        let oracle = ModelOracle::new(&cfg);
+        let mut sdc = ModelSdc::new(8, oracle, wire(), metrics.clone());
+        let mut stp = ModelStp::new(8, wire(), metrics.clone());
+        let req = wire().sized(
+            2,
+            0,
+            ModelPayload::Request {
+                su: 2,
+                digest: model_digest(2),
+            },
+        );
+        let q1 = sdc.handle(req);
+        // Duplicate request while awaiting the STP: resend, not
+        // re-blind (same query again).
+        let q2 = sdc.handle(req);
+        assert_eq!(q1, q2);
+        let reply = stp.handle(q1[0].1);
+        let r1 = sdc.handle(reply[0].1);
+        assert!(matches!(
+            r1[0].1.payload,
+            ModelPayload::Response { garbled: false, .. }
+        ));
+        // Replay of the answered request: identical response, no state
+        // change.
+        let r2 = sdc.handle(req);
+        assert_eq!(r1, r2);
+        // A duplicate of the consumed reply is rejected.
+        let rejected = sdc.handle(reply[0].1);
+        assert!(rejected.is_empty());
+        assert!(metrics.session_totals().rejected >= 1);
+    }
+
+    #[test]
+    fn su_timeout_exhaustion_and_full_deadline_rearm() {
+        let metrics = NetMetrics::new();
+        let engine = EngineConfig::default().with_max_retries(2);
+        let mut su = ModelSu::new(1, &engine, true, wire(), metrics.clone());
+        let base = u64::try_from(engine.timeout.as_nanos()).unwrap();
+        let ModelSuStep::Wait { deadline_ns, .. } = su.start() else {
+            panic!("fresh session cannot be terminal");
+        };
+        assert_eq!(deadline_ns, base);
+        // Foreign frame: reject, re-arm the FULL current deadline, no
+        // sends.
+        let foreign = wire().sized(9, 0, ModelPayload::Request { su: 9, digest: 0 });
+        match su.on_frame(foreign) {
+            ModelSuStep::Wait { sends, deadline_ns } => {
+                assert!(sends.is_empty());
+                assert_eq!(deadline_ns, base);
+            }
+            ModelSuStep::Done { .. } => panic!("foreign frame must not finish the session"),
+        }
+        // Timeouts: exponential backoff, then budget exhaustion.
+        match su.on_timeout() {
+            ModelSuStep::Wait { sends, deadline_ns } => {
+                assert_eq!(sends.len(), 1);
+                assert_eq!(deadline_ns, base * 2);
+            }
+            ModelSuStep::Done { .. } => panic!("retry budget not exhausted yet"),
+        }
+        let _ = su.on_timeout();
+        match su.on_timeout() {
+            ModelSuStep::Done { granted, attempts } => {
+                assert_eq!(granted, None);
+                assert_eq!(attempts, 3);
+            }
+            ModelSuStep::Wait { .. } => panic!("budget of 2 retries must be exhausted"),
+        }
+        assert_eq!(metrics.session_totals().timeouts, 3);
+        assert_eq!(metrics.session_totals().retries, 2);
+    }
+}

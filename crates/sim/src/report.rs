@@ -1,0 +1,251 @@
+//! The [`StormReport`]: everything one simulated storm produced, in a
+//! canonical, byte-reproducible form.
+//!
+//! Determinism is a *testable* property only if a whole run can be
+//! compared cheaply. The report therefore carries a FNV-1a digest over
+//! every per-session decision (in SU-id order) next to the aggregate
+//! counters, and serializes to JSON through the same canonical writer
+//! `pisa-obs` uses — same seed, same config ⇒ byte-identical
+//! [`StormReport::to_json`] output.
+
+use pisa_net::{FaultStats, SessionStats};
+use pisa_obs::json::Value;
+
+/// The terminal state of one simulated SU session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// The SU's id.
+    pub su: u32,
+    /// `Some(granted)`, or `None` when the retry budget ran dry.
+    pub granted: Option<bool>,
+    /// Requests sent before reaching a terminal state.
+    pub attempts: u32,
+    /// Virtual instant (ns) the session became terminal.
+    pub finished_ns: u64,
+}
+
+/// What one seeded storm did, end to end.
+#[derive(Debug, Clone)]
+pub struct StormReport {
+    /// The storm seed.
+    pub seed: u64,
+    /// `"real"` or `"modeled"`.
+    pub fidelity: &'static str,
+    /// Sessions simulated.
+    pub sus: u32,
+    /// Sessions that ended in a verified grant.
+    pub granted: u32,
+    /// Sessions that concluded a denial.
+    pub denied: u32,
+    /// Sessions that exhausted their retry budget undecided.
+    pub undecided: u32,
+    /// Sessions that never reached a terminal state (always 0 on a
+    /// healthy run — the event loop drains every deadline).
+    pub unfinished: u32,
+    /// Total requests sent across all sessions.
+    pub attempts_total: u64,
+    /// Largest per-session attempt count.
+    pub max_attempts: u32,
+    /// Virtual time (ns) of the last processed event.
+    pub makespan_ns: u64,
+    /// Events processed by the loop.
+    pub events: u64,
+    /// `true` if the event cap tripped (a bug: the storm did not
+    /// quiesce).
+    pub truncated: bool,
+    /// Messages delivered by the virtual network.
+    pub messages: u64,
+    /// Bytes delivered by the virtual network.
+    pub bytes: u64,
+    /// Injected-fault totals.
+    pub faults: FaultStats,
+    /// Session-level retry/timeout/reject totals.
+    pub sessions: SessionStats,
+    /// FNV-1a digest over `(su, outcome, attempts)` in SU-id order.
+    pub decisions_digest: u64,
+    /// Per-session outcomes, in SU-id order.
+    pub outcomes: Vec<SimOutcome>,
+    /// Modeled runs only: the oracle's expected grant per SU, for
+    /// decision-correctness checks. Empty in real fidelity.
+    pub expected: Vec<bool>,
+}
+
+/// Seed/prime pair of 64-bit FNV-1a.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Digest of a decision vector: order-sensitive FNV-1a over
+/// `(su, outcome code, attempts)` triples.
+pub fn decisions_digest(outcomes: &[SimOutcome]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for o in outcomes {
+        fnv1a(&mut hash, &o.su.to_le_bytes());
+        let code: u8 = match o.granted {
+            Some(true) => 1,
+            Some(false) => 2,
+            None => 0,
+        };
+        fnv1a(&mut hash, &[code]);
+        fnv1a(&mut hash, &o.attempts.to_le_bytes());
+    }
+    hash
+}
+
+/// Outcome vectors longer than this are summarized in the JSON (the
+/// digest still covers every entry).
+const JSON_OUTCOME_CAP: usize = 256;
+
+impl StormReport {
+    /// `true` when every session reached a terminal state and the loop
+    /// quiesced on its own.
+    pub fn all_terminal(&self) -> bool {
+        self.unfinished == 0 && !self.truncated
+    }
+
+    /// The report as a canonical JSON value. Keys are emitted in a
+    /// fixed order and the decision digest as fixed-width hex, so equal
+    /// reports render byte-identically.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("seed", Value::from_u64(self.seed)),
+            ("fidelity", Value::Str(self.fidelity.to_owned())),
+            ("sus", Value::from_u64(u64::from(self.sus))),
+            ("granted", Value::from_u64(u64::from(self.granted))),
+            ("denied", Value::from_u64(u64::from(self.denied))),
+            ("undecided", Value::from_u64(u64::from(self.undecided))),
+            ("unfinished", Value::from_u64(u64::from(self.unfinished))),
+            ("attempts_total", Value::from_u64(self.attempts_total)),
+            (
+                "max_attempts",
+                Value::from_u64(u64::from(self.max_attempts)),
+            ),
+            ("makespan_ns", Value::from_u64(self.makespan_ns)),
+            ("events", Value::from_u64(self.events)),
+            ("truncated", Value::Bool(self.truncated)),
+            ("messages", Value::from_u64(self.messages)),
+            ("bytes", Value::from_u64(self.bytes)),
+            (
+                "faults",
+                Value::object(vec![
+                    ("dropped", Value::from_u64(self.faults.dropped)),
+                    ("duplicated", Value::from_u64(self.faults.duplicated)),
+                    ("reordered", Value::from_u64(self.faults.reordered)),
+                    ("corrupted", Value::from_u64(self.faults.corrupted)),
+                    (
+                        "corrupt_dropped",
+                        Value::from_u64(self.faults.corrupt_dropped),
+                    ),
+                ]),
+            ),
+            (
+                "sessions",
+                Value::object(vec![
+                    ("retries", Value::from_u64(self.sessions.retries)),
+                    ("timeouts", Value::from_u64(self.sessions.timeouts)),
+                    ("rejected", Value::from_u64(self.sessions.rejected)),
+                ]),
+            ),
+            (
+                "decisions_digest",
+                Value::Str(format!("{:016x}", self.decisions_digest)),
+            ),
+        ];
+        if self.outcomes.len() <= JSON_OUTCOME_CAP {
+            let outcomes = self
+                .outcomes
+                .iter()
+                .map(|o| {
+                    Value::object(vec![
+                        ("su", Value::from_u64(u64::from(o.su))),
+                        (
+                            "granted",
+                            match o.granted {
+                                Some(g) => Value::Bool(g),
+                                None => Value::Null,
+                            },
+                        ),
+                        ("attempts", Value::from_u64(u64::from(o.attempts))),
+                        ("finished_ns", Value::from_u64(o.finished_ns)),
+                    ])
+                })
+                .collect();
+            fields.push(("outcomes", Value::Arr(outcomes)));
+        }
+        Value::object(fields)
+    }
+
+    /// The report as canonical JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(su: u32, granted: Option<bool>, attempts: u32) -> SimOutcome {
+        SimOutcome {
+            su,
+            granted,
+            attempts,
+            finished_ns: u64::from(su) * 10,
+        }
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let a = vec![outcome(0, Some(true), 1), outcome(1, Some(false), 2)];
+        let b = vec![outcome(1, Some(false), 2), outcome(0, Some(true), 1)];
+        assert_ne!(decisions_digest(&a), decisions_digest(&b));
+        let mut c = a.clone();
+        c[0].granted = None;
+        assert_ne!(decisions_digest(&a), decisions_digest(&c));
+        assert_eq!(decisions_digest(&a), decisions_digest(&a.clone()));
+    }
+
+    #[test]
+    fn json_is_canonical_and_caps_outcome_lists() {
+        let outcomes: Vec<SimOutcome> = (0..4).map(|i| outcome(i, Some(i % 2 == 0), 1)).collect();
+        let report = StormReport {
+            seed: 7,
+            fidelity: "modeled",
+            sus: 4,
+            granted: 2,
+            denied: 2,
+            undecided: 0,
+            unfinished: 0,
+            attempts_total: 4,
+            max_attempts: 1,
+            makespan_ns: 30,
+            events: 16,
+            truncated: false,
+            messages: 16,
+            bytes: 1024,
+            faults: FaultStats::default(),
+            sessions: SessionStats::default(),
+            decisions_digest: decisions_digest(&outcomes),
+            outcomes,
+            expected: vec![true, false, true, false],
+        };
+        assert!(report.all_terminal());
+        let text = report.to_json();
+        assert_eq!(text, report.clone().to_json(), "rendering is stable");
+        assert!(text.contains("\"decisions_digest\":\""));
+        assert!(text.contains("\"outcomes\":["));
+
+        let mut big = report.clone();
+        big.outcomes = (0..300).map(|i| outcome(i, Some(true), 1)).collect();
+        assert!(!big.to_json().contains("\"outcomes\""));
+
+        let parsed = Value::parse(&text).expect("canonical JSON parses");
+        assert_eq!(parsed.get("sus").and_then(Value::as_u64), Some(4));
+    }
+}

@@ -1,0 +1,355 @@
+//! The multi-seed sweep harness: many storms, hard invariants, and a
+//! shrinker that turns a failing storm into a small checked-in
+//! regression case.
+//!
+//! A single seeded storm is a point probe; the sweep is the search.
+//! [`run_sweep`] walks a `session-count × fault-rate` grid, runs
+//! `seeds_per_cell` independently seeded storms per cell inside
+//! `catch_unwind`, checks every storm against the invariants in
+//! [`check_storm`], and periodically re-runs a storm to prove byte
+//! determinism. A failure is never reported raw: [`shrink`] first
+//! halves the session count and zeroes fault kinds while the failure
+//! still reproduces, so the checked-in [`RegressionCase`] is the
+//! smallest storm known to exhibit it.
+
+use crate::report::StormReport;
+use crate::storm::{run_sim_storm, Fidelity, SimConfig};
+use pisa_net::FaultPlan;
+use pisa_obs::json::Value;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The sweep grid and policy.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Master seed; every storm seed derives from it.
+    pub seed: u64,
+    /// Session counts to sweep.
+    pub session_counts: Vec<u32>,
+    /// Uniform fault rates to sweep (0.0 = quiet network).
+    pub fault_rates: Vec<f64>,
+    /// Independently seeded storms per `(count, rate)` cell.
+    pub seeds_per_cell: u32,
+    /// Fidelity every storm runs at.
+    pub fidelity: Fidelity,
+    /// Template config (engine policy, latency, jitter); `sus` and
+    /// `plan` are overwritten per cell.
+    pub template: SimConfig,
+    /// Re-run every Nth passing storm and require byte-identical
+    /// output (0 disables the determinism probes).
+    pub determinism_every: u32,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 2017,
+            session_counts: vec![16, 64],
+            fault_rates: vec![0.0, 0.1],
+            seeds_per_cell: 3,
+            fidelity: Fidelity::Modeled,
+            template: SimConfig::modeled(16),
+            determinism_every: 8,
+        }
+    }
+}
+
+/// A failing storm reduced to its smallest reproducing shape.
+#[derive(Debug, Clone)]
+pub struct RegressionCase {
+    /// The storm seed.
+    pub seed: u64,
+    /// Smallest failing session count.
+    pub sus: u32,
+    /// Smallest failing fault plan.
+    pub plan: FaultPlan,
+    /// Fidelity the failure reproduces at.
+    pub fidelity: &'static str,
+    /// What the invariant check reported.
+    pub reason: String,
+}
+
+impl RegressionCase {
+    /// One line suitable for a regression-seed file:
+    /// `seed sus drop duplicate reorder corrupt # reason`.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} {} {} {} {} {} # {}",
+            self.seed,
+            self.sus,
+            self.plan.drop,
+            self.plan.duplicate,
+            self.plan.reorder,
+            self.plan.corrupt,
+            self.reason.replace('\n', " "),
+        )
+    }
+}
+
+/// What a sweep covered and what it caught.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Storms run.
+    pub storms: u32,
+    /// Total SU sessions simulated.
+    pub sessions: u64,
+    /// Byte-determinism double-runs performed.
+    pub determinism_checks: u32,
+    /// Shrunken failures (empty on a healthy sweep).
+    pub failures: Vec<RegressionCase>,
+}
+
+impl SweepReport {
+    /// `true` when every storm satisfied every invariant.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The report as a canonical JSON value.
+    pub fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("storms", Value::from_u64(u64::from(self.storms))),
+            ("sessions", Value::from_u64(self.sessions)),
+            (
+                "determinism_checks",
+                Value::from_u64(u64::from(self.determinism_checks)),
+            ),
+            (
+                "failures",
+                Value::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| Value::Str(f.to_line()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The report as canonical JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+/// Runs one storm under `catch_unwind` and checks the storm
+/// invariants. Returns the report on success, the violated invariant
+/// on failure.
+pub fn check_storm(seed: u64, config: &SimConfig) -> Result<StormReport, String> {
+    let cfg = config.clone();
+    let report =
+        catch_unwind(AssertUnwindSafe(move || run_sim_storm(seed, &cfg))).map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            format!("panicked: {msg}")
+        })?;
+    if report.truncated {
+        return Err(format!(
+            "event cap tripped after {} events: the storm did not quiesce",
+            report.events
+        ));
+    }
+    if report.unfinished > 0 {
+        return Err(format!(
+            "{} session(s) never reached a terminal state",
+            report.unfinished
+        ));
+    }
+    let accounted = report.granted + report.denied + report.undecided;
+    if accounted != report.sus {
+        return Err(format!(
+            "outcome counts {accounted} != {} sessions",
+            report.sus
+        ));
+    }
+    // Decision soundness against the plaintext oracle (modeled runs
+    // carry the expectations).
+    for (o, &want) in report.outcomes.iter().zip(&report.expected) {
+        if o.granted == Some(true) && !want {
+            return Err(format!(
+                "SU {} obtained a grant the WATCH oracle denies",
+                o.su
+            ));
+        }
+    }
+    let quiet = report.faults.total() == 0;
+    if quiet && !report.expected.is_empty() {
+        for (o, &want) in report.outcomes.iter().zip(&report.expected) {
+            if o.granted != Some(want) {
+                return Err(format!(
+                    "fault-free SU {} decided {:?}, oracle says {}",
+                    o.su, o.granted, want
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Greedily minimizes a failing `(session count, fault plan)` under
+/// `fails` (which must be deterministic): first halves the session
+/// count, then zeroes each fault kind, keeping every reduction that
+/// still reproduces the failure.
+pub fn shrink(
+    mut sus: u32,
+    mut plan: FaultPlan,
+    fails: &dyn Fn(u32, FaultPlan) -> bool,
+) -> (u32, FaultPlan) {
+    while sus > 1 && fails(sus / 2, plan) {
+        sus /= 2;
+    }
+    let without: [fn(FaultPlan) -> FaultPlan; 4] = [
+        |p| FaultPlan { drop: 0.0, ..p },
+        |p| FaultPlan {
+            duplicate: 0.0,
+            ..p
+        },
+        |p| FaultPlan { reorder: 0.0, ..p },
+        |p| FaultPlan { corrupt: 0.0, ..p },
+    ];
+    for f in without {
+        let candidate = f(plan);
+        if candidate != plan && fails(sus, candidate) {
+            plan = candidate;
+        }
+    }
+    (sus, plan)
+}
+
+fn shrink_case(seed: u64, failing: &SimConfig, reason: String) -> RegressionCase {
+    let fails = |sus: u32, plan: FaultPlan| {
+        let mut c = failing.clone();
+        c.sus = sus;
+        c.plan = plan;
+        check_storm(seed, &c).is_err()
+    };
+    let (sus, plan) = shrink(failing.sus, failing.plan, &fails);
+    RegressionCase {
+        seed,
+        sus,
+        plan,
+        fidelity: failing.fidelity.label(),
+        reason,
+    }
+}
+
+/// Sweeps the grid. Deterministic end to end: the storm seeds come
+/// from a [`StdRng`] over `config.seed`, so the same sweep config
+/// always runs the same storms.
+pub fn run_sweep(config: &SweepConfig) -> SweepReport {
+    let mut master = StdRng::seed_from_u64(config.seed);
+    let mut report = SweepReport {
+        storms: 0,
+        sessions: 0,
+        determinism_checks: 0,
+        failures: Vec::new(),
+    };
+    for &sus in &config.session_counts {
+        for &rate in &config.fault_rates {
+            let mut sim = config.template.clone();
+            sim.sus = sus;
+            sim.fidelity = config.fidelity;
+            sim.plan = FaultPlan::uniform(rate);
+            for _ in 0..config.seeds_per_cell {
+                let storm_seed = master.next_u64();
+                report.storms += 1;
+                report.sessions += u64::from(sus);
+                match check_storm(storm_seed, &sim) {
+                    Ok(first) => {
+                        let probe = config.determinism_every > 0
+                            && report.storms.is_multiple_of(config.determinism_every);
+                        if probe {
+                            report.determinism_checks += 1;
+                            match check_storm(storm_seed, &sim) {
+                                Ok(second) if second.to_json() == first.to_json() => {}
+                                Ok(_) => report.failures.push(shrink_case(
+                                    storm_seed,
+                                    &sim,
+                                    "nondeterministic: two runs of one seed diverged".to_owned(),
+                                )),
+                                Err(reason) => report.failures.push(shrink_case(
+                                    storm_seed,
+                                    &sim,
+                                    format!("flaky: passed once, then {reason}"),
+                                )),
+                            }
+                        }
+                    }
+                    Err(reason) => {
+                        report.failures.push(shrink_case(storm_seed, &sim, reason));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisa::EngineConfig;
+    use std::time::Duration;
+
+    #[test]
+    fn shrinker_minimizes_against_a_synthetic_predicate() {
+        // Failure reproduces whenever ≥ 6 sessions AND drop is on;
+        // duplicate/reorder/corrupt are red herrings.
+        let fails = |sus: u32, plan: FaultPlan| sus >= 6 && plan.drop > 0.0;
+        let start = FaultPlan::uniform(0.3);
+        let (sus, plan) = shrink(96, start, &fails);
+        assert_eq!(sus, 6);
+        assert!(plan.drop > 0.0, "the culprit survives");
+        assert_eq!(plan.duplicate, 0.0);
+        assert_eq!(plan.reorder, 0.0);
+        assert_eq!(plan.corrupt, 0.0);
+        assert!(fails(sus, plan), "shrinking must preserve the failure");
+    }
+
+    #[test]
+    fn shrinker_keeps_irreducible_failures_intact() {
+        let fails = |_: u32, _: FaultPlan| true;
+        let (sus, plan) = shrink(64, FaultPlan::none(), &fails);
+        assert_eq!(sus, 1);
+        assert_eq!(plan, FaultPlan::none());
+    }
+
+    #[test]
+    fn tiny_sweep_is_clean_and_deterministic() {
+        let config = SweepConfig {
+            seed: 41,
+            session_counts: vec![8, 16],
+            fault_rates: vec![0.0, 0.2],
+            seeds_per_cell: 2,
+            fidelity: Fidelity::Modeled,
+            template: SimConfig::modeled(8)
+                .with_engine(EngineConfig::default().with_timeout(Duration::from_millis(50))),
+            determinism_every: 3,
+        };
+        let a = run_sweep(&config);
+        assert_eq!(a.storms, 8);
+        assert_eq!(a.sessions, 2 * (8 + 8 + 16 + 16));
+        assert!(a.determinism_checks >= 2);
+        assert!(a.clean(), "failures: {:?}", a.failures);
+        let b = run_sweep(&config);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn regression_line_round_trips_the_shape() {
+        let case = RegressionCase {
+            seed: 99,
+            sus: 4,
+            plan: FaultPlan::none().with_drop(0.25),
+            fidelity: "modeled",
+            reason: "demo\nmultiline".to_owned(),
+        };
+        let line = case.to_line();
+        assert!(line.starts_with("99 4 0.25 0 0 0 #"));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,96 @@
+//! A [`Transport`] implementation for the simulator.
+//!
+//! The session engines in `pisa-core` are written against the
+//! [`Transport`] send surface (an address plus a fallible send) so that
+//! the same protocol code runs over the threaded
+//! [`pisa_net::Endpoint`] and over virtual time. [`SimTransport`] is
+//! the virtual side: sends accumulate in an outbox the event loop
+//! drains into [`SimNet`](crate::SimNet) at the current virtual
+//! instant — nothing moves until the simulator schedules it.
+
+use pisa_net::{NetError, Party, Transport, WireSize};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A virtual-time transport: same send surface as a threaded endpoint,
+/// but sends land in an outbox instead of a mailbox.
+///
+/// Cloning shares the outbox, so protocol code can hold the transport
+/// while the event loop holds the drain side. Single-threaded by
+/// design (the simulator is one thread), hence `Rc`.
+///
+/// # Examples
+///
+/// ```
+/// use pisa_net::{Party, Transport};
+/// use pisa_sim::SimTransport;
+///
+/// let tx: SimTransport<Vec<u8>> = SimTransport::new(Party::Sdc);
+/// assert_eq!(tx.party(), Party::Sdc);
+/// tx.try_send(Party::Stp, vec![1, 2, 3]).unwrap();
+/// assert_eq!(tx.drain(), vec![(Party::Stp, vec![1, 2, 3])]);
+/// assert!(tx.drain().is_empty());
+/// ```
+pub struct SimTransport<M> {
+    party: Party,
+    outbox: Rc<RefCell<VecDeque<(Party, M)>>>,
+}
+
+impl<M> Clone for SimTransport<M> {
+    fn clone(&self) -> Self {
+        SimTransport {
+            party: self.party,
+            outbox: Rc::clone(&self.outbox),
+        }
+    }
+}
+
+impl<M> SimTransport<M> {
+    /// A transport speaking as `party` with an empty outbox.
+    pub fn new(party: Party) -> Self {
+        SimTransport {
+            party,
+            outbox: Rc::new(RefCell::new(VecDeque::new())),
+        }
+    }
+
+    /// Removes and returns every queued send, in send order.
+    pub fn drain(&self) -> Vec<(Party, M)> {
+        self.outbox.borrow_mut().drain(..).collect()
+    }
+}
+
+impl<M: WireSize + Clone> Transport<M> for SimTransport<M> {
+    fn party(&self) -> Party {
+        self.party
+    }
+
+    fn try_send(&self, to: Party, payload: M) -> Result<(), NetError> {
+        self.outbox.borrow_mut().push_back((to, payload));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_preserves_send_order_across_clones() {
+        let tx: SimTransport<Vec<u8>> = SimTransport::new(Party::Su(3));
+        let tx2 = tx.clone();
+        tx.try_send(Party::Sdc, vec![1]).unwrap();
+        tx2.try_send(Party::Stp, vec![2]).unwrap();
+        tx.try_send(Party::Sdc, vec![3]).unwrap();
+        let drained = tx2.drain();
+        assert_eq!(
+            drained,
+            vec![
+                (Party::Sdc, vec![1]),
+                (Party::Stp, vec![2]),
+                (Party::Sdc, vec![3]),
+            ]
+        );
+    }
+}

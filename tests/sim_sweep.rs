@@ -1,0 +1,107 @@
+//! Sweep-harness tests.
+//!
+//! Tier 1 runs a small smoke sweep and replays any checked-in
+//! regression cases. Tier 2 (`--ignored`, run by the CI sim-sweep
+//! lane and before release) drives the full 1008-storm grid.
+
+use pisa::EngineConfig;
+use pisa_net::FaultPlan;
+use pisa_sim::{check_storm, run_sweep, Fidelity, SimConfig, SweepConfig};
+use std::time::Duration;
+
+fn template() -> SimConfig {
+    SimConfig::modeled(16)
+        .with_engine(EngineConfig::default().with_timeout(Duration::from_millis(50)))
+}
+
+#[test]
+fn smoke_sweep_is_clean() {
+    let config = SweepConfig {
+        seed: 0x53ed,
+        session_counts: vec![16, 48],
+        fault_rates: vec![0.0, 0.1, 0.3],
+        seeds_per_cell: 2,
+        fidelity: Fidelity::Modeled,
+        template: template(),
+        determinism_every: 5,
+    };
+    let report = run_sweep(&config);
+    assert_eq!(report.storms, 12);
+    assert!(report.determinism_checks >= 2);
+    assert!(
+        report.clean(),
+        "smoke sweep found failures:\n{}",
+        report
+            .failures
+            .iter()
+            .map(|f| f.to_line())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Replays `tests/data/sim_regression_seeds.txt` — storms that once
+/// violated an invariant, shrunk by the sweep harness. Each must now
+/// pass `check_storm`. When a sweep fails, append the shrunk
+/// `RegressionCase::to_line()` output here with the fix.
+#[test]
+fn regression_seeds_replay_clean() {
+    let data = include_str!("data/sim_regression_seeds.txt");
+    for line in data.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(fields.len(), 6, "malformed regression line: {line:?}");
+        let seed: u64 = fields[0].parse().expect("seed");
+        let sus: u32 = fields[1].parse().expect("sus");
+        let plan = FaultPlan::none()
+            .with_drop(fields[2].parse().expect("drop"))
+            .with_duplicate(fields[3].parse().expect("duplicate"))
+            .with_reorder(fields[4].parse().expect("reorder"))
+            .with_corrupt(fields[5].parse().expect("corrupt"));
+        let mut config = template();
+        config.sus = sus;
+        config.plan = plan;
+        if let Err(reason) = check_storm(seed, &config) {
+            panic!("regression seed {seed} failed again: {reason}");
+        }
+    }
+}
+
+/// Tier 2: the full grid — 3 session counts × 4 fault rates ×
+/// 84 seeds = 1008 storms, with periodic byte-determinism probes.
+/// Zero panics, zero invariant violations, every storm quiesces.
+///
+/// Run with:
+/// `cargo test -p pisa-sim --test sim_sweep --release -- --ignored`
+#[test]
+#[ignore = "tier-2: ~1000 storms, run in release via the CI sim-sweep lane"]
+fn thousand_storm_sweep_is_clean() {
+    let config = SweepConfig {
+        seed: 2017,
+        session_counts: vec![16, 64, 256],
+        fault_rates: vec![0.0, 0.05, 0.15, 0.3],
+        seeds_per_cell: 84,
+        fidelity: Fidelity::Modeled,
+        template: template(),
+        determinism_every: 97,
+    };
+    let report = run_sweep(&config);
+    assert_eq!(report.storms, 1008);
+    assert_eq!(report.sessions, 84 * 4 * (16 + 64 + 256));
+    assert!(report.determinism_checks >= 10);
+    assert!(
+        report.clean(),
+        "tier-2 sweep found {} failure(s) — shrunk cases below; append them \
+         to tests/data/sim_regression_seeds.txt alongside the fix:\n{}",
+        report.failures.len(),
+        report
+            .failures
+            .iter()
+            .map(|f| f.to_line())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

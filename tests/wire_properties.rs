@@ -164,6 +164,28 @@ proptest! {
         let _ = SessionMsg::decode(&frame);
     }
 
+    /// A bit-flipped session envelope either fails to decode or decodes
+    /// to a frame whose canonical encoding round-trips — the decoder
+    /// never fabricates non-canonical state from corrupt input.
+    #[test]
+    fn flipped_envelope_decode_is_canonical(
+        session in any::<u64>(),
+        attempt in any::<u32>(),
+        bit_seed in any::<usize>(),
+        vals in proptest::collection::vec(any::<u64>(), 1..8),
+    ) {
+        for msg in build_messages(2, 2, &vals, 3, 4) {
+            let mut bytes = SessionMsg { session, attempt, msg }.encode().to_vec();
+            let bit = bit_seed % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(decoded) = SessionMsg::decode(&bytes) {
+                let canon = decoded.encode();
+                let again = SessionMsg::decode(&canon).expect("canonical form decodes");
+                prop_assert_eq!(again.encode(), canon);
+            }
+        }
+    }
+
     /// The codec primitives round-trip in order.
     #[test]
     fn codec_primitives_roundtrip(
@@ -185,5 +207,67 @@ proptest! {
         prop_assert_eq!(r.get_u64().unwrap(), c);
         prop_assert_eq!(r.get_bytes().unwrap(), &blob[..]);
         prop_assert!(r.finish().is_ok());
+    }
+}
+
+/// Exhaustive sweep of the corruption oracle over every bit position of
+/// every message variant: each flip is either absorbed (`None`, the
+/// flip broke framing) or yields a well-formed frame whose canonical
+/// encoding differs from the original; both outcomes occur for every
+/// variant, and oracle output is stable under re-decode.
+#[test]
+fn corruption_oracle_sweep_absorbs_and_mangles_every_variant() {
+    for (variant, msg) in build_messages(2, 2, &[3, 5, 7], 11, 13)
+        .into_iter()
+        .enumerate()
+    {
+        let frame = SessionMsg {
+            session: 42,
+            attempt: 2,
+            msg,
+        };
+        let bytes = frame.encode();
+        let nbits = bytes.len() as u64 * 8;
+        let (mut absorbed, mut mangled) = (0u64, 0u64);
+        for tweak in 0..nbits {
+            match corrupt_session_frame(&frame, tweak) {
+                None => absorbed += 1,
+                Some(m) => {
+                    mangled += 1;
+                    let mb = m.encode();
+                    assert_ne!(
+                        mb, bytes,
+                        "variant {variant}, tweak {tweak}: oracle returned the original frame"
+                    );
+                    let back = SessionMsg::decode(&mb).expect("mangled frames stay well-formed");
+                    assert_eq!(
+                        back.encode(),
+                        mb,
+                        "variant {variant}, tweak {tweak}: oracle output is not canonical"
+                    );
+                }
+            }
+        }
+        assert!(absorbed > 0, "variant {variant}: no flip was absorbed");
+        assert!(mangled > 0, "variant {variant}: no flip mangled the frame");
+    }
+}
+
+/// The oracle's tweak index wraps modulo the frame's bit length, so the
+/// outcome for `tweak` and `tweak + nbits` is identical — CRN session
+/// retries reuse the per-delivery fault draw without re-randomizing.
+#[test]
+fn corruption_oracle_tweak_wraps_modulo_frame_bits() {
+    let msg = build_messages(1, 1, &[9], 5, 6).remove(0);
+    let frame = SessionMsg {
+        session: 7,
+        attempt: 1,
+        msg,
+    };
+    let nbits = frame.encode().len() as u64 * 8;
+    for tweak in [0, 1, nbits / 2, nbits - 1] {
+        let low = corrupt_session_frame(&frame, tweak).map(|m| m.encode());
+        let high = corrupt_session_frame(&frame, tweak + nbits).map(|m| m.encode());
+        assert_eq!(low, high, "tweak {tweak} and {tweak}+nbits diverged");
     }
 }
