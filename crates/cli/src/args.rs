@@ -23,10 +23,71 @@ commands:
                                --mode modeled (default) scales to 100k SUs,
                                --mode real drives the actual crypto engines,
                                --sweep runs a multi-seed fault-rate sweep
+  serve-sdc [--listen ADDR] [--stp ADDR] [--sessions N] [--seed S]
+            [--drop P] [--dup P] [--reorder P] [--corrupt P]
+            [--retries N] [--timeout-ms T]
+                               run the SDC as a TCP service (default
+                               listen 127.0.0.1:7001, STP at 127.0.0.1:7002)
+  serve-stp [--listen ADDR] [--sessions N] [--seed S]
+            [--drop P] [--dup P] [--reorder P] [--corrupt P]
+            [--retries N] [--timeout-ms T]
+                               run the STP as a TCP service (default
+                               listen 127.0.0.1:7002)
+  su [--sdc ADDR] [--sessions N] [--seed S]
+     [--drop P] [--dup P] [--reorder P] [--corrupt P]
+     [--retries N] [--timeout-ms T] [--halt] [--verify]
+     [--metrics-out FILE]
+                               drive an SU session storm against a live
+                               serve-sdc; --halt drains the servers after,
+                               --verify replays the storm on the in-memory
+                               engine and compares every decision
   bench [--bits N] [--iters N] [--metrics] [--metrics-out FILE]
                                per-phase protocol timing (paper Tables 2-3)
   attack                       curious-SDC inference demo (WATCH vs PISA)
-  info                         print the paper's Table I configuration";
+  info                         print the paper's Table I configuration
+
+all three networked roles must agree on --sessions and --seed: each
+process derives the whole system state (keys, PU occupancy, SU
+registrations) deterministically from that pair.";
+
+/// Flags shared by the three networked roles (`serve-sdc`,
+/// `serve-stp`, `su`): storm identity plus the socket-layer fault and
+/// retry knobs. All processes of one deployment must agree on
+/// `sessions` and `seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetFlags {
+    /// Number of SU sessions in the storm.
+    pub sessions: u32,
+    /// Storm seed (system state, engines and faults derive from it).
+    pub seed: u64,
+    /// Per-link drop probability on this process's outbound traffic.
+    pub drop: f64,
+    /// Per-link duplicate probability.
+    pub dup: f64,
+    /// Per-link reorder probability.
+    pub reorder: f64,
+    /// Per-link corruption probability.
+    pub corrupt: f64,
+    /// Retry budget per session.
+    pub retries: u32,
+    /// Base receive deadline in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for NetFlags {
+    fn default() -> Self {
+        NetFlags {
+            sessions: 8,
+            seed: 2017,
+            drop: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            retries: 8,
+            timeout_ms: 1500,
+        }
+    }
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +156,37 @@ pub enum Command {
         /// Run the multi-seed sweep harness instead of one storm.
         sweep: bool,
         /// Where to write the storm/sweep report as JSON.
+        metrics_out: Option<String>,
+    },
+    /// The SDC as a networked TCP service.
+    ServeSdc {
+        /// Listen address.
+        listen: String,
+        /// The STP's address (dialed lazily).
+        stp: String,
+        /// Shared storm flags.
+        net: NetFlags,
+    },
+    /// The STP as a networked TCP service.
+    ServeStp {
+        /// Listen address.
+        listen: String,
+        /// Shared storm flags.
+        net: NetFlags,
+    },
+    /// The SU swarm driving a storm against a live SDC service.
+    Su {
+        /// The SDC's address.
+        sdc: String,
+        /// Shared storm flags.
+        net: NetFlags,
+        /// Send an in-band shutdown to the SDC (cascading to the STP)
+        /// once every session finished.
+        halt: bool,
+        /// Replay the storm on the in-memory engine and compare every
+        /// grant/deny decision.
+        verify: bool,
+        /// Where to write the per-phase metrics report as JSON.
         metrics_out: Option<String>,
     },
     /// Per-phase protocol benchmark mirroring the paper's Tables 2-3.
@@ -287,6 +379,65 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 metrics_out,
             })
         }
+        "serve-sdc" => {
+            let mut listen = "127.0.0.1:7001".to_owned();
+            let mut stp = "127.0.0.1:7002".to_owned();
+            let mut net = NetFlags::default();
+            parse_flags(it, |flag, value| match flag {
+                "--listen" => {
+                    listen = value.to_owned();
+                    Ok(())
+                }
+                "--stp" => {
+                    stp = value.to_owned();
+                    Ok(())
+                }
+                other => parse_net_flag(other, value, &mut net),
+            })?;
+            check_net_flags(&net)?;
+            Ok(Command::ServeSdc { listen, stp, net })
+        }
+        "serve-stp" => {
+            let mut listen = "127.0.0.1:7002".to_owned();
+            let mut net = NetFlags::default();
+            parse_flags(it, |flag, value| match flag {
+                "--listen" => {
+                    listen = value.to_owned();
+                    Ok(())
+                }
+                other => parse_net_flag(other, value, &mut net),
+            })?;
+            check_net_flags(&net)?;
+            Ok(Command::ServeStp { listen, net })
+        }
+        "su" => {
+            let mut sdc = "127.0.0.1:7001".to_owned();
+            let mut net = NetFlags::default();
+            let (mut halt, mut verify) = (false, false);
+            let mut metrics_out = None;
+            let mut it = it;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| format!("flag {flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--halt" => halt = true,
+                    "--verify" => verify = true,
+                    "--sdc" => sdc = value()?.to_owned(),
+                    "--metrics-out" => metrics_out = Some(value()?.to_owned()),
+                    other => parse_net_flag(other, value()?, &mut net)?,
+                }
+            }
+            check_net_flags(&net)?;
+            Ok(Command::Su {
+                sdc,
+                net,
+                halt,
+                verify,
+                metrics_out,
+            })
+        }
         "bench" => {
             let (mut bits, mut iters) = (512usize, 4usize);
             let mut metrics = false;
@@ -330,6 +481,48 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "--help" | "-h" | "help" => Err("help requested".into()),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Handles one flag shared by the networked roles; any other flag is an
+/// error.
+fn parse_net_flag(flag: &str, value: &str, net: &mut NetFlags) -> Result<(), String> {
+    let prob = |flag: &str, value: &str, slot: &mut f64| -> Result<(), String> {
+        *slot = parse_num(flag, value)?;
+        if !(0.0..=1.0).contains(slot) {
+            return Err(format!("{flag} must be a probability in [0, 1]"));
+        }
+        Ok(())
+    };
+    match flag {
+        "--sessions" => {
+            net.sessions = parse_num(flag, value)?;
+            Ok(())
+        }
+        "--seed" => {
+            net.seed = parse_num(flag, value)?;
+            Ok(())
+        }
+        "--drop" => prob(flag, value, &mut net.drop),
+        "--dup" => prob(flag, value, &mut net.dup),
+        "--reorder" => prob(flag, value, &mut net.reorder),
+        "--corrupt" => prob(flag, value, &mut net.corrupt),
+        "--retries" => {
+            net.retries = parse_num(flag, value)?;
+            Ok(())
+        }
+        "--timeout-ms" => {
+            net.timeout_ms = parse_num(flag, value)?;
+            Ok(())
+        }
+        other => Err(format!("unknown flag {other}")),
+    }
+}
+
+fn check_net_flags(net: &NetFlags) -> Result<(), String> {
+    if net.sessions == 0 || net.timeout_ms == 0 {
+        return Err("--sessions and --timeout-ms must be positive".into());
+    }
+    Ok(())
 }
 
 fn reject_extras<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), String> {
@@ -527,6 +720,98 @@ mod tests {
         assert!(parse(&argv("sim --sus 0")).is_err());
         assert!(parse(&argv("sim --metrics-out")).is_err());
         assert!(parse(&argv("sim --what 1")).is_err());
+    }
+
+    #[test]
+    fn serve_sdc_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("serve-sdc")).unwrap(),
+            Command::ServeSdc {
+                listen: "127.0.0.1:7001".into(),
+                stp: "127.0.0.1:7002".into(),
+                net: NetFlags::default(),
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve-sdc --listen 0.0.0.0:9001 --stp stp.example:9002 \
+                 --sessions 16 --seed 7 --drop 0.1 --retries 12 --timeout-ms 900"
+            ))
+            .unwrap(),
+            Command::ServeSdc {
+                listen: "0.0.0.0:9001".into(),
+                stp: "stp.example:9002".into(),
+                net: NetFlags {
+                    sessions: 16,
+                    seed: 7,
+                    drop: 0.1,
+                    retries: 12,
+                    timeout_ms: 900,
+                    ..NetFlags::default()
+                },
+            }
+        );
+        assert!(parse(&argv("serve-sdc --sessions 0")).is_err());
+        assert!(parse(&argv("serve-sdc --drop 1.5")).is_err());
+        assert!(parse(&argv("serve-sdc --what 1")).is_err());
+    }
+
+    #[test]
+    fn serve_stp_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("serve-stp")).unwrap(),
+            Command::ServeStp {
+                listen: "127.0.0.1:7002".into(),
+                net: NetFlags::default(),
+            }
+        );
+        assert_eq!(
+            parse(&argv("serve-stp --listen 127.0.0.1:0 --sessions 4")).unwrap(),
+            Command::ServeStp {
+                listen: "127.0.0.1:0".into(),
+                net: NetFlags {
+                    sessions: 4,
+                    ..NetFlags::default()
+                },
+            }
+        );
+        assert!(parse(&argv("serve-stp --stp 1.2.3.4:5")).is_err());
+    }
+
+    #[test]
+    fn su_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("su")).unwrap(),
+            Command::Su {
+                sdc: "127.0.0.1:7001".into(),
+                net: NetFlags::default(),
+                halt: false,
+                verify: false,
+                metrics_out: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "su --sdc sdc.example:9001 --sessions 16 --seed 3 --corrupt 0.05 \
+                 --halt --verify --metrics-out net.json"
+            ))
+            .unwrap(),
+            Command::Su {
+                sdc: "sdc.example:9001".into(),
+                net: NetFlags {
+                    sessions: 16,
+                    seed: 3,
+                    corrupt: 0.05,
+                    ..NetFlags::default()
+                },
+                halt: true,
+                verify: true,
+                metrics_out: Some("net.json".into()),
+            }
+        );
+        assert!(parse(&argv("su --timeout-ms 0")).is_err());
+        assert!(parse(&argv("su --metrics-out")).is_err());
+        assert!(parse(&argv("su --listen 127.0.0.1:1")).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::Command;
+use crate::args::{Command, NetFlags};
 use pisa::adversary;
 use pisa::prelude::*;
 use pisa_watch::{PuInput, SuRequest, WatchSdc};
@@ -70,6 +70,15 @@ pub fn run(cmd: Command) -> ExitCode {
             sweep,
             metrics_out,
         }),
+        Command::ServeSdc { listen, stp, net } => serve_sdc(&listen, &stp, &net),
+        Command::ServeStp { listen, net } => serve_stp(&listen, &net),
+        Command::Su {
+            sdc,
+            net,
+            halt,
+            verify,
+            metrics_out,
+        } => su_storm(&sdc, &net, halt, verify, metrics_out),
         Command::Bench {
             bits,
             iters,
@@ -169,31 +178,22 @@ fn storm(opts: StormOpts) -> ExitCode {
         pisa_obs::reset();
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let cfg = SystemConfig::small_test();
-    let mut stp = pisa::StpServer::new(&mut rng, cfg.paillier_bits());
-    let mut sdc =
-        pisa::SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc.storm", &mut rng);
-
-    // One PU on channel 0, so sessions near it get denied: the storm
-    // exercises both decisions.
-    let mut pu = pisa::PuClient::new(0, BlockId(0));
-    let e = sdc.e_matrix().clone();
-    let update = pu.tune(Some(Channel(0)), &cfg, &e, stp.public_key(), &mut rng);
-    sdc.handle_pu_update(pu.id(), update).unwrap();
-
-    let clients: Vec<_> = (0..sus)
-        .map(|i| {
-            let su = pisa::SuClient::new(
-                pisa::SuId(i),
-                BlockId(i as usize % cfg.blocks()),
-                &cfg,
-                &mut rng,
-            );
-            stp.register_su(su.id(), su.public_key().clone());
-            (su, vec![Channel(i as usize % cfg.channels())])
-        })
-        .collect();
+    // The shared fixture: one PU on channel 0 (so sessions near it get
+    // denied and the storm exercises both decisions), `sus` SU clients.
+    // The same function seeds the networked roles, so `pisa storm` and
+    // a `serve-sdc`/`serve-stp`/`su` deployment agree on every key.
+    let fixture = match pisa::storm_fixture(sus, seed) {
+        Ok(fixture) => fixture,
+        Err(e) => {
+            eprintln!("storm setup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pisa::StormFixture {
+        sus: clients,
+        sdc,
+        stp,
+    } = fixture;
 
     let plan = FaultPlan::none()
         .with_drop(drop)
@@ -274,6 +274,201 @@ fn storm(opts: StormOpts) -> ExitCode {
         }
     }
     if exports_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Shared flag translation for the networked roles.
+fn net_storm_opts(net: &NetFlags) -> pisa::NetStormOpts {
+    use pisa::{EngineConfig, NetStormOpts};
+    use pisa_net::{FaultConfig, FaultPlan};
+    use std::time::Duration;
+
+    let plan = FaultPlan::none()
+        .with_drop(net.drop)
+        .with_duplicate(net.dup)
+        .with_reorder(net.reorder)
+        .with_corrupt(net.corrupt);
+    let chaotic = net.drop > 0.0 || net.dup > 0.0 || net.reorder > 0.0 || net.corrupt > 0.0;
+    let mut opts = NetStormOpts::new(net.sessions, net.seed);
+    opts.engine = EngineConfig::default()
+        .with_timeout(Duration::from_millis(net.timeout_ms))
+        .with_max_retries(net.retries);
+    // The same fault-seed convention as `pisa storm`, so the socket
+    // chaos draws from the link streams the in-memory network would.
+    opts.faults = chaotic.then(|| FaultConfig::new(net.seed ^ 0xfa17).with_default_plan(plan));
+    opts
+}
+
+/// `pisa serve-sdc`: the SDC trust domain as its own process.
+fn serve_sdc(listen: &str, stp: &str, net: &NetFlags) -> ExitCode {
+    let opts = net_storm_opts(net);
+    println!(
+        "serve-sdc: deriving system state for {} sessions (seed {})...",
+        net.sessions, net.seed
+    );
+    let service = match pisa::SdcService::bind(&opts, listen, stp) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("serve-sdc failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match service.local_addr() {
+        Some(addr) => println!("SDC serving on {addr} (STP at {stp}); `pisa su --halt` drains it"),
+        None => println!("SDC serving (STP at {stp}); `pisa su --halt` drains it"),
+    }
+    let _server = service.run();
+    println!("SDC drained after shutdown");
+    ExitCode::SUCCESS
+}
+
+/// `pisa serve-stp`: the STP trust domain as its own process.
+fn serve_stp(listen: &str, net: &NetFlags) -> ExitCode {
+    let opts = net_storm_opts(net);
+    println!(
+        "serve-stp: deriving system state for {} sessions (seed {})...",
+        net.sessions, net.seed
+    );
+    let service = match pisa::StpService::bind(&opts, listen) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("serve-stp failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match service.local_addr() {
+        Some(addr) => println!("STP serving on {addr}; shutdown cascades from the SDC"),
+        None => println!("STP serving; shutdown cascades from the SDC"),
+    }
+    let _server = service.run();
+    println!("STP drained after shutdown");
+    ExitCode::SUCCESS
+}
+
+/// `pisa su`: the SU swarm against a live SDC service — `pisa storm`
+/// over real sockets.
+fn su_storm(
+    sdc: &str,
+    net: &NetFlags,
+    halt: bool,
+    verify: bool,
+    metrics_out: Option<String>,
+) -> ExitCode {
+    let opts = net_storm_opts(net);
+    let observing = metrics_out.is_some();
+    if observing {
+        pisa_obs::set_enabled(true);
+        pisa_obs::reset();
+    }
+    println!(
+        "su storm: {} sessions against {sdc}, faults/link: {:.0}% drop, {:.0}% dup, \
+         {:.0}% reorder, {:.0}% corrupt",
+        net.sessions,
+        net.drop * 100.0,
+        net.dup * 100.0,
+        net.reorder * 100.0,
+        net.corrupt * 100.0
+    );
+
+    let t = Instant::now();
+    let report = match pisa::run_su_storm(&opts, sdc, halt) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("su storm failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = t.elapsed();
+
+    for o in &report.outcomes {
+        let stats = report
+            .metrics
+            .session(u64::from(o.su_id.0))
+            .unwrap_or_default();
+        println!(
+            "  SU {:>3}: {:<9} after {} attempt(s)  (timeouts {}, rejects {})",
+            o.su_id.0,
+            match o.granted {
+                Some(true) => "GRANTED",
+                Some(false) => "DENIED",
+                None => "EXHAUSTED",
+            },
+            o.attempts,
+            stats.timeouts,
+            stats.rejected,
+        );
+    }
+    let f = report.metrics.fault_totals();
+    let s = report.metrics.session_totals();
+    println!(
+        "\nsocket faults injected here: {} dropped, {} duplicated, {} reordered, \
+         {} corrupted (+{} absorbed)",
+        f.dropped, f.duplicated, f.reordered, f.corrupted, f.corrupt_dropped
+    );
+    println!(
+        "sessions absorbed them with {} retries, {} timeouts, {} rejected messages",
+        s.retries, s.timeouts, s.rejected
+    );
+    println!(
+        "{}/{} sessions decided in {:.2} s ({:.1} KiB moved on this node)",
+        report
+            .outcomes
+            .iter()
+            .filter(|o| o.granted.is_some())
+            .count(),
+        report.outcomes.len(),
+        elapsed.as_secs_f64(),
+        report.metrics.total_bytes() as f64 / 1024.0
+    );
+    if halt {
+        println!("halt sent: SDC and STP drain after this storm");
+    }
+
+    let mut verified_ok = true;
+    if verify {
+        println!("\nverify: replaying the storm on the in-memory engine...");
+        match pisa::run_memory_baseline(&opts) {
+            Ok(baseline) if baseline.decisions() == report.decisions() => {
+                println!(
+                    "verify: all {} decisions match the in-memory engine",
+                    report.outcomes.len()
+                );
+            }
+            Ok(baseline) => {
+                verified_ok = false;
+                eprintln!("verify FAILED: socket and in-memory decisions differ");
+                for (net_d, mem_d) in report.decisions().iter().zip(baseline.decisions()) {
+                    if *net_d != mem_d {
+                        eprintln!(
+                            "  {:?}: socket {:?} vs memory {:?}",
+                            net_d.0, net_d.1, mem_d.1
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                verified_ok = false;
+                eprintln!("verify FAILED: in-memory replay errored: {e}");
+            }
+        }
+    }
+
+    let mut exports_ok = true;
+    if observing {
+        pisa_obs::set_enabled(false);
+        let obs_report = pisa_obs::report();
+        if let Some(path) = metrics_out {
+            let mut doc = obs_report.to_value();
+            if let pisa_obs::json::Value::Obj(fields) = &mut doc {
+                fields.push(("net".to_owned(), net_section(&report.metrics)));
+            }
+            exports_ok &= write_output("metrics report", &path, &doc.to_json());
+        }
+    }
+    if report.all_completed() && verified_ok && exports_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -37,6 +37,9 @@ pub enum PisaError {
     /// An internal engine invariant failed (e.g. a worker thread
     /// panicked); the session should be torn down, not retried.
     EngineFailure(&'static str),
+    /// The socket transport failed (bind, dial or write) in a way the
+    /// protocol's retry budget cannot absorb.
+    Net(String),
 }
 
 impl From<pisa_crypto::CryptoError> for PisaError {
@@ -69,6 +72,7 @@ impl fmt::Display for PisaError {
             ),
             PisaError::Crypto(e) => write!(f, "cryptographic operation failed: {e}"),
             PisaError::EngineFailure(what) => write!(f, "engine failure: {what}"),
+            PisaError::Net(what) => write!(f, "network failure: {what}"),
         }
     }
 }

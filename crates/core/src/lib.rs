@@ -57,6 +57,7 @@ mod error;
 mod keys;
 mod license;
 mod messages;
+mod netstorm;
 mod privacy;
 mod protocol;
 mod pu;
@@ -77,6 +78,10 @@ pub use keys::{GlobalKeys, SuId, SuKeyDirectory};
 pub use license::License;
 pub use messages::{
     PisaMessage, PuUpdateMsg, SdcResponseMsg, SdcToStpMsg, StpToSdcMsg, SuRequestMsg,
+};
+pub use netstorm::{
+    run_memory_baseline, run_su_storm, storm_fixture, NetStormOpts, SdcService, StormFixture,
+    StpService,
 };
 pub use privacy::LocationPrivacy;
 pub use protocol::{

@@ -481,22 +481,27 @@ impl SdcServer {
     /// private key (the budget ciphertexts, by contrast, are exactly
     /// what a breached SDC would expose anyway — which is the point of
     /// PISA).
-    pub fn snapshot(&self) -> bytes::Bytes {
+    ///
+    /// # Errors
+    ///
+    /// Any [`pisa_net::codec::CodecError`] if a field cannot fit its
+    /// wire width; in-range state never fails.
+    pub fn snapshot(&self) -> Result<bytes::Bytes, pisa_net::codec::CodecError> {
         use pisa_net::codec::Writer;
         let ct_bytes = self.pk_g.ciphertext_bytes();
         let mut w =
             Writer::with_capacity(1024 + self.contributions.len() * self.cfg.channels() * ct_bytes);
         w.put_u8(1); // snapshot format version
-        w.put_bytes(self.issuer.as_bytes());
+        w.put_bytes(self.issuer.as_bytes())?;
         w.put_u64(self.serial);
         let rsa = self.rsa.export_secret_parts();
-        w.put_bytes(&rsa.n.to_be_bytes());
-        w.put_bytes(&rsa.d.to_be_bytes());
-        w.put_u32(wire_u32(ct_bytes));
+        w.put_bytes(&rsa.n.to_be_bytes())?;
+        w.put_bytes(&rsa.d.to_be_bytes())?;
+        w.put_u32(wire_u32(ct_bytes)?);
         // Deterministic order for reproducible snapshots.
         let mut ids: Vec<_> = self.contributions.keys().copied().collect();
         ids.sort_unstable();
-        w.put_u32(wire_u32(ids.len()));
+        w.put_u32(wire_u32(ids.len())?);
         for id in ids {
             // The id came from the map's own key set one statement ago.
             let Some((block, col)) = self.contributions.get(&id) else {
@@ -504,12 +509,12 @@ impl SdcServer {
             };
             w.put_u64(id);
             w.put_u64(block.0 as u64);
-            w.put_u32(wire_u32(col.len()));
+            w.put_u32(wire_u32(col.len())?);
             for ct in col {
                 w.put_raw(&ct.as_raw().to_be_bytes_padded(ct_bytes));
             }
         }
-        w.finish()
+        Ok(w.finish())
     }
 
     /// Reconstructs an SDC from a [`snapshot`](Self::snapshot): recomputes
@@ -607,22 +612,17 @@ impl SdcServer {
     }
 }
 
-/// Derives the RNG for one matrix entry from a single base draw
-/// (splitmix64 over `base` and the flat entry index). Both the
-/// sequential and the parallel request paths use this, so their outputs
-/// are byte-identical for any thread count.
-/// Narrows a count to a snapshot's fixed `u32` field. Every count is
-/// bounded far below `u32::MAX` by construction; saturating keeps
-/// `snapshot` total, and `restore`'s dimension checks reject the result.
-fn wire_u32(v: usize) -> u32 {
-    u32::try_from(v).unwrap_or(u32::MAX)
-}
+use crate::wire::wire_u32;
 
 /// Widens a snapshot `u32` to `usize` — lossless on every supported host.
 fn widen(v: u32) -> usize {
     v as usize // pisa-lint: allow(panic-freedom): u32 → usize never truncates
 }
 
+/// Derives the RNG for one matrix entry from a single base draw
+/// (splitmix64 over `base` and the flat entry index). Both the
+/// sequential and the parallel request paths use this, so their outputs
+/// are byte-identical for any thread count.
 pub(crate) fn entry_rng(base: u64, index: usize) -> rand::rngs::StdRng {
     let mut z = base ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);

@@ -87,14 +87,19 @@ impl WireSize for SessionMsg {
 
 impl SessionMsg {
     /// Serializes to a wire frame: session id, attempt, inner message.
-    pub fn encode(&self) -> bytes::Bytes {
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] from encoding the inner [`PisaMessage`];
+    /// well-formed messages never fail.
+    pub fn encode(&self) -> Result<bytes::Bytes, CodecError> {
         let _span = pisa_obs::span("net.serialize");
-        let inner = self.msg.encode();
+        let inner = self.msg.encode()?;
         let mut w = Writer::with_capacity(SESSION_HEADER_BYTES + inner.len());
         w.put_u64(self.session);
         w.put_u32(self.attempt);
         w.put_raw(&inner);
-        w.finish()
+        Ok(w.finish())
     }
 
     /// Parses a wire frame.
@@ -118,6 +123,16 @@ impl SessionMsg {
     }
 }
 
+impl pisa_net::FrameCodec for SessionMsg {
+    fn encode_frame(&self) -> Result<bytes::Bytes, CodecError> {
+        self.encode()
+    }
+
+    fn decode_frame(frame: &[u8]) -> Result<Self, CodecError> {
+        SessionMsg::decode(frame)
+    }
+}
+
 /// The corruption oracle for engine traffic: encodes the frame, flips
 /// one bit chosen by `tweak`, and re-parses. `Some(mangled)` means the
 /// flipped frame still decodes — the receiver gets a wrong-but-well-
@@ -128,7 +143,7 @@ impl SessionMsg {
 /// [`Network::set_corruptor`](pisa_net::Network::set_corruptor);
 /// [`run_storm`] does so automatically.
 pub fn corrupt_session_frame(msg: &SessionMsg, tweak: u64) -> Option<SessionMsg> {
-    let mut bytes = msg.encode().to_vec();
+    let mut bytes = msg.encode().ok()?.to_vec();
     let nbits = (bytes.len() * 8) as u64;
     if nbits == 0 {
         return None;
@@ -434,16 +449,16 @@ mod tests {
     #[test]
     fn session_frame_roundtrip() {
         let frame = sample_frame();
-        let decoded = SessionMsg::decode(&frame.encode()).unwrap();
+        let decoded = SessionMsg::decode(&frame.encode().unwrap()).unwrap();
         assert_eq!(decoded.session, 3);
         assert_eq!(decoded.attempt, 2);
-        assert_eq!(frame.encode(), decoded.encode());
-        assert!(frame.wire_bytes() > frame.encode().len());
+        assert_eq!(frame.encode().unwrap(), decoded.encode().unwrap());
+        assert!(frame.wire_bytes() > frame.encode().unwrap().len());
     }
 
     #[test]
     fn truncated_session_frame_rejected() {
-        let bytes = sample_frame().encode();
+        let bytes = sample_frame().encode().unwrap();
         for cut in [0, 5, 11, bytes.len() - 1] {
             assert!(SessionMsg::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
@@ -458,9 +473,9 @@ mod tests {
             match (a, b) {
                 (None, None) => {}
                 (Some(x), Some(y)) => {
-                    assert_eq!(x.encode(), y.encode());
+                    assert_eq!(x.encode().unwrap(), y.encode().unwrap());
                     // A surviving flip differs from the original frame.
-                    assert_ne!(x.encode(), frame.encode());
+                    assert_ne!(x.encode().unwrap(), frame.encode().unwrap());
                 }
                 _ => panic!("oracle not deterministic for tweak {tweak}"),
             }

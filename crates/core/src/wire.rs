@@ -31,14 +31,20 @@ const MAX_ENTRIES: usize = 1 << 24;
 
 impl PisaMessage {
     /// Serializes to a wire frame.
-    pub fn encode(&self) -> bytes::Bytes {
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadLength`] if a count cannot fit the wire's `u32`
+    /// fields, [`CodecError::Oversized`] if a variable-length field
+    /// exceeds the frame ceiling. Well-formed messages never hit either.
+    pub fn encode(&self) -> Result<bytes::Bytes, CodecError> {
         let mut w = Writer::with_capacity(1024);
         match self {
             PisaMessage::PuUpdate(m) => {
                 w.put_u8(TAG_PU_UPDATE);
                 w.put_u64(m.block.0 as u64);
-                w.put_u32(wire_u32(m.ct_bytes));
-                w.put_u32(wire_u32(m.w_column.len()));
+                w.put_u32(wire_u32(m.ct_bytes)?);
+                w.put_u32(wire_u32(m.w_column.len())?);
                 for ct in &m.w_column {
                     put_ciphertext(&mut w, ct, m.ct_bytes);
                 }
@@ -46,32 +52,32 @@ impl PisaMessage {
             PisaMessage::SuRequest(m) => {
                 w.put_u8(TAG_SU_REQUEST);
                 w.put_u32(m.su_id.0);
-                w.put_u32(wire_u32(m.region_blocks));
-                put_matrix(&mut w, &m.f_matrix, m.ct_bytes);
+                w.put_u32(wire_u32(m.region_blocks)?);
+                put_matrix(&mut w, &m.f_matrix, m.ct_bytes)?;
             }
             PisaMessage::SdcToStp(m) => {
                 w.put_u8(TAG_SDC_TO_STP);
                 w.put_u32(m.su_id.0);
-                w.put_u32(wire_u32(m.region_blocks));
-                put_matrix(&mut w, &m.v_matrix, m.ct_bytes);
+                w.put_u32(wire_u32(m.region_blocks)?);
+                put_matrix(&mut w, &m.v_matrix, m.ct_bytes)?;
             }
             PisaMessage::StpToSdc(m) => {
                 w.put_u8(TAG_STP_TO_SDC);
                 w.put_u32(m.su_id.0);
-                w.put_u32(wire_u32(m.region_blocks));
-                put_matrix(&mut w, &m.x_matrix, m.ct_bytes);
+                w.put_u32(wire_u32(m.region_blocks)?);
+                put_matrix(&mut w, &m.x_matrix, m.ct_bytes)?;
             }
             PisaMessage::SdcResponse(m) => {
                 w.put_u8(TAG_SDC_RESPONSE);
                 w.put_u32(m.license.su_id.0);
-                w.put_bytes(m.license.issuer.as_bytes());
+                w.put_bytes(m.license.issuer.as_bytes())?;
                 w.put_raw(&m.license.request_digest);
                 w.put_u64(m.license.serial);
-                w.put_u32(wire_u32(m.ct_bytes));
+                w.put_u32(wire_u32(m.ct_bytes)?);
                 put_ciphertext(&mut w, &m.g_cipher, m.ct_bytes);
             }
         }
-        w.finish()
+        Ok(w.finish())
     }
 
     /// Parses a wire frame.
@@ -172,13 +178,14 @@ fn get_ciphertext(r: &mut Reader<'_>, ct_bytes: usize) -> Result<Ciphertext, Cod
     )))
 }
 
-fn put_matrix(w: &mut Writer, m: &CipherMatrix, ct_bytes: usize) {
-    w.put_u32(wire_u32(m.channels()));
-    w.put_u32(wire_u32(m.blocks()));
-    w.put_u32(wire_u32(ct_bytes));
+fn put_matrix(w: &mut Writer, m: &CipherMatrix, ct_bytes: usize) -> Result<(), CodecError> {
+    w.put_u32(wire_u32(m.channels())?);
+    w.put_u32(wire_u32(m.blocks())?);
+    w.put_u32(wire_u32(ct_bytes)?);
     for ct in m.ciphertexts() {
         put_ciphertext(w, ct, ct_bytes);
     }
+    Ok(())
 }
 
 fn get_matrix(r: &mut Reader<'_>) -> Result<(CipherMatrix, usize), CodecError> {
@@ -210,14 +217,14 @@ fn checked_ct_bytes(v: u32) -> Result<usize, CodecError> {
 /// Narrows a local count to the wire's fixed `u32` fields. Every count
 /// written here is bounded far below `u32::MAX` by construction
 /// (`MAX_ENTRIES`, `MAX_CT_BYTES`); if an impossible value ever slips
-/// through, saturating keeps `encode` total and the peer's decode-side
-/// dimension checks reject the frame.
-fn wire_u32(v: usize) -> u32 {
-    u32::try_from(v).unwrap_or(u32::MAX)
+/// through, encoding fails loudly instead of emitting a corrupt frame
+/// the peer would misparse.
+pub(crate) fn wire_u32(v: usize) -> Result<u32, CodecError> {
+    u32::try_from(v).map_err(|_| CodecError::BadLength(v as u64))
 }
 
 /// Widens a wire `u32` to `usize` — lossless on every supported host.
-fn widen(v: u32) -> usize {
+pub(crate) fn widen(v: u32) -> usize {
     v as usize // pisa-lint: allow(panic-freedom): u32 → usize never truncates
 }
 
@@ -272,13 +279,13 @@ mod tests {
     fn assert_same(a: &PisaMessage, b: &PisaMessage) {
         // Compare via re-encoding (messages don't implement PartialEq to
         // avoid accidental ciphertext comparisons in product code).
-        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.encode().unwrap(), b.encode().unwrap());
     }
 
     #[test]
     fn all_variants_roundtrip() {
         for msg in sample_messages() {
-            let frame = msg.encode();
+            let frame = msg.encode().unwrap();
             let decoded = PisaMessage::decode(&frame).expect("roundtrip");
             assert_same(&msg, &decoded);
         }
@@ -289,7 +296,7 @@ mod tests {
         // WireSize budgets a fixed 64-byte header; actual framing is
         // leaner but every ciphertext is exactly ct_bytes on the wire.
         for msg in sample_messages() {
-            let frame = msg.encode();
+            let frame = msg.encode().unwrap();
             let budget = msg.wire_bytes();
             assert!(
                 frame.len() <= budget,
@@ -306,7 +313,7 @@ mod tests {
 
     #[test]
     fn bad_tag_rejected() {
-        let mut frame = sample_messages()[0].encode().to_vec();
+        let mut frame = sample_messages()[0].encode().unwrap().to_vec();
         frame[0] = 0xee;
         assert_eq!(
             PisaMessage::decode(&frame).unwrap_err(),
@@ -316,7 +323,7 @@ mod tests {
 
     #[test]
     fn truncated_frame_rejected() {
-        let frame = sample_messages()[1].encode();
+        let frame = sample_messages()[1].encode().unwrap();
         for cut in [1usize, 8, frame.len() / 2, frame.len() - 1] {
             assert!(
                 PisaMessage::decode(&frame[..cut]).is_err(),
@@ -327,7 +334,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut frame = sample_messages()[0].encode().to_vec();
+        let mut frame = sample_messages()[0].encode().unwrap().to_vec();
         frame.push(0);
         assert!(matches!(
             PisaMessage::decode(&frame).unwrap_err(),
@@ -352,7 +359,7 @@ mod tests {
         #[test]
         fn single_byte_corruption_is_safe(idx in 0usize..4096, val in proptest::prelude::any::<u8>()) {
             for msg in sample_messages() {
-                let mut frame = msg.encode().to_vec();
+                let mut frame = msg.encode().unwrap().to_vec();
                 let i = idx % frame.len();
                 frame[i] = val;
                 let _ = PisaMessage::decode(&frame);
@@ -372,5 +379,38 @@ mod tests {
         w.put_u32(64); // ct bytes
         let frame = w.finish();
         assert!(PisaMessage::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn wire_u32_overflow_is_an_error() {
+        // Regression: wire_u32 used to saturate to u32::MAX, silently
+        // encoding a corrupt frame. Out-of-range counts must now fail.
+        assert_eq!(wire_u32(12), Ok(12));
+        assert_eq!(wire_u32(u32::MAX as usize), Ok(u32::MAX));
+        let over = u32::MAX as u64 + 1;
+        let Ok(over_usize) = usize::try_from(over) else {
+            // 32-bit host: the overflow case is unrepresentable.
+            return;
+        };
+        assert_eq!(wire_u32(over_usize), Err(CodecError::BadLength(over)));
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range_counts() {
+        let Ok(huge) = usize::try_from(u32::MAX as u64 + 1) else {
+            return;
+        };
+        // A region_blocks count that cannot fit a u32 wire field must
+        // make encode fail instead of emitting a misparseable frame.
+        let msg = PisaMessage::SuRequest(SuRequestMsg {
+            su_id: SuId(1),
+            f_matrix: CipherMatrix::from_ciphertexts(1, 1, vec![ct(5)]),
+            region_blocks: huge,
+            ct_bytes: 64,
+        });
+        assert_eq!(
+            msg.encode().unwrap_err(),
+            CodecError::BadLength(u32::MAX as u64 + 1)
+        );
     }
 }

@@ -10,7 +10,13 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::error::Error;
 use std::fmt;
 
-/// Errors produced while decoding a frame.
+/// Hard ceiling on any single length-prefixed field or framed message.
+///
+/// 64 MiB comfortably fits the paper's 29 MB Figure-6 request while keeping a
+/// corrupted 4-byte prefix off a socket from forcing a multi-GiB allocation.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Errors produced while encoding or decoding a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum CodecError {
@@ -22,6 +28,8 @@ pub enum CodecError {
     BadTag(u8),
     /// A length prefix exceeded the remaining buffer (or a sanity cap).
     BadLength(u64),
+    /// A length exceeded the frame-size ceiling (limit in `.1`).
+    Oversized(u64, u64),
     /// A decoded value violated an invariant (context in the message).
     Invalid(String),
 }
@@ -33,6 +41,9 @@ impl fmt::Display for CodecError {
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
             CodecError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
             CodecError::BadLength(n) => write!(f, "implausible length prefix {n}"),
+            CodecError::Oversized(n, max) => {
+                write!(f, "length {n} exceeds frame ceiling {max}")
+            }
             CodecError::Invalid(msg) => write!(f, "invalid field: {msg}"),
         }
     }
@@ -49,7 +60,7 @@ impl Error for CodecError {}
 ///
 /// let mut w = Writer::new();
 /// w.put_u32(7);
-/// w.put_bytes(b"abc");
+/// w.put_bytes(b"abc").unwrap();
 /// let frame = w.finish();
 ///
 /// let mut r = Reader::new(&frame);
@@ -94,12 +105,22 @@ impl Writer {
 
     /// Appends a `u32`-length-prefixed byte string.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `v` exceeds `u32::MAX` bytes.
-    pub fn put_bytes(&mut self, v: &[u8]) {
-        self.put_u32(u32::try_from(v.len()).expect("field under 4 GiB"));
+    /// [`CodecError::Oversized`] if `v` exceeds [`MAX_FRAME_LEN`]: a frame
+    /// that the hardened reader would refuse must not be encodable either.
+    pub fn put_bytes(&mut self, v: &[u8]) -> Result<(), CodecError> {
+        let oversized = CodecError::Oversized(v.len() as u64, MAX_FRAME_LEN as u64);
+        if v.len() > MAX_FRAME_LEN {
+            return Err(oversized);
+        }
+        // MAX_FRAME_LEN < u32::MAX, so the check above makes this infallible.
+        let Ok(len) = u32::try_from(v.len()) else {
+            return Err(oversized);
+        };
+        self.put_u32(len);
         self.buf.put_slice(v);
+        Ok(())
     }
 
     /// Appends raw bytes without a length prefix (fixed-width fields).
@@ -127,12 +148,24 @@ impl Writer {
 #[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
+    max_bytes: usize,
 }
 
 impl<'a> Reader<'a> {
-    /// Wraps a received frame.
+    /// Wraps a received frame with the default [`MAX_FRAME_LEN`] ceiling.
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf }
+        Reader {
+            buf,
+            max_bytes: MAX_FRAME_LEN,
+        }
+    }
+
+    /// Wraps a received frame with a custom byte-string ceiling.
+    ///
+    /// Length prefixes above `max_bytes` are rejected with
+    /// [`CodecError::Oversized`] before any allocation or slicing happens.
+    pub fn with_limit(buf: &'a [u8], max_bytes: usize) -> Self {
+        Reader { buf, max_bytes }
     }
 
     /// Remaining unread bytes.
@@ -178,11 +211,23 @@ impl<'a> Reader<'a> {
 
     /// Reads a `u32`-length-prefixed byte string.
     ///
+    /// The decoded prefix is untrusted input: it is checked against the
+    /// reader's ceiling *before* it is used, so a corrupted prefix off a
+    /// socket cannot force an oversized allocation or slice.
+    ///
     /// # Errors
     ///
-    /// [`CodecError::BadLength`] if the prefix overruns the buffer.
+    /// [`CodecError::Oversized`] if the prefix exceeds the ceiling, and
+    /// [`CodecError::BadLength`] if it overruns the buffer.
     pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
-        let len = self.get_u32()? as usize;
+        let len = u64::from(self.get_u32()?);
+        if len > self.max_bytes as u64 {
+            return Err(CodecError::Oversized(len, self.max_bytes as u64));
+        }
+        // Bounded by max_bytes (a usize), so the conversion is infallible.
+        let Ok(len) = usize::try_from(len) else {
+            return Err(CodecError::BadLength(len));
+        };
         if self.buf.remaining() < len {
             return Err(CodecError::BadLength(len as u64));
         }
@@ -229,8 +274,8 @@ mod tests {
         w.put_u8(0xab);
         w.put_u32(0xdead_beef);
         w.put_u64(u64::MAX);
-        w.put_bytes(b"hello");
-        w.put_bytes(b"");
+        w.put_bytes(b"hello").unwrap();
+        w.put_bytes(b"").unwrap();
         w.put_raw(&[1, 2, 3]);
         let frame = w.finish();
 
@@ -273,5 +318,44 @@ mod tests {
     fn display_messages() {
         assert!(CodecError::BadTag(7).to_string().contains("0x07"));
         assert!(CodecError::TrailingBytes(3).to_string().contains('3'));
+        assert!(CodecError::Oversized(99, 10).to_string().contains("99"));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_allocation() {
+        // A hostile 4-byte prefix claiming ~4 GiB must fail fast with
+        // Oversized, not BadLength (and certainly not an allocation).
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let frame = w.finish();
+        let mut r = Reader::new(&frame);
+        assert_eq!(
+            r.get_bytes().unwrap_err(),
+            CodecError::Oversized(u64::from(u32::MAX), MAX_FRAME_LEN as u64)
+        );
+    }
+
+    #[test]
+    fn custom_limit_enforced() {
+        let mut w = Writer::new();
+        w.put_bytes(b"hello world").unwrap();
+        let frame = w.finish();
+
+        let mut r = Reader::with_limit(&frame, 4);
+        assert_eq!(r.get_bytes().unwrap_err(), CodecError::Oversized(11, 4));
+
+        let mut r = Reader::with_limit(&frame, 11);
+        assert_eq!(r.get_bytes().unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn writer_rejects_oversized_field() {
+        // Zero-filled vec keeps this cheap; the point is the length check.
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut w = Writer::new();
+        assert_eq!(
+            w.put_bytes(&huge).unwrap_err(),
+            CodecError::Oversized(MAX_FRAME_LEN as u64 + 1, MAX_FRAME_LEN as u64)
+        );
     }
 }

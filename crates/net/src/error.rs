@@ -12,6 +12,8 @@ pub enum NetError {
     UnknownParty(Party),
     /// The counterpart hung up.
     Disconnected(Party),
+    /// The socket transport hit an operating-system I/O failure.
+    Socket(std::io::ErrorKind),
 }
 
 impl fmt::Display for NetError {
@@ -19,6 +21,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::UnknownParty(p) => write!(f, "no endpoint registered for {p}"),
             NetError::Disconnected(p) => write!(f, "channel to {p} disconnected"),
+            NetError::Socket(kind) => write!(f, "socket I/O failure: {kind:?}"),
         }
     }
 }

@@ -110,7 +110,8 @@ impl LatencyModel {
 /// [`Duration::MAX`] when the seconds part exceeds `u64`.
 fn duration_from_nanos_saturating(ns: u128) -> Duration {
     let secs = ns / 1_000_000_000;
-    let sub = (ns % 1_000_000_000) as u64 as u32;
+    // The modulo bounds the remainder under 10⁹, well inside u32.
+    let sub = u32::try_from(ns % 1_000_000_000).unwrap_or(0);
     match u64::try_from(secs) {
         Ok(s) => Duration::new(s, sub),
         Err(_) => Duration::MAX,

@@ -43,12 +43,16 @@ mod error;
 mod fault;
 mod latency;
 mod metrics;
+pub mod socket;
 mod transport;
 
 pub use error::NetError;
 pub use fault::{link_stream_seed, Corruptor, FaultConfig, FaultDraw, FaultLottery, FaultPlan};
 pub use latency::LatencyModel;
 pub use metrics::{FaultKind, FaultStats, LinkStats, NetMetrics, SessionStats};
+pub use socket::{
+    FrameCodec, SocketConfig, SocketEndpoint, SocketError, SocketEvent, SocketFaults, SocketNode,
+};
 pub use transport::{Endpoint, Envelope, Network, Party, Transport};
 
 /// Serialized size of a message on the wire, in bytes.

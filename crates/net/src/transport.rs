@@ -121,15 +121,21 @@ impl<M: WireSize> Network<M> {
     /// Returns (creating on first use) the endpoint for `party`.
     pub fn endpoint(&self, party: Party) -> Endpoint<M> {
         let mut boxes = self.boxes.lock();
-        if let std::collections::hash_map::Entry::Vacant(slot) = boxes.senders.entry(party) {
-            let (tx, rx) = unbounded();
-            slot.insert(tx);
-            boxes.receivers.insert(party, rx);
-        }
+        let rx = match boxes.receivers.get(&party) {
+            Some(rx) => rx.clone(),
+            // First use (or a sender somehow orphaned from its
+            // receiver): wire both maps together.
+            None => {
+                let (tx, rx) = unbounded();
+                boxes.senders.insert(party, tx);
+                boxes.receivers.insert(party, rx.clone());
+                rx
+            }
+        };
         Endpoint {
             party,
             net: self.clone(),
-            rx: boxes.receivers[&party].clone(),
+            rx,
         }
     }
 
@@ -277,7 +283,7 @@ impl<M: WireSize + Clone> Endpoint<M> {
     /// all four parties up front, so an unknown party is a programming
     /// error.
     pub fn send(&self, to: Party, payload: M) {
-        self.try_send(to, payload).expect("recipient registered");
+        self.try_send(to, payload).expect("recipient registered"); // pisa-lint: allow(panic-freedom): documented contract — the in-memory harness wires all four parties up front before any traffic; fallible callers use try_send
     }
 
     /// Sends, reporting unknown/disconnected recipients as errors.

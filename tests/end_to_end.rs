@@ -230,7 +230,7 @@ fn full_round_through_real_serialization() {
     let e = sdc.e_matrix().clone();
 
     let hop = |m: pisa::PisaMessage| -> pisa::PisaMessage {
-        let frame = m.encode();
+        let frame = m.encode().unwrap();
         pisa::PisaMessage::decode(&frame).expect("well-formed frame")
     };
 
@@ -245,7 +245,10 @@ fn full_round_through_real_serialization() {
     let mut su = pisa::SuClient::new(pisa::SuId(0), BlockId(13), &cfg, &mut r);
     stp.register_su(pisa::SuId(0), su.public_key().clone());
     let request = su.build_request(&cfg, stp.public_key(), &[Channel(1)], &mut r);
-    let request_frame_len = pisa::PisaMessage::SuRequest(request.clone()).encode().len();
+    let request_frame_len = pisa::PisaMessage::SuRequest(request.clone())
+        .encode()
+        .unwrap()
+        .len();
     let pisa::PisaMessage::SuRequest(request) = hop(pisa::PisaMessage::SuRequest(request)) else {
         unreachable!()
     };
@@ -332,7 +335,7 @@ fn sdc_snapshot_restore_preserves_behaviour() {
     assert!(!before.granted);
 
     // Crash + restore.
-    let frame = sdc.snapshot();
+    let frame = sdc.snapshot().unwrap();
     drop(sdc);
     let mut restored =
         pisa::SdcServer::restore(cfg.clone(), stp.public_key().clone(), &frame).unwrap();
@@ -370,7 +373,7 @@ fn snapshot_rejects_corruption() {
     let cfg = SystemConfig::small_test();
     let stp = pisa::StpServer::new(&mut r, cfg.paillier_bits());
     let sdc = pisa::SdcServer::new(cfg.clone(), stp.public_key().clone(), "sdc", &mut r);
-    let frame = sdc.snapshot();
+    let frame = sdc.snapshot().unwrap();
 
     // Wrong version byte.
     let mut bad = frame.to_vec();

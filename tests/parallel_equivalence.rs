@@ -40,7 +40,7 @@ fn phase1_parallel_is_byte_identical_to_sequential() {
         .sdc
         .process_request_phase1(&request, &mut StdRng::seed_from_u64(0x22))
         .unwrap();
-    let seq_bytes = PisaMessage::SdcToStp(sequential).encode();
+    let seq_bytes = PisaMessage::SdcToStp(sequential).encode().unwrap();
 
     for threads in THREADS {
         let parallel = f
@@ -48,7 +48,7 @@ fn phase1_parallel_is_byte_identical_to_sequential() {
             .process_request_phase1_parallel(&request, threads, &mut StdRng::seed_from_u64(0x22))
             .unwrap();
         assert_eq!(
-            PisaMessage::SdcToStp(parallel).encode(),
+            PisaMessage::SdcToStp(parallel).encode().unwrap(),
             seq_bytes,
             "phase 1 diverged with {threads} threads"
         );
@@ -67,7 +67,7 @@ fn key_convert_parallel_is_byte_identical_to_sequential() {
         .stp
         .key_convert(&query, &mut StdRng::seed_from_u64(0x44))
         .unwrap();
-    let seq_bytes = PisaMessage::StpToSdc(sequential).encode();
+    let seq_bytes = PisaMessage::StpToSdc(sequential).encode().unwrap();
 
     for threads in THREADS {
         let (parallel, obs) = f
@@ -75,7 +75,7 @@ fn key_convert_parallel_is_byte_identical_to_sequential() {
             .key_convert_parallel(&query, threads, &mut StdRng::seed_from_u64(0x44))
             .unwrap();
         assert_eq!(
-            PisaMessage::StpToSdc(parallel).encode(),
+            PisaMessage::StpToSdc(parallel).encode().unwrap(),
             seq_bytes,
             "key conversion diverged with {threads} threads"
         );
@@ -119,7 +119,10 @@ fn run_round(
         .process_request_phase2(&reply, &su_pk, &mut StdRng::seed_from_u64(0x88))
         .unwrap();
     let granted = f.su.handle_response(&response, f.sdc.signing_public_key());
-    (PisaMessage::SdcResponse(response).encode(), granted)
+    (
+        PisaMessage::SdcResponse(response).encode().unwrap(),
+        granted,
+    )
 }
 
 fn assert_round_parity(fixture_seed: u64, with_pu: bool, expect_granted: bool) {

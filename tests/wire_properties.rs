@@ -89,9 +89,9 @@ proptest! {
         serial in any::<u64>(),
     ) {
         for msg in build_messages(channels, blocks, &vals, su, serial) {
-            let frame = msg.encode();
+            let frame = msg.encode().unwrap();
             let decoded = PisaMessage::decode(&frame).expect("valid frame decodes");
-            prop_assert_eq!(frame, decoded.encode());
+            prop_assert_eq!(frame, decoded.encode().unwrap());
         }
     }
 
@@ -104,7 +104,7 @@ proptest! {
         cut_seed in any::<usize>(),
     ) {
         for msg in build_messages(channels, blocks, &vals, 1, 1) {
-            let frame = msg.encode();
+            let frame = msg.encode().unwrap();
             let cut = cut_seed % frame.len();
             prop_assert!(PisaMessage::decode(&frame[..cut]).is_err());
         }
@@ -120,7 +120,7 @@ proptest! {
         bit_seed in any::<usize>(),
     ) {
         for msg in build_messages(channels, blocks, &vals, 1, 1) {
-            let mut frame = msg.encode().to_vec();
+            let mut frame = msg.encode().unwrap().to_vec();
             let bit = bit_seed % (frame.len() * 8);
             frame[bit / 8] ^= 1 << (bit % 8);
             let _ = PisaMessage::decode(&frame);
@@ -139,17 +139,17 @@ proptest! {
     ) {
         for msg in build_messages(2, 2, &vals, 7, 9) {
             let frame = SessionMsg { session, attempt, msg };
-            let bytes = frame.encode();
+            let bytes = frame.encode().unwrap();
             let decoded = SessionMsg::decode(&bytes).expect("valid envelope decodes");
             prop_assert_eq!(decoded.session, session);
             prop_assert_eq!(decoded.attempt, attempt);
-            prop_assert_eq!(&bytes, &decoded.encode());
+            prop_assert_eq!(&bytes, &decoded.encode().unwrap());
 
             match (corrupt_session_frame(&frame, tweak), corrupt_session_frame(&frame, tweak)) {
                 (None, None) => {}
                 (Some(a), Some(b)) => {
-                    let mangled = a.encode();
-                    prop_assert_eq!(&mangled, &b.encode());
+                    let mangled = a.encode().unwrap();
+                    prop_assert_eq!(&mangled, &b.encode().unwrap());
                     prop_assert_ne!(&mangled, &bytes);
                 }
                 _ => prop_assert!(false, "oracle not deterministic"),
@@ -175,13 +175,13 @@ proptest! {
         vals in proptest::collection::vec(any::<u64>(), 1..8),
     ) {
         for msg in build_messages(2, 2, &vals, 3, 4) {
-            let mut bytes = SessionMsg { session, attempt, msg }.encode().to_vec();
+            let mut bytes = SessionMsg { session, attempt, msg }.encode().unwrap().to_vec();
             let bit = bit_seed % (bytes.len() * 8);
             bytes[bit / 8] ^= 1 << (bit % 8);
             if let Ok(decoded) = SessionMsg::decode(&bytes) {
-                let canon = decoded.encode();
+                let canon = decoded.encode().unwrap();
                 let again = SessionMsg::decode(&canon).expect("canonical form decodes");
-                prop_assert_eq!(again.encode(), canon);
+                prop_assert_eq!(again.encode().unwrap(), canon);
             }
         }
     }
@@ -198,7 +198,7 @@ proptest! {
         w.put_u8(a);
         w.put_u32(b);
         w.put_u64(c);
-        w.put_bytes(&blob);
+        w.put_bytes(&blob).expect("well under the frame ceiling");
         let frame = w.finish();
 
         let mut r = Reader::new(&frame);
@@ -226,7 +226,7 @@ fn corruption_oracle_sweep_absorbs_and_mangles_every_variant() {
             attempt: 2,
             msg,
         };
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         let nbits = bytes.len() as u64 * 8;
         let (mut absorbed, mut mangled) = (0u64, 0u64);
         for tweak in 0..nbits {
@@ -234,14 +234,14 @@ fn corruption_oracle_sweep_absorbs_and_mangles_every_variant() {
                 None => absorbed += 1,
                 Some(m) => {
                     mangled += 1;
-                    let mb = m.encode();
+                    let mb = m.encode().unwrap();
                     assert_ne!(
                         mb, bytes,
                         "variant {variant}, tweak {tweak}: oracle returned the original frame"
                     );
                     let back = SessionMsg::decode(&mb).expect("mangled frames stay well-formed");
                     assert_eq!(
-                        back.encode(),
+                        back.encode().unwrap(),
                         mb,
                         "variant {variant}, tweak {tweak}: oracle output is not canonical"
                     );
@@ -264,10 +264,10 @@ fn corruption_oracle_tweak_wraps_modulo_frame_bits() {
         attempt: 1,
         msg,
     };
-    let nbits = frame.encode().len() as u64 * 8;
+    let nbits = frame.encode().unwrap().len() as u64 * 8;
     for tweak in [0, 1, nbits / 2, nbits - 1] {
-        let low = corrupt_session_frame(&frame, tweak).map(|m| m.encode());
-        let high = corrupt_session_frame(&frame, tweak + nbits).map(|m| m.encode());
+        let low = corrupt_session_frame(&frame, tweak).map(|m| m.encode().unwrap());
+        let high = corrupt_session_frame(&frame, tweak + nbits).map(|m| m.encode().unwrap());
         assert_eq!(low, high, "tweak {tweak} and {tweak}+nbits diverged");
     }
 }
