@@ -26,9 +26,9 @@ pub(crate) fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
 fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
     let mut out = vec![0u64; a.len() + b.len()];
     for (i, &ai) in a.iter().enumerate() {
-        if ai == 0 {
-            continue;
-        }
+        // No zero-limb skip: this multiplier sits under Montgomery
+        // exponentiation, and skipping rows on operand value would make
+        // the running time a function of secret limb contents.
         let mut carry = 0u128;
         for (j, &bj) in b.iter().enumerate() {
             let t = out[i + j] as u128 + ai as u128 * bj as u128 + carry;

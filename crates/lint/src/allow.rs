@@ -1,9 +1,23 @@
 //! Finding suppression: inline `// pisa-lint: allow(rule): reason`
-//! comments and file-level `[[allow]]` entries from `lint.toml`.
+//! comments and file-level `[[allow]]` entries from `lint.toml` — plus
+//! the `dead-allow` rule, which reports suppressions that no longer
+//! match any finding so the allowlist cannot silently rot.
+
+use std::collections::BTreeSet;
 
 use crate::config::Config;
-use crate::findings::Finding;
+use crate::findings::{Finding, Level};
 use crate::scan::Workspace;
+
+/// Which suppressions actually fired during [`apply_allows`].
+#[derive(Debug, Default)]
+pub struct AllowUsage {
+    /// Indices into `cfg.allows` that suppressed at least one finding.
+    pub entries: BTreeSet<usize>,
+    /// Inline comment sites `(file, comment line)` that suppressed at
+    /// least one finding.
+    pub inline: BTreeSet<(String, u32)>,
+}
 
 /// Marks findings as allowed in place. A finding is suppressed when
 ///
@@ -14,30 +28,123 @@ use crate::scan::Workspace;
 ///   path prefix.
 ///
 /// The suppression reason is recorded on the finding so the JSON report
-/// keeps an audit trail.
-pub fn apply_allows(ws: &Workspace, cfg: &Config, findings: &mut [Finding]) {
+/// keeps an audit trail; the returned [`AllowUsage`] feeds the
+/// `dead-allow` rule.
+pub fn apply_allows(ws: &Workspace, cfg: &Config, findings: &mut [Finding]) -> AllowUsage {
+    let mut usage = AllowUsage::default();
     for f in findings.iter_mut() {
-        if let Some(reason) = inline_allow(ws, f) {
+        if let Some((reason, comment_line)) = inline_allow(ws, f) {
             f.allowed = Some(reason);
+            usage.inline.insert((f.file.clone(), comment_line));
             continue;
         }
-        if let Some(entry) = cfg
-            .allows
-            .iter()
-            .find(|a| (a.rule == f.rule || a.rule == "all") && f.file.starts_with(a.file.as_str()))
-        {
+        if let Some((idx, entry)) = cfg.allows.iter().enumerate().find(|(_, a)| {
+            (a.rule == f.rule || a.rule == "all") && f.file.starts_with(a.file.as_str())
+        }) {
             f.allowed = Some(format!("lint.toml: {}", entry.reason));
+            usage.entries.insert(idx);
         }
     }
+    usage
 }
 
-fn inline_allow(ws: &Workspace, f: &Finding) -> Option<String> {
+/// Emits a `dead-allow` finding for every suppression that fired on
+/// nothing: stale `[[allow]]` entries and stale inline comments. The
+/// findings get one (non-recursive) suppression pass of their own so a
+/// deliberately-kept entry can carry a `dead-allow` allow.
+pub fn dead_allow_findings(
+    ws: &Workspace,
+    cfg: &Config,
+    usage: &AllowUsage,
+    out: &mut Vec<Finding>,
+) {
+    let mut dead: Vec<Finding> = Vec::new();
+    for (idx, entry) in cfg.allows.iter().enumerate() {
+        if !usage.entries.contains(&idx) {
+            dead.push(Finding {
+                rule: RULE,
+                file: "lint.toml".to_string(),
+                line: entry.line,
+                message: format!(
+                    "[[allow]] entry for `{}` ({}) matches no finding",
+                    entry.file, entry.rule
+                ),
+                notes: vec![
+                    "the code it excused has been fixed or moved — delete the entry \
+                     so the allowlist stays an accurate audit trail"
+                        .to_string(),
+                ],
+                level: Level::Deny,
+                allowed: None,
+            });
+        }
+    }
+    for (file, line) in inline_sites(ws) {
+        if !usage.inline.contains(&(file.clone(), line)) {
+            dead.push(Finding {
+                rule: RULE,
+                file,
+                line,
+                message: "inline `pisa-lint: allow(…)` comment matches no finding".to_string(),
+                notes: vec!["the code it excused has been fixed — delete the comment".to_string()],
+                level: Level::Deny,
+                allowed: None,
+            });
+        }
+    }
+    // One non-recursive pass so lint.toml can carry a reasoned
+    // `dead-allow` suppression; its usage is deliberately not tracked.
+    let _ = apply_allows(ws, cfg, &mut dead);
+    out.append(&mut dead);
+}
+
+const RULE: &str = "dead-allow";
+
+/// Every inline allow-comment site in the workspace as `(file, line)`.
+/// Doc comments (`///`, `//!`) and occurrences inside string literals
+/// are not suppression sites (they *mention* the syntax, e.g. in this
+/// crate's own docs and tests) and are skipped.
+fn inline_sites(ws: &Workspace) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for (i, line) in file.source.lines().enumerate() {
+            let Some(pos) = line.find("pisa-lint: allow(") else {
+                continue;
+            };
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+                continue;
+            }
+            // Inside a string literal when an odd number of unescaped
+            // quotes precedes the marker.
+            let mut quotes = 0usize;
+            let mut prev = '\0';
+            for c in line[..pos].chars() {
+                if c == '"' && prev != '\\' {
+                    quotes += 1;
+                }
+                prev = c;
+            }
+            if quotes % 2 == 1 {
+                continue;
+            }
+            // Only comment occurrences count as suppression sites.
+            if !line[..pos].contains("//") {
+                continue;
+            }
+            out.push((file.rel_path.clone(), (i + 1) as u32));
+        }
+    }
+    out
+}
+
+fn inline_allow(ws: &Workspace, f: &Finding) -> Option<(String, u32)> {
     let file = ws.files.iter().find(|sf| sf.rel_path == f.file)?;
     let lines: Vec<&str> = file.source.lines().collect();
     let idx = f.line.checked_sub(1)? as usize;
     // The flagged line itself (trailing comment) …
     if let Some(reason) = lines.get(idx).and_then(|l| parse_inline(l, f.rule)) {
-        return Some(reason);
+        return Some((reason, f.line));
     }
     // … or any line of the contiguous `//` comment block above it, so a
     // multi-line justification still counts.
@@ -49,7 +156,7 @@ fn inline_allow(ws: &Workspace, f: &Finding) -> Option<String> {
             break;
         }
         if let Some(reason) = parse_inline(line, f.rule) {
-            return Some(reason);
+            return Some((reason, (above + 1) as u32));
         }
     }
     None

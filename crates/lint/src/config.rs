@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 /// One file-level suppression from the `[[allow]]` array. A non-empty
 /// `reason` is mandatory — unexplained allowlist entries defeat the
 /// point of the gate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct AllowEntry {
     /// Rule name the entry suppresses, or `"all"`.
     pub rule: String,
@@ -19,6 +19,16 @@ pub struct AllowEntry {
     pub file: String,
     /// Human explanation (mandatory).
     pub reason: String,
+    /// 1-based line of the `[[allow]]` header in `lint.toml` (0 for
+    /// programmatically-built configs; excluded from equality so the
+    /// serialize round-trip stays exact).
+    pub line: u32,
+}
+
+impl PartialEq for AllowEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rule == other.rule && self.file == other.file && self.reason == other.reason
+    }
 }
 
 /// Parsed lint configuration.
@@ -33,6 +43,9 @@ pub struct Config {
     pub panic_paths: Vec<String>,
     /// Path prefixes where the secret-branching rule applies.
     pub branching_paths: Vec<String>,
+    /// Path prefixes where the lock-discipline and blocking-call rules
+    /// apply (the threaded engine surface).
+    pub locks_paths: Vec<String>,
     /// Extra taint seeds as `"fn_name.param_name"` pairs.
     pub branching_secret_params: Vec<String>,
     /// Crate path prefixes allowed to use `#![deny(unsafe_code)]` plus
@@ -70,6 +83,7 @@ pub fn parse_config(src: &str) -> Result<Config, String> {
                 rule: String::new(),
                 file: String::new(),
                 reason: String::new(),
+                line: lineno as u32,
             });
             section = "allow".to_string();
             continue;
@@ -95,6 +109,7 @@ pub fn parse_config(src: &str) -> Result<Config, String> {
             ("branching", "secret_params") => {
                 cfg.branching_secret_params = parse_array(value, lineno)?
             }
+            ("locks", "paths") => cfg.locks_paths = parse_array(value, lineno)?,
             ("conventions", "unsafe_exempt") => cfg.unsafe_exempt = parse_array(value, lineno)?,
             ("conventions", "print_exempt") => cfg.print_exempt = parse_array(value, lineno)?,
             ("allow", "rule") => last_allow(&mut cfg, lineno)?.rule = parse_string(value, lineno)?,
@@ -136,6 +151,8 @@ pub fn serialize_config(cfg: &Config) -> String {
     let _ = writeln!(out, "\n[branching]");
     let _ = writeln!(out, "paths = {}", arr(&cfg.branching_paths));
     let _ = writeln!(out, "secret_params = {}", arr(&cfg.branching_secret_params));
+    let _ = writeln!(out, "\n[locks]");
+    let _ = writeln!(out, "paths = {}", arr(&cfg.locks_paths));
     let _ = writeln!(out, "\n[conventions]");
     let _ = writeln!(out, "unsafe_exempt = {}", arr(&cfg.unsafe_exempt));
     let _ = writeln!(out, "print_exempt = {}", arr(&cfg.print_exempt));
@@ -284,6 +301,9 @@ paths = [
 paths = ["crates/crypto/src"]
 secret_params = ["pow.exp"]
 
+[locks]
+paths = ["crates/net/src"]
+
 [conventions]
 unsafe_exempt = ["crates/bigint"]
 print_exempt = ["crates/cli"]
@@ -300,8 +320,10 @@ reason = "reference path kept panicking by design"
         assert_eq!(cfg.secret_types.len(), 2);
         assert_eq!(cfg.panic_paths.len(), 2);
         assert_eq!(cfg.panic_paths[1], "crates/crypto/src");
+        assert_eq!(cfg.locks_paths, vec!["crates/net/src"]);
         assert_eq!(cfg.allows.len(), 1);
         assert_eq!(cfg.allows[0].rule, "panic-freedom");
+        assert!(cfg.allows[0].line > 0);
     }
 
     #[test]

@@ -1,0 +1,1138 @@
+//! Fixpoint dataflow over the call graph: concurrency summaries
+//! (locks acquired, unbounded blocking reachable) and interprocedural
+//! secret taint (params→returns, secret-field reads, laundering
+//! helpers).
+//!
+//! Both analyses compute one summary per workspace function and
+//! iterate to a fixpoint (the lattices are finite powersets over
+//! locks / parameter indices, so iteration converges; a hard cap
+//! bounds pathological call graphs). The secret walker is a superset
+//! of the v1 `secret-branching` scan: it tracks, per variable, the
+//! parameter indices it derives from, whether it is secret-derived,
+//! and whether that secrecy is *v1-visible* (reachable without any
+//! call or field-read step). The `secret-flow` rule only reports
+//! findings v1 cannot see, so the two rule families never duplicate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::ir::{blocking_kind, Bound, EventKind, Program};
+use crate::scan::{for_each_type, ty_mentions, Workspace};
+use syn::{Token, TokenKind};
+
+const MAX_ITERS: usize = 12;
+const MAX_NOTES: usize = 5;
+const MAX_SPAN_DEPTH: usize = 3;
+
+// ---------------------------------------------------------------------
+// Concurrency summaries
+// ---------------------------------------------------------------------
+
+/// Locks acquired and blocking reachable from a function, transitively.
+#[derive(Debug, Clone, Default)]
+pub struct ConcSummary {
+    /// Lock name → witness ("acquired at file:line" or "via `f`: …").
+    pub acquires: BTreeMap<String, String>,
+    /// First unbounded-blocking witness reachable from this fn.
+    pub blocks: Option<String>,
+}
+
+pub fn conc_summaries(prog: &Program<'_>, graph: &CallGraph) -> Vec<ConcSummary> {
+    let mut sums: Vec<ConcSummary> = prog
+        .fns
+        .iter()
+        .map(|f| {
+            let mut s = ConcSummary::default();
+            for ev in &f.events {
+                match &ev.kind {
+                    EventKind::Acquire { lock, .. } => {
+                        s.acquires
+                            .entry(lock.clone())
+                            .or_insert_with(|| format!("acquired at {}:{}", f.file, ev.line));
+                    }
+                    call @ EventKind::Call { name, .. } => {
+                        if blocking_kind(call) == Some(Bound::Unbounded) && s.blocks.is_none() {
+                            s.blocks = Some(format!("`{name}` at {}:{}", f.file, ev.line));
+                        }
+                    }
+                }
+            }
+            s
+        })
+        .collect();
+
+    for _ in 0..MAX_ITERS {
+        let mut changed = false;
+        for idx in 0..prog.fns.len() {
+            let f = &prog.fns[idx];
+            let mut add_acquires: Vec<(String, String)> = Vec::new();
+            let mut add_blocks: Option<String> = None;
+            for ev in &f.events {
+                if let call @ EventKind::Call { name, .. } = &ev.kind {
+                    for &callee in graph.resolve(call, f.self_ty.as_deref()) {
+                        if callee == idx {
+                            continue;
+                        }
+                        let cs = &sums[callee];
+                        for (lock, wit) in &cs.acquires {
+                            if !sums[idx].acquires.contains_key(lock) {
+                                add_acquires.push((lock.clone(), via(name, &f.file, ev.line, wit)));
+                            }
+                        }
+                        if sums[idx].blocks.is_none() && add_blocks.is_none() {
+                            if let Some(wit) = &cs.blocks {
+                                add_blocks = Some(via(name, &f.file, ev.line, wit));
+                            }
+                        }
+                    }
+                }
+            }
+            for (lock, wit) in add_acquires {
+                if sums[idx].acquires.insert(lock, wit).is_none() {
+                    changed = true;
+                }
+            }
+            if let Some(wit) = add_blocks {
+                sums[idx].blocks = Some(wit);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+fn via(callee: &str, file: &str, line: u32, inner: &str) -> String {
+    let s = format!("via `{callee}` ({file}:{line}) → {inner}");
+    if s.len() <= 240 {
+        return s;
+    }
+    let cut = s
+        .char_indices()
+        .map(|(i, _)| i)
+        .take_while(|&i| i <= 236)
+        .last()
+        .unwrap_or(0);
+    format!("{}…", &s[..cut])
+}
+
+// ---------------------------------------------------------------------
+// Secret-flow analysis
+// ---------------------------------------------------------------------
+
+/// Per-function secret-flow summary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowSummary {
+    /// Parameter indices (into `sig.inputs`) that reach a branch
+    /// condition in this fn or a transitive callee → witness.
+    pub branches_on: BTreeMap<usize, String>,
+    /// Parameter indices that reach a `format!`-family escape.
+    pub escapes: BTreeMap<usize, String>,
+    /// Parameter indices that flow into the return value.
+    pub ret_params: BTreeSet<usize>,
+    /// Chain when the return value is secret-derived regardless of args.
+    pub ret_secret: Option<Vec<String>>,
+}
+
+/// One candidate finding from the final (emitting) pass.
+#[derive(Debug, Clone)]
+pub struct FlowWitness {
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    pub notes: Vec<String>,
+    /// `true` for branch-related findings that only apply inside the
+    /// configured `[branching] paths` (escapes apply everywhere).
+    pub branching_only: bool,
+}
+
+/// Workspace secret vocabulary: marked/configured type names and the
+/// names of fields that carry them.
+pub struct SecretVocab {
+    pub types: BTreeSet<String>,
+    pub fields: BTreeSet<String>,
+}
+
+pub fn secret_vocab(ws: &Workspace, cfg: &Config) -> SecretVocab {
+    let mut types: BTreeSet<String> = cfg.secret_types.iter().cloned().collect();
+    for file in &ws.files {
+        for_each_type(&file.ast, &mut |td| {
+            if td.attrs().iter().any(|a| a.contains("pisa_secret")) {
+                types.insert(td.ident().to_string());
+            }
+        });
+    }
+    // Field names are matched without type information, so a name is a
+    // secret marker only when it is unambiguous: either its type
+    // mentions a secret type, or *every* type declaring a field of that
+    // name is secret-marked. (`n` as both `PaillierSecretKey.n` and the
+    // public `Mont.n` modulus must not taint the latter.)
+    let mut secret_names = BTreeSet::new();
+    let mut public_names = BTreeSet::new();
+    let mut typed_secret = BTreeSet::new();
+    for file in &ws.files {
+        for_each_type(&file.ast, &mut |td| {
+            let owner_secret = types.contains(td.ident());
+            for f in td.fields() {
+                // Tuple-struct "0"/"1" field names are useless as
+                // taint markers; skip them.
+                if f.name
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(true)
+                {
+                    continue;
+                }
+                if types.iter().any(|t| ty_mentions(&f.ty, t)) {
+                    typed_secret.insert(f.name.clone());
+                } else if owner_secret {
+                    secret_names.insert(f.name.clone());
+                } else {
+                    public_names.insert(f.name.clone());
+                }
+            }
+        });
+    }
+    let mut fields: BTreeSet<String> = typed_secret;
+    fields.extend(secret_names.difference(&public_names).cloned());
+    SecretVocab { types, fields }
+}
+
+/// Taint lattice value for one variable.
+#[derive(Debug, Clone, Default)]
+struct Taint {
+    params: BTreeSet<usize>,
+    /// Chain of notes when secret-derived.
+    secret: Option<Vec<String>>,
+    /// `true` when the secrecy is visible to the v1 intraprocedural
+    /// scan (no call/field-read step involved).
+    v1: bool,
+}
+
+impl Taint {
+    fn merge(&mut self, other: &Taint) {
+        self.params.extend(other.params.iter().copied());
+        if let Some(chain) = &other.secret {
+            if self.secret.is_none() {
+                self.secret = Some(chain.clone());
+            }
+            self.v1 = self.v1 || other.v1;
+        }
+    }
+
+    fn is_secret(&self) -> bool {
+        self.secret.is_some()
+    }
+}
+
+fn push_note(chain: &mut Vec<String>, note: String) {
+    if chain.len() < MAX_NOTES {
+        chain.push(note);
+    }
+}
+
+/// Runs the secret-flow fixpoint. Returns per-fn summaries (indexed
+/// like `prog.fns`) and the finding candidates from the final pass.
+pub fn flow_analysis(
+    prog: &Program<'_>,
+    graph: &CallGraph,
+    vocab: &SecretVocab,
+    cfg: &Config,
+) -> (Vec<FlowSummary>, Vec<FlowWitness>) {
+    let mut sums: Vec<FlowSummary> = vec![FlowSummary::default(); prog.fns.len()];
+    for _ in 0..MAX_ITERS {
+        let mut changed = false;
+        for idx in 0..prog.fns.len() {
+            let next = analyze_fn(prog, graph, vocab, cfg, &sums, idx, None);
+            if next != sums[idx] {
+                sums[idx] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut witnesses = Vec::new();
+    for idx in 0..prog.fns.len() {
+        let _ = analyze_fn(prog, graph, vocab, cfg, &sums, idx, Some(&mut witnesses));
+    }
+    (sums, witnesses)
+}
+
+/// Format-family macros whose arguments constitute an escape. The
+/// `assert!` family is deliberately absent: asserting on secret data is
+/// a branching/panic concern owned by secret-branching and
+/// panic-freedom, and treating every size assertion in crypto code as a
+/// log escape drowns the signal.
+const ESCAPE_MACROS: &[&str] = &[
+    "format", "print", "println", "eprint", "eprintln", "write", "writeln", "dbg",
+];
+
+struct FnCtx<'a, 'p> {
+    prog: &'p Program<'a>,
+    graph: &'p CallGraph,
+    vocab: &'p SecretVocab,
+    cfg: &'p Config,
+    sums: &'p [FlowSummary],
+    idx: usize,
+    taint: BTreeMap<String, Taint>,
+    summary: FlowSummary,
+    /// Dedup for emitted findings: (line, message).
+    seen: BTreeSet<(u32, String)>,
+}
+
+impl FnCtx<'_, '_> {
+    /// Call resolution for the secret analysis. Stricter than the
+    /// lock/blocking tiers: a bare method call only resolves when the
+    /// receiver is literally `self` (an intra-impl helper) — resolving
+    /// `x.len()` to every workspace `len` poisons the whole program
+    /// through one secret type's accessor. Getter laundering on tainted
+    /// receivers is still caught, because the receiver identifier
+    /// itself taints the span. Self-recursion never resolves.
+    fn resolve_flow(&self, call: &EventKind, recv: Option<&str>) -> Vec<usize> {
+        let EventKind::Call { method, .. } = call else {
+            return Vec::new();
+        };
+        let caller_self_ty = self.prog.fns[self.idx].self_ty.as_deref();
+        let candidates: Vec<usize> = if *method {
+            if recv != Some("self") {
+                return Vec::new();
+            }
+            let Some(ty) = caller_self_ty else {
+                return Vec::new();
+            };
+            // Reuse the assoc tier by rewriting to a qualified call.
+            let EventKind::Call { name, no_args, .. } = call else {
+                return Vec::new();
+            };
+            let qualified = EventKind::Call {
+                name: name.clone(),
+                method: false,
+                qualifier: Some(ty.to_string()),
+                no_args: *no_args,
+            };
+            self.graph.resolve(&qualified, caller_self_ty).to_vec()
+        } else {
+            self.graph.resolve(call, caller_self_ty).to_vec()
+        };
+        candidates.into_iter().filter(|&c| c != self.idx).collect()
+    }
+
+    /// `true` when the callee's `pi`-th parameter is a v1 taint seed
+    /// (secret-typed, secret `self`, or configured): the callee's own
+    /// branch is v1's finding, so call sites are not re-reported.
+    fn param_is_v1_secret(&self, callee: usize, pi: usize) -> bool {
+        let f = &self.prog.fns[callee];
+        let Some(arg) = f.sig.inputs.get(pi) else {
+            return false;
+        };
+        let configured = self
+            .cfg
+            .branching_secret_params
+            .iter()
+            .any(|sp| sp == &format!("{}.{}", f.name, arg.name));
+        if arg.name == "self" {
+            return configured
+                || f.self_ty
+                    .as_deref()
+                    .map(|t| self.vocab.types.contains(t))
+                    .unwrap_or(false);
+        }
+        configured || self.vocab.types.iter().any(|s| ty_mentions(&arg.ty, s))
+    }
+}
+
+fn analyze_fn(
+    prog: &Program<'_>,
+    graph: &CallGraph,
+    vocab: &SecretVocab,
+    cfg: &Config,
+    sums: &[FlowSummary],
+    idx: usize,
+    mut emit: Option<&mut Vec<FlowWitness>>,
+) -> FlowSummary {
+    let f = &prog.fns[idx];
+    let mut taint: BTreeMap<String, Taint> = BTreeMap::new();
+    for (pi, arg) in f.sig.inputs.iter().enumerate() {
+        let mut t = Taint {
+            params: BTreeSet::from([pi]),
+            secret: None,
+            v1: false,
+        };
+        let configured = cfg
+            .branching_secret_params
+            .iter()
+            .any(|sp| sp == &format!("{}.{}", f.name, arg.name));
+        if arg.name == "self" {
+            let self_secret = f
+                .self_ty
+                .as_deref()
+                .map(|t| vocab.types.contains(t))
+                .unwrap_or(false);
+            if self_secret || configured {
+                t.secret = Some(vec![format!(
+                    "`self` is secret: impl block is for secret type `{}`",
+                    f.self_ty.as_deref().unwrap_or("?")
+                )]);
+                t.v1 = true;
+            }
+        } else if let Some(s) = vocab.types.iter().find(|s| ty_mentions(&arg.ty, s)) {
+            t.secret = Some(vec![format!(
+                "parameter `{}: {}` of fn `{}` carries secret type `{s}`",
+                arg.name, arg.ty, f.name
+            )]);
+            t.v1 = true;
+        } else if configured {
+            t.secret = Some(vec![format!(
+                "parameter `{}` of fn `{}` is listed in [branching] secret_params",
+                arg.name, f.name
+            )]);
+            t.v1 = true;
+        }
+        taint.insert(arg.name.clone(), t);
+    }
+
+    let mut ctx = FnCtx {
+        prog,
+        graph,
+        vocab,
+        cfg,
+        sums,
+        idx,
+        taint,
+        summary: FlowSummary::default(),
+        seen: BTreeSet::new(),
+    };
+
+    let body = f.body;
+    let in_fmt_impl = matches!(f.trait_.as_deref(), Some("Debug") | Some("Display"))
+        || (f.name == "fmt" && f.has_self);
+    let mut i = 0usize;
+    let mut last_top_semi: Option<usize> = None;
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    while i < body.len() {
+        let t = &body[i];
+        match t.kind {
+            TokenKind::Open('{') => {
+                brace += 1;
+                i += 1;
+            }
+            TokenKind::Close('}') => {
+                brace -= 1;
+                i += 1;
+            }
+            TokenKind::Open(_) => {
+                paren += 1;
+                i += 1;
+            }
+            TokenKind::Close(_) => {
+                paren -= 1;
+                i += 1;
+            }
+            TokenKind::Punct if t.text == ";" && brace == 0 && paren == 0 => {
+                last_top_semi = Some(i);
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "let" => {
+                i = handle_let(&mut ctx, body, i);
+            }
+            TokenKind::Ident if t.text == "for" => {
+                i = handle_for(&mut ctx, body, i);
+            }
+            TokenKind::Ident if t.text == "return" => {
+                let end = span_to_semi(body, i + 1);
+                let rt = span_taint(&mut ctx, body, i + 1, end, 0, emit.as_deref_mut());
+                merge_ret(&mut ctx.summary, &rt);
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "if" || t.text == "while" || t.text == "match" => {
+                let kw = t.text.clone();
+                let line = t.line;
+                let end = cond_end(body, i + 1);
+                let ct = span_taint(&mut ctx, body, i + 1, end, 0, emit.as_deref_mut());
+                // Representative tainted identifier for the message.
+                let rep = body[i + 1..end]
+                    .iter()
+                    .find(|c| {
+                        c.kind == TokenKind::Ident
+                            && ctx
+                                .taint
+                                .get(&c.text)
+                                .map(Taint::is_secret)
+                                .unwrap_or(false)
+                    })
+                    .map(|c| c.text.clone());
+                for pi in &ct.params {
+                    ctx.summary.branches_on.entry(*pi).or_insert_with(|| {
+                        format!(
+                            "`{kw}` in fn `{}` at {}:{line} branches on parameter `{}`",
+                            f.name,
+                            f.file,
+                            f.sig
+                                .inputs
+                                .get(*pi)
+                                .map(|a| a.name.as_str())
+                                .unwrap_or("?")
+                        )
+                    });
+                }
+                if let (Some(chain), Some(out)) = (&ct.secret, emit.as_deref_mut()) {
+                    // Only report what v1 cannot: taint with a call or
+                    // field-read step. A v1-visible ident in the same
+                    // condition means v1 already flags this line.
+                    let v1_dup = body[i + 1..end].iter().any(|c| {
+                        c.kind == TokenKind::Ident
+                            && ctx
+                                .taint
+                                .get(&c.text)
+                                .map(|t| t.is_secret() && t.v1)
+                                .unwrap_or(false)
+                    });
+                    if !ct.v1 && !v1_dup {
+                        let what = rep
+                            .map(|r| format!("`{r}`"))
+                            .unwrap_or_else(|| "a call result".to_string());
+                        let mut notes = chain.clone();
+                        notes.push(format!(
+                            "`{kw}` condition depends on {what}, which is secret-derived \
+                             through a helper — make the operation unconditional or branch \
+                             on public data only"
+                        ));
+                        push_witness(
+                            &mut ctx.seen,
+                            out,
+                            &f.file,
+                            line,
+                            format!(
+                                "`{kw}` on laundered secret-derived value in fn `{}`",
+                                f.name
+                            ),
+                            notes,
+                            true,
+                        );
+                    }
+                }
+                i = end;
+            }
+            TokenKind::Ident
+                if matches!(body.get(i + 1), Some(n) if n.is_punct('!'))
+                    && matches!(body.get(i + 2), Some(n) if matches!(n.kind, TokenKind::Open(_)))
+                    && ESCAPE_MACROS.contains(&t.text.as_str()) =>
+            {
+                let close = matching_close(body, i + 2);
+                let at = span_taint(&mut ctx, body, i + 3, close, 0, emit.as_deref_mut());
+                let mac = t.text.clone();
+                for pi in &at.params {
+                    ctx.summary.escapes.entry(*pi).or_insert_with(|| {
+                        format!(
+                            "parameter `{}` of fn `{}` reaches `{mac}!` at {}:{}",
+                            f.sig
+                                .inputs
+                                .get(*pi)
+                                .map(|a| a.name.as_str())
+                                .unwrap_or("?"),
+                            f.name,
+                            f.file,
+                            t.line
+                        )
+                    });
+                }
+                if let (Some(chain), Some(out)) = (&at.secret, emit.as_deref_mut()) {
+                    if !in_fmt_impl {
+                        let mut notes = chain.clone();
+                        notes.push(format!(
+                            "secret-derived data must not reach `{mac}!` — log a redacted \
+                             or derived-public value instead"
+                        ));
+                        push_witness(
+                            &mut ctx.seen,
+                            out,
+                            &f.file,
+                            t.line,
+                            format!(
+                                "secret-derived value escapes into `{mac}!` in fn `{}`",
+                                f.name
+                            ),
+                            notes,
+                            false,
+                        );
+                    }
+                }
+                i += 3;
+            }
+            TokenKind::Ident
+                if matches!(body.get(i + 1), Some(n) if n.kind == TokenKind::Open('('))
+                    && !is_keyword(&t.text) =>
+            {
+                check_call(&mut ctx, body, i, emit.as_deref_mut());
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Tail expression: everything after the last top-level `;` (or the
+    // whole body) feeds the return value when the fn returns something.
+    if !f.sig.ret_ty.is_empty() {
+        let start = last_top_semi.map(|s| s + 1).unwrap_or(0);
+        if start < body.len() {
+            let rt = span_taint(&mut ctx, body, start, body.len(), 0, emit);
+            merge_ret(&mut ctx.summary, &rt);
+        }
+        if let Some(s) = vocab.types.iter().find(|s| ty_mentions(&f.sig.ret_ty, s)) {
+            if ctx.summary.ret_secret.is_none() {
+                ctx.summary.ret_secret =
+                    Some(vec![format!("fn `{}` returns secret type `{s}`", f.name)]);
+            }
+        }
+    }
+    ctx.summary
+}
+
+fn merge_ret(summary: &mut FlowSummary, t: &Taint) {
+    summary.ret_params.extend(t.params.iter().copied());
+    if summary.ret_secret.is_none() {
+        if let Some(chain) = &t.secret {
+            summary.ret_secret = Some(chain.clone());
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_witness(
+    seen: &mut BTreeSet<(u32, String)>,
+    out: &mut Vec<FlowWitness>,
+    file: &str,
+    line: u32,
+    message: String,
+    notes: Vec<String>,
+    branching_only: bool,
+) {
+    if seen.insert((line, message.clone())) {
+        out.push(FlowWitness {
+            file: file.to_string(),
+            line,
+            message,
+            notes,
+            branching_only,
+        });
+    }
+}
+
+/// Evaluates injection facts at the call whose name sits at `body[i]`:
+/// secret arguments flowing into parameters the callee branches on or
+/// escapes, and parameter-index transitivity for the summary.
+fn check_call(
+    ctx: &mut FnCtx<'_, '_>,
+    body: &[Token],
+    i: usize,
+    mut emit: Option<&mut Vec<FlowWitness>>,
+) {
+    let name = body[i].text.clone();
+    let line = body[i].line;
+    let method = i > 0 && body[i - 1].is_punct('.');
+    let qualifier = if i >= 3
+        && body[i - 1].is_punct(':')
+        && body[i - 2].is_punct(':')
+        && body[i - 3].kind == TokenKind::Ident
+    {
+        Some(body[i - 3].text.clone())
+    } else {
+        None
+    };
+    let no_args = matches!(body.get(i + 2), Some(n) if n.kind == TokenKind::Close(')'));
+    let call = EventKind::Call {
+        name: name.clone(),
+        method,
+        qualifier,
+        no_args,
+    };
+    let recv = if method { receiver_of(body, i) } else { None };
+    let callees = ctx.resolve_flow(&call, recv.as_deref());
+    if callees.is_empty() {
+        return;
+    }
+    let args = call_args(body, i + 1);
+
+    for callee in callees {
+        let callee_has_self = ctx.prog.fns[callee].has_self;
+        let params: Vec<(usize, String)> = {
+            let branches: Vec<usize> = ctx.sums[callee].branches_on.keys().copied().collect();
+            let escapes: Vec<usize> = ctx.sums[callee].escapes.keys().copied().collect();
+            branches
+                .into_iter()
+                .map(|p| (p, "branch".to_string()))
+                .chain(escapes.into_iter().map(|p| (p, "escape".to_string())))
+                .collect()
+        };
+        for (pi, what) in params {
+            let at = arg_taint(
+                ctx,
+                body,
+                &args,
+                recv.as_deref(),
+                callee_has_self,
+                pi,
+                emit.as_deref_mut(),
+            );
+            let Some(at) = at else { continue };
+            let callee_fn = &ctx.prog.fns[callee];
+            let pname = callee_fn
+                .sig
+                .inputs
+                .get(pi)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| "?".to_string());
+            let witness = if what == "branch" {
+                ctx.sums[callee].branches_on.get(&pi).cloned()
+            } else {
+                ctx.sums[callee].escapes.get(&pi).cloned()
+            }
+            .unwrap_or_default();
+            // Transitivity for the caller's own summary.
+            for caller_p in &at.params {
+                let entry = if what == "branch" {
+                    ctx.summary.branches_on.entry(*caller_p)
+                } else {
+                    ctx.summary.escapes.entry(*caller_p)
+                };
+                entry.or_insert_with(|| format!("via `{}`: {witness}", callee_fn.name));
+            }
+            // A v1-seeded callee param means the callee's own branch is
+            // already v1's (reported or reasoned-allowed) finding;
+            // re-reporting every call site would only duplicate it.
+            if ctx.param_is_v1_secret(callee, pi) {
+                continue;
+            }
+            if let (Some(chain), Some(out)) = (&at.secret, emit.as_deref_mut()) {
+                let f = &ctx.prog.fns[ctx.idx];
+                let mut notes = chain.clone();
+                notes.push(witness.clone());
+                let (msg, branching_only) = if what == "branch" {
+                    (
+                        format!(
+                            "secret-derived value passed to `{name}` (parameter `{pname}`), \
+                             which branches on it"
+                        ),
+                        true,
+                    )
+                } else {
+                    (
+                        format!(
+                            "secret-derived value passed to `{name}` (parameter `{pname}`), \
+                             which formats it"
+                        ),
+                        false,
+                    )
+                };
+                push_witness(
+                    &mut ctx.seen,
+                    out,
+                    &f.file,
+                    line,
+                    msg,
+                    notes,
+                    branching_only,
+                );
+            }
+        }
+    }
+}
+
+/// Taint of the `pi`-th callee parameter at a call site (receiver for
+/// param 0 of a method, else positional argument).
+fn arg_taint(
+    ctx: &mut FnCtx<'_, '_>,
+    body: &[Token],
+    args: &[(usize, usize)],
+    recv: Option<&str>,
+    callee_has_self: bool,
+    pi: usize,
+    emit: Option<&mut Vec<FlowWitness>>,
+) -> Option<Taint> {
+    if callee_has_self {
+        if pi == 0 {
+            let r = recv?;
+            return ctx.taint.get(r).cloned();
+        }
+        let (s, e) = *args.get(pi - 1)?;
+        return Some(span_taint(ctx, body, s, e, 1, emit));
+    }
+    let (s, e) = *args.get(pi)?;
+    Some(span_taint(ctx, body, s, e, 1, emit))
+}
+
+fn receiver_of(body: &[Token], i: usize) -> Option<String> {
+    if i < 2 || !body[i - 1].is_punct('.') {
+        return None;
+    }
+    if body[i - 2].kind == TokenKind::Ident {
+        Some(body[i - 2].text.clone())
+    } else {
+        None
+    }
+}
+
+/// Union taint of a token span: tainted identifiers, secret field
+/// reads, and call results via callee summaries (bounded recursion).
+fn span_taint(
+    ctx: &mut FnCtx<'_, '_>,
+    body: &[Token],
+    start: usize,
+    end: usize,
+    depth: usize,
+    mut emit: Option<&mut Vec<FlowWitness>>,
+) -> Taint {
+    let mut out = Taint::default();
+    let end = end.min(body.len());
+    let mut j = start;
+    while j < end {
+        let t = &body[j];
+        if t.kind == TokenKind::Ident {
+            // Secret field read: `.sk` where `sk` carries secret data.
+            if j > start
+                && body[j - 1].is_punct('.')
+                && ctx.vocab.fields.contains(&t.text)
+                && !matches!(body.get(j + 1), Some(n) if n.kind == TokenKind::Open('('))
+            {
+                if out.secret.is_none() {
+                    let mut chain = Vec::new();
+                    push_note(
+                        &mut chain,
+                        format!(
+                            "reads secret-carrying field `{}` at line {}",
+                            t.text, t.line
+                        ),
+                    );
+                    out.secret = Some(chain);
+                }
+                j += 1;
+                continue;
+            }
+            // Call result via summary.
+            if matches!(body.get(j + 1), Some(n) if n.kind == TokenKind::Open('('))
+                && !is_keyword(&t.text)
+                && depth < MAX_SPAN_DEPTH
+            {
+                let method = j > 0 && body[j - 1].is_punct('.');
+                let qualifier = if j >= 3
+                    && body[j - 1].is_punct(':')
+                    && body[j - 2].is_punct(':')
+                    && body[j - 3].kind == TokenKind::Ident
+                {
+                    Some(body[j - 3].text.clone())
+                } else {
+                    None
+                };
+                let no_args = matches!(body.get(j + 2), Some(n) if n.kind == TokenKind::Close(')'));
+                let call = EventKind::Call {
+                    name: t.text.clone(),
+                    method,
+                    qualifier,
+                    no_args,
+                };
+                let recv = if method { receiver_of(body, j) } else { None };
+                let callees = ctx.resolve_flow(&call, recv.as_deref());
+                let args = call_args(body, j + 1);
+                for callee in callees {
+                    let (ret_secret, ret_params, callee_has_self, callee_name) = {
+                        let s = &ctx.sums[callee];
+                        (
+                            s.ret_secret.clone(),
+                            s.ret_params.clone(),
+                            ctx.prog.fns[callee].has_self,
+                            ctx.prog.fns[callee].name.clone(),
+                        )
+                    };
+                    if let Some(chain) = ret_secret {
+                        if out.secret.is_none() {
+                            let mut c = chain;
+                            push_note(
+                                &mut c,
+                                format!(
+                                    "secret-derived value returned by `{callee_name}` \
+                                     called at line {}",
+                                    t.line
+                                ),
+                            );
+                            out.secret = Some(c);
+                        }
+                    }
+                    for pi in ret_params {
+                        if let Some(at) = arg_taint(
+                            ctx,
+                            body,
+                            &args,
+                            recv.as_deref(),
+                            callee_has_self,
+                            pi,
+                            emit.as_deref_mut(),
+                        ) {
+                            out.params.extend(at.params.iter().copied());
+                            if let Some(chain) = &at.secret {
+                                if out.secret.is_none() {
+                                    let mut c = chain.clone();
+                                    push_note(
+                                        &mut c,
+                                        format!(
+                                            "flows through `{callee_name}` (param→return) \
+                                             at line {}",
+                                            t.line
+                                        ),
+                                    );
+                                    out.secret = Some(c);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Fall through: argument identifiers still merge below
+                // (v1-compatible direct propagation).
+            }
+            if let Some(t2) = ctx.taint.get(&t.text) {
+                out.merge(t2);
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// `let` handling: taints pattern names from the initializer span.
+/// Returns the resume index (inside the initializer, like v1).
+fn handle_let(ctx: &mut FnCtx<'_, '_>, body: &[Token], start: usize) -> usize {
+    let mut i = start + 1;
+    let mut pattern: Vec<String> = Vec::new();
+    let mut depth = 0i32;
+    let mut in_ty = false;
+    while i < body.len() {
+        let t = &body[i];
+        match t.kind {
+            TokenKind::Punct if t.text == "=" && depth == 0 => break,
+            TokenKind::Punct if t.text == ";" && depth == 0 => return i + 1,
+            TokenKind::Punct if t.text == ":" && depth == 0 => in_ty = true,
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            TokenKind::Ident if !in_ty && t.text != "mut" && t.text != "ref" => {
+                let ctor = matches!(body.get(i + 1), Some(n) if n.kind == TokenKind::Open('('));
+                if !ctor {
+                    pattern.push(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= body.len() {
+        return i;
+    }
+    let init_start = i + 1;
+    let end = span_to_semi(body, init_start);
+    let t = span_taint(ctx, body, init_start, end, 0, None);
+    if t.is_secret() || !t.params.is_empty() {
+        for name in &pattern {
+            let mut bound = t.clone();
+            if let Some(chain) = &mut bound.secret {
+                push_note(
+                    chain,
+                    format!(
+                        "`{name}` bound from secret-derived value at line {}",
+                        body[start].line
+                    ),
+                );
+            }
+            // Merge rather than overwrite so re-bindings accumulate.
+            ctx.taint.entry(name.clone()).or_default().merge(&bound);
+            if bound.secret.is_some() {
+                let e = ctx.taint.get_mut(name.as_str()).unwrap();
+                e.v1 = bound.v1;
+                if e.secret.is_none() {
+                    e.secret = bound.secret;
+                }
+            }
+        }
+    }
+    init_start
+}
+
+/// `for pat in iterable { … }` — taints pattern names from the iterable.
+fn handle_for(ctx: &mut FnCtx<'_, '_>, body: &[Token], start: usize) -> usize {
+    let mut i = start + 1;
+    let mut pattern: Vec<String> = Vec::new();
+    let mut depth = 0i32;
+    while i < body.len() {
+        let t = &body[i];
+        match t.kind {
+            TokenKind::Ident if t.text == "in" && depth == 0 => break,
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            TokenKind::Ident if t.text != "mut" && t.text != "ref" => {
+                let ctor = matches!(body.get(i + 1), Some(n) if n.kind == TokenKind::Open('('));
+                if !ctor {
+                    pattern.push(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= body.len() {
+        return i;
+    }
+    let iter_start = i + 1;
+    let end = cond_end(body, iter_start);
+    let t = span_taint(ctx, body, iter_start, end, 0, None);
+    if t.is_secret() || !t.params.is_empty() {
+        for name in &pattern {
+            let mut bound = t.clone();
+            if let Some(chain) = &mut bound.secret {
+                push_note(
+                    chain,
+                    format!(
+                        "`{name}` iterates over secret-derived data at line {}",
+                        body[start].line
+                    ),
+                );
+            }
+            ctx.taint.entry(name.clone()).or_default().merge(&bound);
+        }
+    }
+    iter_start
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "in"
+            | "as"
+            | "ref"
+            | "mut"
+            | "move"
+            | "fn"
+            | "unsafe"
+            | "Some"
+            | "Ok"
+            | "Err"
+            | "None"
+            | "Box"
+            | "Vec"
+    )
+}
+
+/// Index of the `;` ending the statement starting at `start` (depth 0),
+/// or the end of the body.
+fn span_to_semi(body: &[Token], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < body.len() {
+        let t = &body[j];
+        match t.kind {
+            TokenKind::Punct if t.text == ";" && depth == 0 => return j,
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the first `{` at depth 0 after `start` (a branch condition
+/// or `for` iterable end).
+fn cond_end(body: &[Token], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < body.len() {
+        let t = &body[j];
+        match t.kind {
+            TokenKind::Open('{') if depth == 0 => return j,
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Token ranges of the top-level comma-separated arguments inside the
+/// group opened at `open_idx`.
+fn call_args(body: &[Token], open_idx: usize) -> Vec<(usize, usize)> {
+    let close = matching_close(body, open_idx);
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut seg = open_idx + 1;
+    let mut j = open_idx + 1;
+    while j < close {
+        let t = &body[j];
+        match t.kind {
+            TokenKind::Punct if t.text == "," && depth == 0 => {
+                out.push((seg, j));
+                seg = j + 1;
+            }
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    if seg < close {
+        out.push((seg, close));
+    }
+    out
+}
+
+/// Index of the closer matching the opener at `open_idx`.
+fn matching_close(body: &[Token], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < body.len() {
+        match body[j].kind {
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    body.len()
+}

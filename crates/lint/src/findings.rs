@@ -4,11 +4,15 @@
 use std::fmt::Write as _;
 
 /// All rule families, in the order they run.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 8] = [
     "secret-hygiene",
     "panic-freedom",
     "secret-branching",
     "conventions",
+    "lock-discipline",
+    "blocking-call",
+    "secret-flow",
+    "dead-allow",
 ];
 
 /// Severity a finding is reported at.

@@ -16,8 +16,11 @@
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod findings;
+pub mod ir;
 pub mod rules;
 pub mod scan;
 
@@ -50,26 +53,52 @@ impl LevelOverrides {
     }
 }
 
-/// Runs all four rule families over the workspace rooted at `root` and
+/// Runs all rule families over the workspace rooted at `root` and
 /// returns the report (allowlists already applied).
 pub fn run_lint(root: &Path, cfg: &Config, levels: &LevelOverrides) -> Report {
     let ws = scan::scan_workspace(root);
     let mut findings: Vec<Finding> = Vec::new();
+
+    // v1 item-level families.
     rules::secret::run(&ws, cfg, &mut findings);
     rules::panics::run(&ws, cfg, &mut findings);
     rules::branching::run(&ws, cfg, &mut findings);
     rules::conventions::run(&ws, cfg, &mut findings);
 
-    allow::apply_allows(&ws, cfg, &mut findings);
+    // v2 interprocedural families, sharing one lowered program and
+    // call graph.
+    let prog = ir::build(&ws);
+    let graph = callgraph::CallGraph::build(&prog);
+    let conc = dataflow::conc_summaries(&prog, &graph);
+    rules::locks::run(&prog, &graph, &conc, cfg, &mut findings);
+    rules::blocking::run(&prog, &graph, &conc, cfg, &mut findings);
+    let vocab = dataflow::secret_vocab(&ws, cfg);
+    let (_sums, witnesses) = dataflow::flow_analysis(&prog, &graph, &vocab, cfg);
+    rules::flow::run(&witnesses, cfg, &mut findings);
+
+    let usage = allow::apply_allows(&ws, cfg, &mut findings);
+    allow::dead_allow_findings(&ws, cfg, &usage, &mut findings);
+
     for f in &mut findings {
         f.level = levels.level_for(f.rule);
     }
-    findings
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    // Deterministic order: (file, line, rule) primary, message as the
+    // tiebreaker so text and JSON reports are byte-stable across runs.
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+
+    let mut parse_failures = ws.failures;
+    parse_failures.sort();
 
     Report {
         findings,
         files_scanned: ws.files.len(),
-        parse_failures: ws.failures,
+        parse_failures,
     }
 }

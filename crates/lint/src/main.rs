@@ -91,7 +91,8 @@ usage: pisa-lint [options]
   --json FILE    also write a JSON report
   --quiet        suppress text output (exit code only)
 
-rules: secret-hygiene, panic-freedom, secret-branching, conventions";
+rules: secret-hygiene, panic-freedom, secret-branching, conventions,
+       lock-discipline, blocking-call, secret-flow, dead-allow";
 
 fn need(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
     args.next().ok_or_else(|| format!("{flag} needs a value"))

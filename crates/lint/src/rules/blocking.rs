@@ -1,0 +1,84 @@
+//! Rule family 6: blocking-call (v2, interprocedural).
+//!
+//! The lock-discipline rule catches a guard held across a *direct*
+//! blocking primitive. This family catches what it cannot see: a call
+//! made while holding a guard that only blocks *transitively* — the
+//! callee (or one of its callees) performs an unbounded `recv()`,
+//! `join()`, or socket I/O. The witness chain in the notes spells out
+//! the path from the call site down to the primitive.
+//!
+//! It also flags unbounded `join()` inside a service loop while a guard
+//! is held at any point in that fn: joining a worker that may itself be
+//! blocked waiting for our lock is the classic two-thread deadlock in
+//! the netstorm service loops.
+//!
+//! Scope: the same `[locks] paths` as lock-discipline.
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::dataflow::ConcSummary;
+use crate::findings::{Finding, Level};
+use crate::ir::{blocking_kind, EventKind, Program};
+
+const RULE: &str = "blocking-call";
+
+pub fn run(
+    prog: &Program<'_>,
+    graph: &CallGraph,
+    conc: &[ConcSummary],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    for (idx, f) in prog.fns.iter().enumerate() {
+        if !cfg
+            .locks_paths
+            .iter()
+            .any(|p| f.file.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        for ev in &f.events {
+            let call @ EventKind::Call { name, .. } = &ev.kind else {
+                continue;
+            };
+            if ev.held.is_empty() {
+                continue;
+            }
+            // Direct primitives are lock-discipline's findings; this
+            // rule owns the transitive case only, so the two families
+            // never double-report one line.
+            if blocking_kind(call).is_some() {
+                continue;
+            }
+            let mut reported = false;
+            for &callee in graph.resolve(call, f.self_ty.as_deref()) {
+                if callee == idx || reported {
+                    continue;
+                }
+                if let Some(wit) = &conc[callee].blocks {
+                    let held: Vec<String> =
+                        ev.held.iter().map(|h| format!("`{}`", h.lock)).collect();
+                    out.push(Finding {
+                        rule: RULE,
+                        file: f.file.clone(),
+                        line: ev.line,
+                        message: format!(
+                            "call to `{name}` may block unboundedly while fn `{}` holds {}",
+                            f.name,
+                            held.join(", ")
+                        ),
+                        notes: vec![
+                            format!("blocking path: {wit}"),
+                            "drop the guard before the call, or give the blocking \
+                             primitive a timeout"
+                                .to_string(),
+                        ],
+                        level: Level::Deny,
+                        allowed: None,
+                    });
+                    reported = true;
+                }
+            }
+        }
+    }
+}

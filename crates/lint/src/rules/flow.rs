@@ -1,0 +1,51 @@
+//! Rule family 7: secret-flow (v2, interprocedural secret taint).
+//!
+//! The v1 `secret-branching` rule is intraprocedural: it sees a secret
+//! parameter branch inside one function but is blind to secrets
+//! *laundered* through helpers — a getter returning key material, a
+//! helper whose parameter reaches a branch or a `format!`, a secret
+//! struct field read through `.sk`. This family reports exactly the
+//! findings v1 cannot see (the dataflow layer suppresses anything
+//! v1-visible, so the two rules never duplicate a line):
+//!
+//! * a branch on a value that is secret-derived only through a call or
+//!   field read;
+//! * a secret-derived argument passed to a callee that branches on the
+//!   corresponding parameter (unless that parameter is itself a v1
+//!   taint seed — then the callee's own branch is v1's finding);
+//! * a secret-derived value reaching a `format!`-family macro, or
+//!   passed to a callee that formats it (`fmt` methods of
+//!   `Debug`/`Display` impls are exempt because secret-hygiene owns
+//!   redaction there).
+//!
+//! All findings are restricted to `[branching] paths` like v1: the
+//! name-based taint is too coarse to gate the whole workspace, and the
+//! constant-time-sensitive crates are where laundering matters (see
+//! DESIGN.md §13 for the soundness trade).
+
+use crate::config::Config;
+use crate::dataflow::FlowWitness;
+use crate::findings::{Finding, Level};
+
+const RULE: &str = "secret-flow";
+
+pub fn run(witnesses: &[FlowWitness], cfg: &Config, out: &mut Vec<Finding>) {
+    for w in witnesses {
+        if !cfg
+            .branching_paths
+            .iter()
+            .any(|p| w.file.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE,
+            file: w.file.clone(),
+            line: w.line,
+            message: w.message.clone(),
+            notes: w.notes.clone(),
+            level: Level::Deny,
+            allowed: None,
+        });
+    }
+}

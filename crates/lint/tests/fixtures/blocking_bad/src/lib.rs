@@ -1,0 +1,46 @@
+//! Fixture: guards held across blocking receives, directly and through
+//! a helper only the interprocedural summary can see.
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+/// An inbox guarded by a mutex, fed by a channel.
+pub struct Inbox {
+    queue: Mutex<Vec<u8>>,
+    rx: Receiver<u8>,
+}
+
+impl Inbox {
+    /// Blocks on the channel with the queue guard held — every other
+    /// thread touching `queue` now waits on a sender that may be gone.
+    pub fn wait_direct(&self) {
+        let mut q = self.queue.lock();
+        if let Ok(byte) = self.rx.recv() {
+            q.push(byte);
+        }
+    }
+
+    /// The same unbounded wait, laundered through a helper: only the
+    /// callee's concurrency summary shows the `recv`.
+    pub fn wait_via_helper(&self) {
+        let mut q = self.queue.lock();
+        if let Some(byte) = self.pump_one() {
+            q.push(byte);
+        }
+    }
+
+    /// Blocks on the channel; innocuous on its own.
+    fn pump_one(&self) -> Option<u8> {
+        self.rx.recv().ok()
+    }
+
+    /// Bounded wait under the guard stays quiet, as does a blocking
+    /// wait with no guard held.
+    pub fn drain_politely(&self, timeout: std::time::Duration) {
+        let byte = self.rx.recv_timeout(timeout).ok();
+        if let Some(byte) = byte {
+            self.queue.lock().push(byte);
+        }
+    }
+}

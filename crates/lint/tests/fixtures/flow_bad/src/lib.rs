@@ -1,0 +1,64 @@
+//! Fixture: secret taint laundered through helpers and field reads —
+//! flows the intraprocedural `secret-branching` rule cannot see.
+#![forbid(unsafe_code)]
+
+/// A tagged secret scalar.
+#[doc(alias = "pisa_secret")]
+pub struct SessionKey {
+    pub limbs: Vec<u64>,
+}
+
+impl Drop for SessionKey {
+    fn drop(&mut self) {
+        self.limbs.clear();
+    }
+}
+
+impl std::fmt::Debug for SessionKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SessionKey(<redacted>)")
+    }
+}
+
+/// A plain config struct; not secret itself, but carries one.
+pub struct Endpoint {
+    pub key: SessionKey,
+    pub rounds: u32,
+}
+
+/// Launders the key's width through a return value.
+fn key_width(ep: &Endpoint) -> usize {
+    ep.key.limbs.len()
+}
+
+/// Branches on the laundered width: the caller never names the key,
+/// so only the interprocedural summary connects the dots.
+pub fn pad(ep: &Endpoint, buf: &mut Vec<u8>) {
+    let width = key_width(ep);
+    while buf.len() < width {
+        buf.push(0);
+    }
+}
+
+/// Branches on a secret-carrying field read of a non-secret struct.
+pub fn has_spare(ep: &Endpoint) -> bool {
+    if ep.key.limbs.len() > 2 {
+        return true;
+    }
+    false
+}
+
+/// Formats the laundered width — a secret-derived escape.
+pub fn describe(ep: &Endpoint) -> String {
+    let width = key_width(ep);
+    format!("key width {}", width)
+}
+
+/// Branching on the public field stays quiet.
+pub fn budget(ep: &Endpoint) -> u32 {
+    if ep.rounds > 8 {
+        8
+    } else {
+        ep.rounds
+    }
+}

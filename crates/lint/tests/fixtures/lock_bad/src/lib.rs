@@ -1,0 +1,40 @@
+//! Fixture: lock-order inversion and poisoning the rule must catch.
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+/// A connection pool with two independent tables.
+pub struct Pool {
+    peers: Mutex<Vec<u32>>,
+    routes: Mutex<Vec<u32>>,
+}
+
+impl Pool {
+    /// Acquires `peers` then `routes`.
+    pub fn forward(&self) -> usize {
+        let p = self.peers.lock();
+        let r = self.routes.lock();
+        p.len() + r.len()
+    }
+
+    /// Acquires `routes` then `peers` — the inversion: two threads in
+    /// `forward` and `reclaim` deadlock holding one lock each.
+    pub fn reclaim(&self) -> usize {
+        let r = self.routes.lock();
+        let p = self.peers.lock();
+        r.len() + p.len()
+    }
+
+    /// `.lock().unwrap()` — a poisoned mutex panics every later caller.
+    pub fn poisoned_len(&self) -> usize {
+        let g = self.peers.lock().unwrap();
+        g.len()
+    }
+
+    /// Ordered consistently with `forward` and guard-free between
+    /// tables: stays quiet.
+    pub fn audit(&self) -> usize {
+        let n = { self.peers.lock().len() };
+        n + self.routes.lock().len()
+    }
+}

@@ -61,6 +61,48 @@ fn convention_bad_fires_convention_rules() {
 }
 
 #[test]
+fn lock_bad_fires_inversion_and_poisoning() {
+    check_fixture("lock_bad");
+}
+
+#[test]
+fn blocking_bad_fires_direct_and_interprocedural() {
+    check_fixture("blocking_bad");
+}
+
+#[test]
+fn flow_bad_fires_laundered_taint() {
+    check_fixture("flow_bad");
+}
+
+/// Reports are byte-stable: two runs over the same tree render
+/// identical text and JSON, regardless of directory-walk or hash-map
+/// iteration order inside the engine.
+#[test]
+fn reports_are_deterministic_across_runs() {
+    for name in ["lock_bad", "blocking_bad", "flow_bad", "secret_bad"] {
+        let root = fixture_root(name);
+        let cfg = parse_config(&std::fs::read_to_string(root.join("lint.toml")).unwrap()).unwrap();
+        let levels = LevelOverrides {
+            deny: vec!["all".to_string()],
+            warn: Vec::new(),
+        };
+        let a = run_lint(&root, &cfg, &levels);
+        let b = run_lint(&root, &cfg, &levels);
+        assert_eq!(
+            a.render_text(),
+            b.render_text(),
+            "fixture {name}: text rendering drifted between identical runs"
+        );
+        assert_eq!(
+            a.render_json(),
+            b.render_json(),
+            "fixture {name}: JSON rendering drifted between identical runs"
+        );
+    }
+}
+
+#[test]
 fn clean_fixture_is_quiet() {
     check_fixture("clean");
     // Belt and braces: the clean fixture must have zero findings, not

@@ -49,6 +49,11 @@ pub struct SocketConfig {
     pub connect_backoff: Duration,
     /// Read buffer chunk size.
     pub read_chunk: usize,
+    /// Write timeout on every stream. The sender holds the per-connection
+    /// mutex across `write_frame`; without a bound, a peer that stops
+    /// draining (zero TCP window) parks the writer — and every thread
+    /// queued on that connection — forever.
+    pub write_timeout: Duration,
 }
 
 impl Default for SocketConfig {
@@ -60,6 +65,7 @@ impl Default for SocketConfig {
             connect_attempts: 40,
             connect_backoff: Duration::from_millis(25),
             read_chunk: 64 * 1024,
+            write_timeout: Duration::from_secs(5),
         }
     }
 }

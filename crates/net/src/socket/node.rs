@@ -222,6 +222,7 @@ impl<M: FrameCodec + Send + 'static> SocketNode<M> {
         let first = {
             let _span = pisa_obs::span("net.write");
             let mut stream = conn.stream.lock();
+            // pisa-lint: allow(blocking-call): the mutex exists to serialize frame writes; the write is bounded by cfg.write_timeout set on every stream at dial/accept
             write_frame(&mut *stream, frame, self.inner.cfg.max_frame)
         };
         let Err(err) = first else {
@@ -237,6 +238,7 @@ impl<M: FrameCodec + Send + 'static> SocketNode<M> {
         let conn = self.route_or_dial(to)?;
         let _span = pisa_obs::span("net.write");
         let mut stream = conn.stream.lock();
+        // pisa-lint: allow(blocking-call): same as above — bounded by cfg.write_timeout on the redialed stream
         write_frame(&mut *stream, frame, self.inner.cfg.max_frame)
     }
 
@@ -275,6 +277,7 @@ impl<M: FrameCodec + Send + 'static> SocketNode<M> {
                 Ok(stream) => {
                     stream.set_nodelay(true)?;
                     stream.set_read_timeout(Some(cfg.read_poll))?;
+                    stream.set_write_timeout(Some(cfg.write_timeout))?;
                     return Ok(stream);
                 }
                 Err(e) => last = SocketError::from(e),
@@ -295,7 +298,10 @@ fn accept_loop<M: FrameCodec + Send + 'static>(inner: &Arc<NodeInner<M>>, listen
                 // block (with a poll timeout) for the reader thread.
                 let ready = stream.set_nonblocking(false).is_ok()
                     && stream.set_nodelay(true).is_ok()
-                    && stream.set_read_timeout(Some(inner.cfg.read_poll)).is_ok();
+                    && stream.set_read_timeout(Some(inner.cfg.read_poll)).is_ok()
+                    && stream
+                        .set_write_timeout(Some(inner.cfg.write_timeout))
+                        .is_ok();
                 if !ready {
                     continue;
                 }

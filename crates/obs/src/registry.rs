@@ -139,10 +139,26 @@ pub struct Report {
 /// Builds a [`Report`] from everything recorded since the last
 /// [`reset`]. Does not clear the registry.
 pub fn report() -> Report {
-    let st = state().lock();
-    let spans = st.spans.clone();
-    let spans_dropped = st.dropped;
-    drop(st);
+    // Snapshot the buffer in bounded chunks: the registry mutex sits on
+    // every span-guard drop path, and cloning a full `SPAN_CAP` buffer
+    // in one critical section would stall every instrumented thread for
+    // the whole multi-megabyte memcpy. Submits only append (and a
+    // concurrent `reset` only shrinks, which ends the loop), so chunked
+    // copying still yields a consistent snapshot.
+    const CHUNK: usize = 4096;
+    let mut spans: Vec<FinishedSpan> = Vec::new();
+    let spans_dropped = loop {
+        let st = state().lock();
+        let len = st.spans.len();
+        if spans.len() >= len {
+            break st.dropped;
+        }
+        let end = len.min(spans.len().saturating_add(CHUNK));
+        let Some(chunk) = st.spans.get(spans.len()..end) else {
+            break st.dropped;
+        };
+        spans.extend_from_slice(chunk);
+    };
 
     let mut order: Vec<&'static str> = Vec::new();
     let mut hists: Vec<Histogram> = Vec::new();

@@ -244,7 +244,8 @@ impl ModelOracle {
 
     /// The decision for storm SU `i` under the canonical placement.
     pub fn su_decision(&mut self, su: u32) -> bool {
-        self.decision(su as usize % self.blocks, su as usize % self.channels)
+        let su = su as usize; // pisa-lint: allow(panic-freedom): u32 → usize never truncates
+        self.decision(su % self.blocks, su % self.channels)
     }
 }
 

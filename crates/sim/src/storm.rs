@@ -180,6 +180,18 @@ struct DriveResult {
 const EVENTS_PER_SU: u64 = 200;
 const EVENT_FLOOR: u64 = 10_000;
 
+/// Widens an SU index into a vector slot.
+fn slot(i: u32) -> usize {
+    i as usize // pisa-lint: allow(panic-freedom): u32 → usize never truncates
+}
+
+/// Narrows a population count; storm populations are `u32`-sized by
+/// construction ([`SimConfig::sus`] is `u32`), so saturation is
+/// unreachable but panic-free.
+fn narrow(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 /// The heap plus the per-SU bookkeeping the loop threads through every
 /// step.
 struct DriveState<M> {
@@ -195,10 +207,15 @@ impl<M: Clone + WireSize> DriveState<M> {
         DriveState {
             queue: EventQueue::new(),
             deliveries: Vec::new(),
-            epochs: vec![0u32; n as usize],
-            done: vec![None; n as usize],
-            finish_ns: vec![0u64; n as usize],
+            epochs: vec![0u32; slot(n)],
+            done: vec![None; slot(n)],
+            finish_ns: vec![0u64; slot(n)],
         }
+    }
+
+    /// Whether session `i` has reached a terminal outcome.
+    fn is_done(&self, i: u32) -> bool {
+        self.done.get(slot(i)).is_some_and(Option::is_some)
     }
 
     /// Applies one SU step at virtual time `now`: route its sends into
@@ -209,18 +226,23 @@ impl<M: Clone + WireSize> DriveState<M> {
                 for msg in sends {
                     net.send(now, from, Party::Sdc, msg, &mut self.deliveries);
                 }
-                self.epochs[i as usize] += 1;
+                let Some(epoch) = self.epochs.get_mut(slot(i)) else {
+                    return;
+                };
+                *epoch = epoch.wrapping_add(1);
+                let epoch = *epoch;
                 self.queue.push(
                     now.saturating_add(deadline_ns),
-                    Ev::SuTimeout {
-                        su: i,
-                        epoch: self.epochs[i as usize],
-                    },
+                    Ev::SuTimeout { su: i, epoch },
                 );
             }
             SuStep::Done { granted, attempts } => {
-                self.done[i as usize] = Some((granted, attempts));
-                self.finish_ns[i as usize] = now;
+                if let Some(d) = self.done.get_mut(slot(i)) {
+                    *d = Some((granted, attempts));
+                }
+                if let Some(f) = self.finish_ns.get_mut(slot(i)) {
+                    *f = now;
+                }
             }
         }
     }
@@ -274,7 +296,7 @@ fn drive<L: StormLogic>(logic: &mut L, net: &mut SimNet<L::Msg>) -> DriveResult 
                     // exist; the threaded network's send just errors,
                     // here the delivery is simply unclaimed.
                     if let Some(i) = logic.su_index(id) {
-                        if st.done[i as usize].is_none() {
+                        if !st.is_done(i) {
                             let step = logic.su_frame(i, d.msg);
                             st.apply(net, logic.su_party(i), i, step, now);
                         }
@@ -283,7 +305,7 @@ fn drive<L: StormLogic>(logic: &mut L, net: &mut SimNet<L::Msg>) -> DriveResult 
                 Party::Pu(_) => {}
             },
             Ev::SuTimeout { su, epoch } => {
-                if st.done[su as usize].is_none() && st.epochs[su as usize] == epoch {
+                if !st.is_done(su) && st.epochs.get(slot(su)) == Some(&epoch) {
                     let step = logic.su_timeout(su);
                     st.apply(net, logic.su_party(su), su, step, now);
                 }
@@ -297,21 +319,21 @@ fn drive<L: StormLogic>(logic: &mut L, net: &mut SimNet<L::Msg>) -> DriveResult 
     net.flush_holdback(now, &mut st.deliveries);
     st.deliveries.clear();
 
-    let mut outcomes = Vec::with_capacity(n as usize);
+    let mut outcomes = Vec::with_capacity(slot(n));
     let mut unfinished = 0u32;
     for i in 0..n {
         let su = match logic.su_party(i) {
             Party::Su(id) => id,
             _ => i,
         };
-        let (granted, attempts) = match st.done[i as usize] {
+        let (granted, attempts) = match st.done.get(slot(i)).copied().flatten() {
             Some((granted, attempts)) => (granted, attempts),
             None => {
                 unfinished += 1;
                 (None, 0)
             }
         };
-        let finished_ns = st.finish_ns[i as usize];
+        let finished_ns = st.finish_ns.get(slot(i)).copied().unwrap_or(0);
         outcomes.push(SimOutcome {
             su,
             granted,
@@ -344,26 +366,32 @@ fn assemble(
     expected: Vec<bool>,
 ) -> StormReport {
     let metrics = net.metrics();
-    let granted = result
-        .outcomes
-        .iter()
-        .filter(|o| o.granted == Some(true))
-        .count() as u32;
-    let denied = result
-        .outcomes
-        .iter()
-        .filter(|o| o.granted == Some(false))
-        .count() as u32;
-    let undecided = result
-        .outcomes
-        .iter()
-        .filter(|o| o.granted.is_none())
-        .count() as u32
-        - result.unfinished;
+    let granted = narrow(
+        result
+            .outcomes
+            .iter()
+            .filter(|o| o.granted == Some(true))
+            .count(),
+    );
+    let denied = narrow(
+        result
+            .outcomes
+            .iter()
+            .filter(|o| o.granted == Some(false))
+            .count(),
+    );
+    let undecided = narrow(
+        result
+            .outcomes
+            .iter()
+            .filter(|o| o.granted.is_none())
+            .count(),
+    )
+    .saturating_sub(result.unfinished);
     StormReport {
         seed,
         fidelity: fidelity.label(),
-        sus: result.outcomes.len() as u32,
+        sus: narrow(result.outcomes.len()),
         granted,
         denied,
         undecided,
@@ -409,11 +437,14 @@ impl StormLogic for RealLogic {
     type Msg = SessionMsg;
 
     fn su_count(&self) -> u32 {
-        self.sus.len() as u32
+        narrow(self.sus.len())
     }
 
     fn su_party(&self, i: u32) -> Party {
-        Party::Su(self.sus[i as usize].su_id().0)
+        match self.sus.get(slot(i)) {
+            Some(su) => Party::Su(su.su_id().0),
+            None => Party::Su(i),
+        }
     }
 
     fn su_index(&self, id: u32) -> Option<u32> {
@@ -421,15 +452,24 @@ impl StormLogic for RealLogic {
     }
 
     fn su_start(&mut self, i: u32) -> SuStep<SessionMsg> {
-        action_to_step(self.sus[i as usize].start())
+        match self.sus.get_mut(slot(i)) {
+            Some(su) => action_to_step(su.start()),
+            None => missing_su(),
+        }
     }
 
     fn su_frame(&mut self, i: u32, msg: SessionMsg) -> SuStep<SessionMsg> {
-        action_to_step(self.sus[i as usize].on_event(SuEvent::Frame(msg)))
+        match self.sus.get_mut(slot(i)) {
+            Some(su) => action_to_step(su.on_event(SuEvent::Frame(msg))),
+            None => missing_su(),
+        }
     }
 
     fn su_timeout(&mut self, i: u32) -> SuStep<SessionMsg> {
-        action_to_step(self.sus[i as usize].on_event(SuEvent::Timeout))
+        match self.sus.get_mut(slot(i)) {
+            Some(su) => action_to_step(su.on_event(SuEvent::Timeout)),
+            None => missing_su(),
+        }
     }
 
     fn sdc_handle(&mut self, msg: SessionMsg) -> Vec<(Party, SessionMsg)> {
@@ -444,6 +484,16 @@ impl StormLogic for RealLogic {
             let _ = self.stp_tx.try_send(to, frame);
         }
         self.stp_tx.drain()
+    }
+}
+
+/// The step for an out-of-range SU index. [`drive`] only produces
+/// indices below `su_count`, so this is dead in practice; a terminal
+/// no-outcome step keeps the loop honest instead of panicking.
+fn missing_su<M>() -> SuStep<M> {
+    SuStep::Done {
+        granted: None,
+        attempts: 0,
     }
 }
 
@@ -513,7 +563,7 @@ pub fn run_sim_storm_with(
         // The same dedicated request-randomness stream as the threaded
         // storm's SU thread.
         let mut rng = StdRng::seed_from_u64(seed ^ (0x50 + i as u64));
-        index_of.insert(su.id().0, i as u32);
+        index_of.insert(su.id().0, narrow(i));
         engines.push(SuSessionEngine::new(su, &channels, &params, &mut rng));
     }
 
@@ -544,7 +594,7 @@ impl StormLogic for ModelLogic {
     type Msg = ModelMsg;
 
     fn su_count(&self) -> u32 {
-        self.sus.len() as u32
+        narrow(self.sus.len())
     }
 
     fn su_party(&self, i: u32) -> Party {
@@ -556,15 +606,24 @@ impl StormLogic for ModelLogic {
     }
 
     fn su_start(&mut self, i: u32) -> SuStep<ModelMsg> {
-        model_step(self.sus[i as usize].start())
+        match self.sus.get_mut(slot(i)) {
+            Some(su) => model_step(su.start()),
+            None => missing_su(),
+        }
     }
 
     fn su_frame(&mut self, i: u32, msg: ModelMsg) -> SuStep<ModelMsg> {
-        model_step(self.sus[i as usize].on_frame(msg))
+        match self.sus.get_mut(slot(i)) {
+            Some(su) => model_step(su.on_frame(msg)),
+            None => missing_su(),
+        }
     }
 
     fn su_timeout(&mut self, i: u32) -> SuStep<ModelMsg> {
-        model_step(self.sus[i as usize].on_timeout())
+        match self.sus.get_mut(slot(i)) {
+            Some(su) => model_step(su.on_timeout()),
+            None => missing_su(),
+        }
     }
 
     fn sdc_handle(&mut self, msg: ModelMsg) -> Vec<(Party, ModelMsg)> {
@@ -605,21 +664,23 @@ pub fn run_sim_storm(seed: u64, config: &SimConfig) -> StormReport {
             let e = sdc.e_matrix().clone();
             let update = pu.tune(Some(Channel(0)), &cfg, &e, stp.public_key(), &mut rng);
             sdc.handle_pu_update(pu.id(), update)
+                // pisa-lint: allow(panic-freedom): setup-time, before any wire traffic — the canonical PU update matches the storm config by construction
                 .expect("canonical PU update matches the storm config");
             let sus: Vec<(SuClient, Vec<Channel>)> = (0..config.sus)
                 .map(|i| {
                     let su = SuClient::new(
                         pisa::SuId(i),
-                        BlockId(i as usize % cfg.blocks()),
+                        BlockId(slot(i) % cfg.blocks()),
                         &cfg,
                         &mut rng,
                     );
                     stp.register_su(su.id(), su.public_key().clone());
-                    let channels = vec![Channel(i as usize % cfg.channels())];
+                    let channels = vec![Channel(slot(i) % cfg.channels())];
                     (su, channels)
                 })
                 .collect();
             run_sim_storm_with(sus, sdc, stp, faults, &config.engine, seed, config.jitter)
+                // pisa-lint: allow(panic-freedom): setup-time, before any wire traffic — every storm SU was registered in the loop above
                 .expect("every storm SU is registered")
         }
         Fidelity::Modeled => {

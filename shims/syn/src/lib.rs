@@ -129,12 +129,16 @@ pub struct FnArg {
     pub ty: String,
 }
 
-/// A function signature: name, inputs, and whether it takes `self`.
+/// A function signature: name, inputs, whether it takes `self`, and the
+/// flattened return-type text (empty for `()`-returning functions).
 #[derive(Debug, Clone)]
 pub struct Signature {
     pub ident: String,
     pub inputs: Vec<FnArg>,
     pub has_self: bool,
+    /// Return type as flattened source text (`Result<Ubig, Error>`);
+    /// empty when the function has no `->` clause.
+    pub ret_ty: String,
 }
 
 /// A free or associated function, with its body kept as a raw balanced
@@ -862,7 +866,45 @@ impl Parser {
             Vec::new()
         };
         let (inputs, has_self) = Self::fn_inputs(&params);
-        // Return type + where clause: skip to body or `;`.
+        // Return type: flatten `-> …` up to the body, `;`, or `where`.
+        let mut ret_ty = String::new();
+        if self.at_punct('-') && matches!(self.peek(1), Some(t) if t.is_punct('>')) {
+            self.bump();
+            self.bump();
+            let mut depth = 0i32;
+            while let Some(t) = self.peek(0) {
+                if depth == 0 && (t.kind == TokenKind::Open('{') || t.is_punct(';')) {
+                    break;
+                }
+                if depth == 0 && t.is_ident("where") {
+                    break;
+                }
+                match t.kind {
+                    TokenKind::Open(c) => {
+                        depth += 1;
+                        ret_ty.push(c);
+                    }
+                    TokenKind::Close(c) => {
+                        depth -= 1;
+                        ret_ty.push(c);
+                    }
+                    _ => {
+                        if t.kind == TokenKind::Ident
+                            && ret_ty
+                                .chars()
+                                .last()
+                                .map(|c| c.is_alphanumeric() || c == '_')
+                                .unwrap_or(false)
+                        {
+                            ret_ty.push(' ');
+                        }
+                        ret_ty.push_str(&t.text);
+                    }
+                }
+                self.bump();
+            }
+        }
+        // Where clause / anything left before the body: skip.
         while let Some(t) = self.peek(0) {
             if t.kind == TokenKind::Open('{') || t.is_punct(';') {
                 break;
@@ -889,6 +931,7 @@ impl Parser {
                 ident,
                 inputs,
                 has_self,
+                ret_ty,
             },
             body,
             line,
@@ -1182,5 +1225,37 @@ mod tests {
         };
         assert_eq!(func.sig.inputs[2].name, "exp");
         assert!(func.sig.inputs[2].ty.contains("Ubig"));
+    }
+
+    #[test]
+    fn fn_return_type_captured() {
+        let f = parse_file("fn state() -> &'static Mutex<State> { loop {} }").unwrap();
+        let func = match &f.items[0] {
+            Item::Fn(func) => func,
+            _ => panic!(),
+        };
+        assert!(
+            func.sig.ret_ty.contains("Mutex<State>"),
+            "{}",
+            func.sig.ret_ty
+        );
+
+        let f = parse_file("fn nothing(x: u32) { }").unwrap();
+        let func = match &f.items[0] {
+            Item::Fn(func) => func,
+            _ => panic!(),
+        };
+        assert!(func.sig.ret_ty.is_empty());
+
+        let f = parse_file("fn pair() -> (u32, Result<Ubig, Error>) where Ubig: Clone { loop {} }")
+            .unwrap();
+        let func = match &f.items[0] {
+            Item::Fn(func) => func,
+            _ => panic!(),
+        };
+        assert!(
+            func.sig.ret_ty.contains("Result<Ubig,Error>") || func.sig.ret_ty.contains("Result")
+        );
+        assert!(!func.sig.ret_ty.contains("where"));
     }
 }
