@@ -17,14 +17,18 @@
 //! assert_eq!(x, Ubig::one()); // Fermat
 //! ```
 
+mod fixed_base;
 mod gcd;
 mod inv;
 mod mont;
 mod pow;
 
+pub use fixed_base::FixedBasePow;
 pub use gcd::{gcd, lcm};
 pub use inv::mod_inverse;
-pub use mont::MontCtx;
+#[doc(hidden)]
+pub use mont::{mont_mul_count, reset_mont_mul_count};
+pub use mont::{MontCtx, MontScratch};
 pub use pow::mod_pow;
 
 use crate::Ubig;

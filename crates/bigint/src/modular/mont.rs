@@ -1,7 +1,89 @@
 //! Montgomery reduction context.
 
-use crate::arith::{mul_limbs, sub_assign_slice};
+use crate::arith::{mul_limbs, mul_limbs_into, sub_assign_slice};
 use crate::Ubig;
+use std::cell::Cell;
+
+thread_local! {
+    /// Montgomery multiplications performed on this thread, across every
+    /// path (scratch kernel and reference). Drives the constant-shape
+    /// property tests; not a public API.
+    static MONT_MUL_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Resets this thread's Montgomery-multiplication counter. Test support
+/// for the constant-shape property suite; not a stable API.
+#[doc(hidden)]
+pub fn reset_mont_mul_count() {
+    MONT_MUL_COUNT.with(|c| c.set(0));
+}
+
+/// Reads this thread's Montgomery-multiplication counter. Test support
+/// for the constant-shape property suite; not a stable API.
+#[doc(hidden)]
+pub fn mont_mul_count() -> u64 {
+    MONT_MUL_COUNT.with(|c| c.get())
+}
+
+#[inline]
+fn bump_mul_count() {
+    MONT_MUL_COUNT.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Reusable working memory for Montgomery operations.
+///
+/// Holds the `2k + 1`-limb product/REDC buffer plus two `k`-limb ladder
+/// registers, so a chain of multiplications — or a whole exponentiation —
+/// performs no per-step allocation. Obtain one from [`MontCtx::scratch`]
+/// and pass it to every call against that context; a scratch self-resizes
+/// if reused across contexts of different widths, so sharing one across
+/// the `n` and `n²` contexts of a key is fine.
+///
+/// The buffers hold residues of whatever passed through them last, which
+/// may derive from secret exponents; [`crate::zeroize::Zeroize`] wipes
+/// them, and long-lived holders working under secret moduli (CRT
+/// decryption) should zeroize on teardown.
+pub struct MontScratch {
+    /// `2k + 1`-limb product / REDC accumulator.
+    pub(super) prod: Vec<u64>,
+    /// `k`-limb ladder register (current value).
+    pub(super) acc: Vec<u64>,
+    /// `k`-limb ladder register (multiplication target, swapped with `acc`).
+    pub(super) tmp: Vec<u64>,
+}
+
+impl MontScratch {
+    /// Grows (or trims the registers of) this scratch to fit width `k`.
+    pub(super) fn fit(&mut self, k: usize) {
+        if self.prod.len() < 2 * k + 1 {
+            self.prod.resize(2 * k + 1, 0);
+        }
+        if self.acc.len() != k {
+            self.acc.resize(k, 0);
+        }
+        if self.tmp.len() != k {
+            self.tmp.resize(k, 0);
+        }
+    }
+}
+
+impl std::fmt::Debug for MontScratch {
+    /// Redacted: scratch contents are working residues of (possibly
+    /// secret-derived) intermediates and never belong in logs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MontScratch")
+            .field("limbs", &self.acc.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl crate::zeroize::Zeroize for MontScratch {
+    fn zeroize(&mut self) {
+        self.prod.zeroize();
+        self.acc.zeroize();
+        self.tmp.zeroize();
+    }
+}
 
 /// A reusable Montgomery multiplication context for one odd modulus.
 ///
@@ -59,65 +141,56 @@ impl MontCtx {
         &self.n
     }
 
-    /// `base^exp mod n` using 4-bit fixed-window exponentiation in
-    /// Montgomery form.
-    ///
-    /// Every window multiplies unconditionally — zero windows multiply by
-    /// the Montgomery form of 1 instead of being skipped — so the
-    /// multiplication count depends only on `exp.bit_len()`, not on which
-    /// exponent bits are set (the square-and-multiply timing leak).
-    ///
-    /// `base` need not be reduced.
-    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
-        // pisa-lint: allow(secret-branching): guard on exponent *presence* only;
-        // secret exponents (λ, p−1, q−1, n) are never zero, so this branch is
-        // taken solely for public zero-exponent calls.
-        if exp.is_zero() {
-            return Ubig::one() % &self.n;
-        }
-        let base = base % &self.n;
-        let base_m = self.to_mont(&base);
-
-        // Precompute base^0..base^15 in Montgomery form.
-        let mut table = Vec::with_capacity(16);
-        table.push(self.r_mod_n.clone()); // 1 in Montgomery form
-        table.push(base_m.clone());
-        for i in 2..16 {
-            table.push(self.mont_mul(&table[i - 1], &base_m));
-        }
-
-        let bits = exp.bit_len();
-        let windows = bits.div_ceil(4);
-        let mut acc = table[nibble(exp, windows - 1)].clone();
-        for w in (0..windows - 1).rev() {
-            acc = self.mont_mul(&acc, &acc);
-            acc = self.mont_mul(&acc, &acc);
-            acc = self.mont_mul(&acc, &acc);
-            acc = self.mont_mul(&acc, &acc);
-            let d = nibble(exp, w);
-            acc = self.mont_mul(&acc, &table[d]);
-        }
-        self.unmont(&acc)
+    /// Limb width of this context's residues.
+    pub(crate) fn limb_width(&self) -> usize {
+        self.k
     }
 
-    /// `a * b mod n` for already-reduced operands, via Montgomery form.
-    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
-        let am = self.to_mont(a);
-        let bm = self.to_mont(b);
-        self.unmont(&self.mont_mul(&am, &bm))
+    /// Allocates working memory sized for this context. One scratch
+    /// serves any number of sequential operations; allocate one per
+    /// thread for parallel work.
+    pub fn scratch(&self) -> MontScratch {
+        MontScratch {
+            prod: vec![0u64; 2 * self.k + 1],
+            acc: vec![0u64; self.k],
+            tmp: vec![0u64; self.k],
+        }
     }
 
-    fn to_mont(&self, a: &Ubig) -> Ubig {
+    /// Converts `a < n` into Montgomery form (`a · R mod n`).
+    pub fn to_mont(&self, a: &Ubig, s: &mut MontScratch) -> Ubig {
         debug_assert!(a < &self.n);
-        self.mont_mul(a, &self.r2_mod_n)
+        self.mont_mul(a, &self.r2_mod_n, s)
     }
 
-    fn unmont(&self, a: &Ubig) -> Ubig {
-        self.mont_mul(a, &Ubig::one())
+    /// Converts a Montgomery-form residue back to the ordinary range.
+    pub fn from_mont(&self, a: &Ubig, s: &mut MontScratch) -> Ubig {
+        s.fit(self.k);
+        let mut out = vec![0u64; self.k];
+        self.mont_mul_into(a.as_limbs(), &[1u64], &mut out, &mut s.prod);
+        Ubig::from_limbs(out)
     }
 
-    /// REDC(a*b): returns `a * b * R⁻¹ mod n`.
-    fn mont_mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+    /// The Montgomery form of 1 (`R mod n`) — the neutral element for
+    /// [`MontCtx::mont_mul`] chains and the zero-digit table entry.
+    pub fn one_mont(&self) -> Ubig {
+        self.r_mod_n.clone()
+    }
+
+    /// REDC(a·b): `a · b · R⁻¹ mod n` for Montgomery-form operands,
+    /// without allocating working memory (only the result vector).
+    pub fn mont_mul(&self, a: &Ubig, b: &Ubig, s: &mut MontScratch) -> Ubig {
+        s.fit(self.k);
+        let mut out = vec![0u64; self.k];
+        self.mont_mul_into(a.as_limbs(), b.as_limbs(), &mut out, &mut s.prod);
+        Ubig::from_limbs(out)
+    }
+
+    /// REDC(a·b) via the original allocating path: fresh product vector,
+    /// `resize`, `to_vec`. Kept verbatim as the differential baseline the
+    /// scratch kernel is property-tested against; no hot path uses it.
+    pub fn mont_mul_reference(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        bump_mul_count();
         let k = self.k;
         let nl = self.n.as_limbs();
         // t = a * b, extended to 2k+1 limbs for reduction carries.
@@ -150,6 +223,151 @@ impl MontCtx {
         }
         Ubig::from_limbs(res)
     }
+
+    /// REDC(a·b) into `out` (exactly `k` limbs, fixed width, value < n),
+    /// using `prod` as the `2k + 1`-limb working buffer. Operand slices
+    /// may be narrower than `k` limbs (normalized values) or exactly `k`
+    /// (fixed-width table entries with zero high limbs) — both reduce
+    /// identically. `out` must not alias `prod`.
+    pub(crate) fn mont_mul_into(&self, a: &[u64], b: &[u64], out: &mut [u64], prod: &mut [u64]) {
+        let k = self.k;
+        debug_assert!(a.len() <= k && b.len() <= k, "operand wider than modulus");
+        debug_assert_eq!(out.len(), k, "output must be modulus-width");
+        let prod = &mut prod[..2 * k + 1];
+        bump_mul_count();
+        mul_limbs_into(a, b, prod);
+
+        let nl = self.n.as_limbs();
+        for i in 0..k {
+            let m = prod[i].wrapping_mul(self.n0_inv);
+            // prod += m * n << (64*i)
+            let mut carry = 0u128;
+            for (j, &nj) in nl.iter().enumerate() {
+                let cur = prod[i + j] as u128 + m as u128 * nj as u128 + carry;
+                prod[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let cur = prod[idx] as u128 + carry;
+                prod[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+
+        // Result is prod >> (64*k): k+1 limbs with top limb in {0, 1}, at
+        // most one subtraction from n away. After the conditional
+        // subtraction the value is < n and fits in k limbs.
+        let res = &mut prod[k..];
+        if ge_slices(res, nl) {
+            let borrow = sub_assign_slice(res, nl);
+            debug_assert_eq!(borrow, 0);
+        }
+        out.copy_from_slice(&prod[k..2 * k]);
+        debug_assert_eq!(prod[2 * k], 0, "reduced value must fit k limbs");
+    }
+
+    /// `base^exp mod n` using fixed-window exponentiation in Montgomery
+    /// form, with the window width adapted to the exponent's bit length.
+    ///
+    /// Every window multiplies unconditionally — zero windows multiply by
+    /// the Montgomery form of 1 instead of being skipped — so the
+    /// multiplication count depends only on `exp.bit_len()`, not on which
+    /// exponent bits are set (the square-and-multiply timing leak).
+    ///
+    /// `base` need not be reduced.
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        let mut s = self.scratch();
+        self.pow_with(base, exp, &mut s)
+    }
+
+    /// [`MontCtx::pow`] reusing caller-provided scratch, for call sites
+    /// that exponentiate in a loop (matrix rows, pool refills).
+    pub fn pow_with(&self, base: &Ubig, exp: &Ubig, s: &mut MontScratch) -> Ubig {
+        // Guard on exponent *presence* only; secret exponents (λ, p−1,
+        // q−1, n) are never zero, so this branch is taken solely for
+        // public zero-exponent calls.
+        if exp.is_zero() {
+            return Ubig::one() % &self.n;
+        }
+        // Skip the reduction division when the base is already < n —
+        // matrix entries, table outputs and pooled randomizers always are.
+        let reduced;
+        let base = if base < &self.n {
+            base
+        } else {
+            reduced = base % &self.n;
+            &reduced
+        };
+        let base_m = self.to_mont(base, s);
+        let acc_m = self.pow_mont(&base_m, exp, s);
+        self.from_mont(&acc_m, s)
+    }
+
+    /// `base_m^exp` for a base already in Montgomery form, returning the
+    /// result **still in Montgomery form** so chained operations (the
+    /// `(1 + m·n) · r^n` encryption product, rerandomization factors)
+    /// skip the per-step `to_mont`/`from_mont` round trip.
+    ///
+    /// The window width is chosen from `exp.bit_len()` alone and every
+    /// window multiplies unconditionally, so the multiplication count is
+    /// a pure function of the exponent's bit length (constant shape).
+    pub fn pow_mont(&self, base_m: &Ubig, exp: &Ubig, s: &mut MontScratch) -> Ubig {
+        let bits = exp.bit_len();
+        // Zero-exponent guard; see `pow_with`.
+        if bits == 0 {
+            return self.one_mont();
+        }
+        let k = self.k;
+        s.fit(k);
+        // Selects on the exponent's *bit length* only — public for every
+        // exponent in the protocol (n has the key width, λ-derived
+        // exponents the prime width) — never on which bits are set.
+        let w = window_width(bits);
+        let table_len = 1usize << w;
+
+        // Flat fixed-width table: entry d at [d*k, (d+1)*k) holds
+        // base^d in Montgomery form. One allocation per exponentiation;
+        // `FixedBasePow` hoists even that out for repeated bases.
+        let mut table = vec![0u64; table_len * k];
+        copy_padded(&mut table[..k], self.r_mod_n.as_limbs());
+        copy_padded(&mut table[k..2 * k], base_m.as_limbs());
+        for d in 2..table_len {
+            let (lo, hi) = table.split_at_mut(d * k);
+            self.mont_mul_into(
+                &lo[(d - 1) * k..],
+                base_m.as_limbs(),
+                &mut hi[..k],
+                &mut s.prod,
+            );
+        }
+
+        let windows = bits.div_ceil(w);
+        let top = digit(exp, windows - 1, w);
+        s.acc.copy_from_slice(&table[top * k..(top + 1) * k]);
+        for win in (0..windows - 1).rev() {
+            for _ in 0..w {
+                self.mont_mul_into(&s.acc, &s.acc, &mut s.tmp, &mut s.prod);
+                std::mem::swap(&mut s.acc, &mut s.tmp);
+            }
+            // Zero digits multiply by table[0] (the Montgomery 1) instead
+            // of being skipped: the count stays a function of bit length.
+            let d = digit(exp, win, w);
+            self.mont_mul_into(&s.acc, &table[d * k..(d + 1) * k], &mut s.tmp, &mut s.prod);
+            std::mem::swap(&mut s.acc, &mut s.tmp);
+        }
+        Ubig::from_limbs(s.acc.clone())
+    }
+
+    /// `a * b mod n` for already-reduced operands, via Montgomery form.
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let mut s = self.scratch();
+        let am = self.to_mont(a, &mut s);
+        let bm = self.to_mont(b, &mut s);
+        let prod_m = self.mont_mul(&am, &bm, &mut s);
+        self.from_mont(&prod_m, &mut s)
+    }
 }
 
 impl crate::zeroize::Zeroize for MontCtx {
@@ -163,6 +381,42 @@ impl crate::zeroize::Zeroize for MontCtx {
         self.n0_inv.zeroize();
         self.k.zeroize();
     }
+}
+
+/// Window width for an exponent of the given bit length. The tiers trade
+/// table-build cost (2^w − 2 multiplications) against ladder multiplies
+/// (⌈bits/w⌉ − 1 windows); a pure function of the public bit length.
+fn window_width(bits: usize) -> usize {
+    if bits <= 6 {
+        1
+    } else if bits <= 24 {
+        2
+    } else if bits <= 80 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Extracts the `idx`-th `w`-bit digit of `e` (little-endian digit order).
+pub(super) fn digit(e: &Ubig, idx: usize, w: usize) -> usize {
+    let bit = idx * w;
+    let limb = bit / 64;
+    let off = bit % 64;
+    let limbs = e.as_limbs();
+    let lo = limbs.get(limb).copied().unwrap_or(0) >> off;
+    let val = if off + w > 64 {
+        lo | (limbs.get(limb + 1).copied().unwrap_or(0) << (64 - off))
+    } else {
+        lo
+    };
+    val as usize & ((1 << w) - 1)
+}
+
+/// Copies `src` into `dst` and zero-fills the remaining high limbs.
+pub(super) fn copy_padded(dst: &mut [u64], src: &[u64]) {
+    dst[..src.len()].copy_from_slice(src);
+    dst[src.len()..].fill(0);
 }
 
 /// Compares two little-endian limb slices (possibly unnormalized).
@@ -197,20 +451,6 @@ fn inv_limb(x: u64) -> u64 {
     }
     debug_assert_eq!(x.wrapping_mul(inv), 1);
     inv
-}
-
-fn nibble(e: &Ubig, w: usize) -> usize {
-    let bit = w * 4;
-    let limb = bit / 64;
-    let off = bit % 64;
-    let limbs = e.as_limbs();
-    let lo = limbs.get(limb).copied().unwrap_or(0) >> off;
-    let val = if off > 60 {
-        lo | (limbs.get(limb + 1).copied().unwrap_or(0) << (64 - off))
-    } else {
-        lo
-    };
-    (val & 0xf) as usize
 }
 
 #[cfg(test)]
@@ -276,7 +516,110 @@ mod tests {
         assert_eq!(ctx.pow(&Ubig::from(3u64), &exp), Ubig::one());
     }
 
-    fn naive_pow(mut b: u64, mut e: u64, m: u64) -> u64 {
+    #[test]
+    fn scratch_kernel_matches_reference() {
+        let p = (Ubig::one() << 127) - Ubig::one();
+        let ctx = MontCtx::new(&p).unwrap();
+        let mut s = ctx.scratch();
+        let mut x = Ubig::from(0x9e3779b97f4a7c15u64);
+        for _ in 0..20 {
+            let y = (&x * &x + Ubig::one()) % &p;
+            assert_eq!(ctx.mont_mul(&x, &y, &mut s), ctx.mont_mul_reference(&x, &y));
+            x = y;
+        }
+    }
+
+    #[test]
+    fn mont_form_round_trip_and_chain() {
+        let p = (Ubig::one() << 127) - Ubig::one();
+        let ctx = MontCtx::new(&p).unwrap();
+        let mut s = ctx.scratch();
+        let a = Ubig::from(123456789u64);
+        let b = Ubig::from(987654321u64);
+        let am = ctx.to_mont(&a, &mut s);
+        assert_eq!(ctx.from_mont(&am, &mut s), a);
+        // Chained product stays in Montgomery form until the end.
+        let bm = ctx.to_mont(&b, &mut s);
+        let abm = ctx.mont_mul(&am, &bm, &mut s);
+        assert_eq!(ctx.from_mont(&abm, &mut s), (&a * &b) % &p);
+        // one_mont is neutral.
+        assert_eq!(ctx.mont_mul(&am, &ctx.one_mont(), &mut s), am);
+    }
+
+    #[test]
+    fn pow_mont_matches_pow() {
+        let p = (Ubig::one() << 127) - Ubig::one();
+        let ctx = MontCtx::new(&p).unwrap();
+        let mut s = ctx.scratch();
+        let base = Ubig::from(0xfeedfaceu64);
+        for exp in [1u64, 2, 5, 63, 64, 65, 0xffff_ffff_ffff_ffff] {
+            let e = Ubig::from(exp);
+            let bm = ctx.to_mont(&base, &mut s);
+            let rm = ctx.pow_mont(&bm, &e, &mut s);
+            assert_eq!(ctx.from_mont(&rm, &mut s), ctx.pow(&base, &e), "exp {exp}");
+        }
+    }
+
+    #[test]
+    fn all_window_widths_agree_with_naive() {
+        // Bit lengths landing in each window tier: 5 → w=1, 17 → w=2,
+        // 65 → w=3, 127 → w=4.
+        let p = (Ubig::one() << 127) - Ubig::one();
+        let ctx = MontCtx::new(&p).unwrap();
+        let base = Ubig::from(3u64);
+        for bits in [5usize, 17, 65, 127] {
+            let exp = (Ubig::one() << (bits - 1)) + Ubig::from(0b1011u64);
+            let expect = naive_square_multiply(&base, &exp, &p);
+            assert_eq!(ctx.pow(&base, &exp), expect, "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn scratch_reusable_across_widths() {
+        let small = MontCtx::new(&Ubig::from(1000003u64)).unwrap();
+        let big = MontCtx::new(&((Ubig::one() << 127) - Ubig::one())).unwrap();
+        let mut s = big.scratch();
+        let e = Ubig::from(65537u64);
+        assert_eq!(
+            small.pow_with(&Ubig::from(2u64), &e, &mut s),
+            small.pow(&Ubig::from(2u64), &e)
+        );
+        assert_eq!(
+            big.pow_with(&Ubig::from(2u64), &e, &mut s),
+            big.pow(&Ubig::from(2u64), &e)
+        );
+    }
+
+    #[test]
+    fn mul_count_pure_function_of_bit_len() {
+        let p = (Ubig::one() << 127) - Ubig::one();
+        let ctx = MontCtx::new(&p).unwrap();
+        // Same bit length, different Hamming weight → identical counts.
+        let heavy = (Ubig::one() << 90) - Ubig::one();
+        let light = Ubig::one() << 89;
+        assert_eq!(heavy.bit_len(), light.bit_len());
+        reset_mont_mul_count();
+        ctx.pow(&Ubig::from(7u64), &heavy);
+        let c_heavy = mont_mul_count();
+        reset_mont_mul_count();
+        ctx.pow(&Ubig::from(7u64), &light);
+        let c_light = mont_mul_count();
+        assert_eq!(c_heavy, c_light);
+    }
+
+    fn naive_square_multiply(base: &Ubig, exp: &Ubig, n: &Ubig) -> Ubig {
+        let mut acc = Ubig::one();
+        let mut b = base % n;
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                acc = (&acc * &b) % n;
+            }
+            b = (&b * &b) % n;
+        }
+        acc
+    }
+
+    fn naive_pow(b: u64, mut e: u64, m: u64) -> u64 {
         let mut acc = 1u128;
         let mut bb = b as u128 % m as u128;
         while e > 0 {
@@ -286,7 +629,6 @@ mod tests {
             bb = bb * bb % m as u128;
             e >>= 1;
         }
-        b = acc as u64;
-        b
+        acc as u64
     }
 }

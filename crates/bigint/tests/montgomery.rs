@@ -1,0 +1,118 @@
+//! Property tests for the Montgomery kernels: the allocation-free scratch
+//! path against the reference allocating path, `FixedBasePow` against
+//! `MontCtx::pow` against naive square-and-multiply, and the
+//! constant-shape guarantee that multiplication counts depend only on the
+//! exponent's bit length.
+
+use pisa_bigint::modular::{mont_mul_count, reset_mont_mul_count, FixedBasePow, MontCtx};
+use pisa_bigint::Ubig;
+use proptest::prelude::*;
+
+/// Arbitrary odd modulus > 1, up to ~256 bits.
+fn odd_modulus() -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u64>(), 1..4)
+        .prop_map(|mut limbs| {
+            limbs[0] |= 1;
+            Ubig::from_limbs(limbs)
+        })
+        .prop_filter("modulus > 1", |m| !m.is_one())
+}
+
+/// Arbitrary Ubig up to ~256 bits.
+fn ubig() -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u64>(), 0..4).prop_map(Ubig::from_limbs)
+}
+
+/// Textbook square-and-multiply, the independent oracle.
+fn naive_pow(base: &Ubig, exp: &Ubig, n: &Ubig) -> Ubig {
+    let mut acc = Ubig::one() % n;
+    let mut b = base % n;
+    for i in 0..exp.bit_len() {
+        if exp.bit(i) {
+            acc = (&acc * &b) % n;
+        }
+        b = (&b * &b) % n;
+    }
+    acc
+}
+
+proptest! {
+    /// Scratch-buffer `mont_mul` ≡ the old allocation path, over random
+    /// reduced operands and moduli.
+    #[test]
+    fn scratch_mont_mul_matches_reference(a in ubig(), b in ubig(), m in odd_modulus()) {
+        let ctx = MontCtx::new(&m).unwrap();
+        let a = &a % &m;
+        let b = &b % &m;
+        let mut s = ctx.scratch();
+        prop_assert_eq!(ctx.mont_mul(&a, &b, &mut s), ctx.mont_mul_reference(&a, &b));
+    }
+
+    /// `FixedBasePow::pow` ≡ `MontCtx::pow` ≡ naive square-and-multiply.
+    #[test]
+    fn three_pow_paths_agree(base in ubig(), exp in ubig(), m in odd_modulus()) {
+        let ctx = MontCtx::new(&m).unwrap();
+        let windowed = ctx.pow(&base, &exp);
+        let naive = naive_pow(&base, &exp, &m);
+        prop_assert_eq!(&windowed, &naive);
+        let fb = FixedBasePow::new(&ctx, &base, 256).unwrap();
+        prop_assert_eq!(&fb.pow(&exp), &naive);
+    }
+
+    /// Montgomery-form chaining (`to_mont` → `pow_mont` → `mont_mul` →
+    /// `from_mont`) equals the round-tripping composition.
+    #[test]
+    fn mont_chain_matches_round_trips(a in ubig(), e in 0u64..5000, m in odd_modulus()) {
+        let ctx = MontCtx::new(&m).unwrap();
+        let a = &a % &m;
+        let e = Ubig::from(e);
+        let mut s = ctx.scratch();
+        // chained: a^e * a, leaving Montgomery form only at the end
+        let am = ctx.to_mont(&a, &mut s);
+        let pm = ctx.pow_mont(&am, &e, &mut s);
+        let chained = ctx.from_mont(&ctx.mont_mul(&pm, &am, &mut s), &mut s);
+        let round_tripped = ctx.mul(&ctx.pow(&a, &e), &a);
+        prop_assert_eq!(chained, round_tripped);
+    }
+
+    /// The multiplication count of `MontCtx::pow` is a pure function of
+    /// `exp.bit_len()`: two exponents of equal bit length cost identical
+    /// counts regardless of their bit patterns.
+    #[test]
+    fn pow_shape_depends_only_on_bit_len(
+        bits in 1usize..200,
+        seed1 in ubig(),
+        seed2 in ubig(),
+        m in odd_modulus(),
+    ) {
+        let ctx = MontCtx::new(&m).unwrap();
+        let top = Ubig::one() << (bits - 1);
+        let e1 = &top + &(&seed1 % &top);
+        let e2 = &top + &(&seed2 % &top);
+        prop_assert_eq!(e1.bit_len(), bits);
+        prop_assert_eq!(e2.bit_len(), bits);
+        let base = Ubig::from(7u64);
+        reset_mont_mul_count();
+        ctx.pow(&base, &e1);
+        let c1 = mont_mul_count();
+        reset_mont_mul_count();
+        ctx.pow(&base, &e2);
+        let c2 = mont_mul_count();
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// `FixedBasePow` is stricter: the count is one constant for every
+    /// exponent the table accepts, whatever its bit length.
+    #[test]
+    fn fixed_base_shape_is_constant(
+        exp in ubig(),
+        m in odd_modulus(),
+    ) {
+        let ctx = MontCtx::new(&m).unwrap();
+        let fb = FixedBasePow::new(&ctx, &Ubig::from(3u64), 256).unwrap();
+        let mut s = fb.scratch();
+        reset_mont_mul_count();
+        fb.pow_mont(&exp, &mut s);
+        prop_assert_eq!(mont_mul_count(), fb.muls_per_pow());
+    }
+}

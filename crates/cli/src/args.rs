@@ -42,7 +42,10 @@ commands:
                                --verify replays the storm on the in-memory
                                engine and compares every decision
   bench [--bits N] [--iters N] [--metrics] [--metrics-out FILE]
-                               per-phase protocol timing (paper Tables 2-3)
+        [--pool N] [--threads N]
+                               per-phase protocol timing (paper Tables 2-3);
+                               --pool precomputes N randomizer factors per
+                               party offline, --threads fans phases out
   attack                       curious-SDC inference demo (WATCH vs PISA)
   info                         print the paper's Table I configuration
 
@@ -199,6 +202,11 @@ pub enum Command {
         metrics: bool,
         /// Where to write the metrics report as JSON.
         metrics_out: Option<String>,
+        /// Randomizer-pool capacity (0 = pools disabled); refilled
+        /// between iterations, outside the timed phases.
+        pool: usize,
+        /// Worker threads for the phase fan-outs.
+        threads: usize,
     },
     /// Inference-attack demo.
     Attack,
@@ -442,6 +450,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let (mut bits, mut iters) = (512usize, 4usize);
             let mut metrics = false;
             let mut metrics_out = None;
+            let (mut pool, mut threads) = (0usize, 1usize);
             let mut it = it.peekable();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -465,6 +474,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         let value = it.next().ok_or("flag --metrics-out needs a value")?;
                         metrics_out = Some(value.to_owned());
                     }
+                    "--pool" => {
+                        let value = it.next().ok_or("flag --pool needs a value")?;
+                        pool = parse_num(flag, value)?;
+                    }
+                    "--threads" => {
+                        let value = it.next().ok_or("flag --threads needs a value")?;
+                        threads = parse_num(flag, value)?;
+                        if threads == 0 {
+                            return Err("--threads must be positive".into());
+                        }
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -476,6 +496,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 iters,
                 metrics,
                 metrics_out,
+                pool,
+                threads,
             })
         }
         "--help" | "-h" | "help" => Err("help requested".into()),
@@ -823,11 +845,13 @@ mod tests {
                 iters: 4,
                 metrics: false,
                 metrics_out: None,
+                pool: 0,
+                threads: 1,
             }
         );
         assert_eq!(
             parse(&argv(
-                "bench --bits 256 --iters 2 --metrics --metrics-out b.json"
+                "bench --bits 256 --iters 2 --metrics --metrics-out b.json --pool 128 --threads 4"
             ))
             .unwrap(),
             Command::Bench {
@@ -835,10 +859,14 @@ mod tests {
                 iters: 2,
                 metrics: true,
                 metrics_out: Some("b.json".into()),
+                pool: 128,
+                threads: 4,
             }
         );
         assert!(parse(&argv("bench --bits 63")).is_err());
         assert!(parse(&argv("bench --iters 0")).is_err());
+        assert!(parse(&argv("bench --threads 0")).is_err());
+        assert!(parse(&argv("bench --pool")).is_err());
         assert!(parse(&argv("bench --what 1")).is_err());
     }
 

@@ -8,12 +8,13 @@ use crate::license::License;
 use crate::messages::{PuUpdateMsg, SdcResponseMsg, SdcToStpMsg, StpToSdcMsg, SuRequestMsg};
 use pisa_bigint::{Ibig, Ubig};
 use pisa_crypto::blind::{sample_eta, Blinder, SignFlip};
-use pisa_crypto::paillier::{Ciphertext, PaillierPublicKey};
+use pisa_crypto::paillier::{Ciphertext, PaillierPublicKey, Randomizer, RandomizerPool};
 use pisa_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use pisa_radio::BlockId;
 use pisa_watch::{compute_e_matrix, IntMatrix};
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// State the SDC keeps between phase 1 (blinded sign test sent to the
 /// STP) and phase 2 (response built from the STP's answer).
@@ -58,6 +59,10 @@ pub struct SdcServer {
     blinder: Blinder,
     serial: u64,
     pending: HashMap<SuId, PendingRequest>,
+    /// Optional pool of precomputed `rⁿ` factors under `pk_G` for the
+    /// per-entry β̃ encryptions of phase 1 (paper §VI-A offline/online
+    /// split). `None` keeps the fully online path.
+    beta_pool: Option<Arc<RandomizerPool>>,
 }
 
 impl std::fmt::Debug for SdcServer {
@@ -116,7 +121,41 @@ impl SdcServer {
             blinder,
             serial: 0,
             pending: HashMap::new(),
+            beta_pool: None,
         }
+    }
+
+    /// Attaches a pool of precomputed `rⁿ` factors under `pk_G` that
+    /// phase 1 consumes for its per-entry β̃ encryptions — the paper's
+    /// §VI-A offline/online split applied to the sign test. Entries
+    /// beyond the pooled supply fall back to online exponentiation;
+    /// refill between request batches through the shared handle.
+    ///
+    /// # Errors
+    ///
+    /// [`PisaError::EngineFailure`] if the pool precomputes for a key
+    /// other than `pk_G` (its factors would corrupt every ciphertext).
+    pub fn attach_beta_pool(&mut self, pool: Arc<RandomizerPool>) -> Result<(), PisaError> {
+        if pool.public_key() != &self.pk_g {
+            return Err(PisaError::EngineFailure("β pool built for a different key"));
+        }
+        self.beta_pool = Some(pool);
+        Ok(())
+    }
+
+    /// The attached β pool, if any (for refills and stats).
+    pub fn beta_pool(&self) -> Option<&Arc<RandomizerPool>> {
+        self.beta_pool.as_ref()
+    }
+
+    /// Pre-takes one pooled β factor per entry (empty when no pool is
+    /// attached), indexed by entry order so the sequential and parallel
+    /// phase-1 paths consume identical factors.
+    fn take_beta_factors(&self, entries: usize) -> Vec<Randomizer> {
+        self.beta_pool
+            .as_ref()
+            .map(|pool| pool.take_batch(entries))
+            .unwrap_or_default()
     }
 
     /// The system configuration.
@@ -238,10 +277,17 @@ impl SdcServer {
         let mut epsilons = Vec::with_capacity(channels * region);
 
         let base = rng.next_u64();
+        let beta_factors = self.take_beta_factors(channels * region);
         for c in 0..channels {
             for b in 0..region {
-                let mut erng = entry_rng(base, c * region + b);
-                let (v, eps) = self.blind_entry(msg.f_matrix.get(c, b), (c, b), &mut erng)?;
+                let idx = c * region + b;
+                let mut erng = entry_rng(base, idx);
+                let (v, eps) = self.blind_entry(
+                    msg.f_matrix.get(c, b),
+                    (c, b),
+                    beta_factors.get(idx),
+                    &mut erng,
+                )?;
                 v_entries.push(v);
                 epsilons.push(eps);
             }
@@ -275,10 +321,15 @@ impl SdcServer {
     /// `V = ε ⊗ (α ⊗ I ⊖ β̃)`. Returns the blinded ciphertext and the ε
     /// needed to unblind in phase 2, or [`PisaError::Crypto`] when the
     /// SU supplied a non-unit (adversarial) ciphertext entry.
+    ///
+    /// With a pooled `beta_factor` the β̃ encryption is two modular
+    /// multiplications instead of the full `rⁿ` exponentiation — the
+    /// dominant per-entry cost of the sign test.
     fn blind_entry<R: Rng + ?Sized>(
         &self,
         f_ct: &Ciphertext,
         (c, b): (usize, usize),
+        beta_factor: Option<&Randomizer>,
         rng: &mut R,
     ) -> Result<(Ciphertext, SignFlip), PisaError> {
         let x = Ibig::from(self.cfg.watch().params().x_integer());
@@ -291,7 +342,11 @@ impl SdcServer {
         let scaled = self
             .pk_g
             .scalar_mul(&i, &Ibig::from(factors.alpha.clone()))?;
-        let beta_ct = self.pk_g.encrypt(&Ibig::from(factors.beta.clone()), rng);
+        let beta = Ibig::from(factors.beta.clone());
+        let beta_ct = match beta_factor {
+            Some(f) => self.pk_g.encrypt_with_randomizer(&beta, f),
+            None => self.pk_g.encrypt(&beta, rng),
+        };
         let blinded = self.pk_g.sub(&scaled, &beta_ct)?;
         let v = self
             .pk_g
@@ -347,12 +402,14 @@ impl SdcServer {
             .collect();
         let chunk_len = indices.len().div_ceil(threads).max(1);
         let base = rng.next_u64();
+        let beta_factors = self.take_beta_factors(indices.len());
 
         // Immutable fan-out over &self; results keep entry order, and
-        // every entry gets the same derived RNG it would get on the
-        // sequential path, regardless of which chunk it lands in. Every
-        // handle is joined before any error is propagated so a poisoned
-        // worker cannot leak past the scope.
+        // every entry gets the same derived RNG — and the same pooled β
+        // factor, if any — it would get on the sequential path,
+        // regardless of which chunk it lands in. Every handle is joined
+        // before any error is propagated so a poisoned worker cannot
+        // leak past the scope.
         let results: Result<Vec<(Ciphertext, SignFlip)>, PisaError> = std::thread::scope(|scope| {
             let handles: Vec<_> = indices
                 .chunks(chunk_len)
@@ -360,13 +417,20 @@ impl SdcServer {
                 .map(|(chunk_no, chunk)| {
                     let this = &*self;
                     let f = &msg.f_matrix;
+                    let beta_factors = &beta_factors;
                     scope.spawn(move || {
                         chunk
                             .iter()
                             .enumerate()
                             .map(|(k, &(c, b))| {
-                                let mut erng = entry_rng(base, chunk_no * chunk_len + k);
-                                this.blind_entry(f.get(c, b), (c, b), &mut erng)
+                                let idx = chunk_no * chunk_len + k;
+                                let mut erng = entry_rng(base, idx);
+                                this.blind_entry(
+                                    f.get(c, b),
+                                    (c, b),
+                                    beta_factors.get(idx),
+                                    &mut erng,
+                                )
                             })
                             .collect::<Vec<_>>()
                     })
@@ -441,12 +505,16 @@ impl SdcServer {
             return Err(err);
         }
 
-        let one = su_pk.encrypt_public_constant(&Ibig::from(1i64));
+        // Q = ε ⊗ X̃ ⊖ 1̃ (eq. 16). Subtracting the deterministic 1̃ is
+        // multiplication by (1+n)⁻¹ ≡ 1 + (n−1)·n (mod n²), which is
+        // exactly the deterministic encryption of −1 — so adding E(−1)
+        // yields byte-identical ciphertexts while skipping the modular
+        // inversion that ⊖ would recompute for every entry.
+        let minus_one = su_pk.encrypt_public_constant(&Ibig::from(-1i64));
         let mut sum_q: Option<Ciphertext> = None;
         for (x_ct, eps) in msg.x_matrix.ciphertexts().iter().zip(&pending.epsilons) {
-            // Q = ε ⊗ X̃ ⊖ 1̃ (eq. 16)
             let unblinded = su_pk.scalar_mul(x_ct, &eps.as_scalar())?;
-            let q = su_pk.sub(&unblinded, &one)?;
+            let q = su_pk.add(&unblinded, &minus_one);
             sum_q = Some(match sum_q {
                 None => q,
                 Some(acc) => su_pk.add(&acc, &q),
@@ -587,6 +655,7 @@ impl SdcServer {
             blinder,
             serial,
             pending: HashMap::new(),
+            beta_pool: None,
         };
         sdc.reaggregate_budget();
         Ok(sdc)
@@ -757,6 +826,80 @@ mod tests {
             .process_request_phase2(&good, su.public_key(), &mut rng)
             .unwrap();
         assert!(su.handle_response(&response, sdc.signing_public_key()));
+    }
+
+    #[test]
+    fn pooled_phase1_parallel_matches_pooled_sequential() {
+        let (cfg, mut stp, mut sdc, mut rng) = setup();
+        let mut su = SuClient::new(SuId(5), BlockId(0), &cfg, &mut rng);
+        stp.register_su(SuId(5), su.public_key().clone());
+        let request = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+        let entries = cfg.channels() * cfg.blocks();
+
+        let primed_pool = || {
+            let pool = Arc::new(RandomizerPool::new(stp.public_key(), entries));
+            pool.refill(&mut StdRng::seed_from_u64(0xf00d));
+            pool
+        };
+        sdc.attach_beta_pool(primed_pool()).unwrap();
+        let sequential = sdc
+            .process_request_phase1(&request, &mut StdRng::seed_from_u64(0xaa))
+            .unwrap();
+
+        // Re-prime with identical factors: the parallel path must
+        // consume them in the same entry order for any thread count.
+        for threads in [1usize, 2, 8] {
+            sdc.attach_beta_pool(primed_pool()).unwrap();
+            let parallel = sdc
+                .process_request_phase1_parallel(
+                    &request,
+                    threads,
+                    &mut StdRng::seed_from_u64(0xaa),
+                )
+                .unwrap();
+            assert_eq!(
+                parallel.v_matrix.ciphertexts(),
+                sequential.v_matrix.ciphertexts(),
+                "pooled phase 1 diverged with {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_beta_pool_falls_back_online_and_round_grants() {
+        let (cfg, mut stp, mut sdc, mut rng) = setup();
+        let mut su = SuClient::new(SuId(6), BlockId(0), &cfg, &mut rng);
+        stp.register_su(SuId(6), su.public_key().clone());
+        let entries = cfg.channels() * cfg.blocks();
+
+        // A pool covering only half the entries: the rest must pay the
+        // online exponentiation, and the round must still verify.
+        let pool = Arc::new(RandomizerPool::new(stp.public_key(), entries / 2));
+        pool.refill(&mut rng);
+        sdc.attach_beta_pool(Arc::clone(&pool)).unwrap();
+
+        let request = su.build_request(&cfg, stp.public_key(), &[Channel(0)], &mut rng);
+        let to_stp = sdc.process_request_phase1(&request, &mut rng).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.hits, (entries / 2) as u64);
+        assert_eq!(stats.misses, (entries - entries / 2) as u64);
+
+        let (reply, _) = stp.key_convert(&to_stp, &mut rng).unwrap();
+        let response = sdc
+            .process_request_phase2(&reply, su.public_key(), &mut rng)
+            .unwrap();
+        assert!(su.handle_response(&response, sdc.signing_public_key()));
+    }
+
+    #[test]
+    fn beta_pool_for_wrong_key_is_rejected() {
+        let (_cfg, _stp, mut sdc, mut rng) = setup();
+        let other = pisa_crypto::paillier::PaillierKeyPair::generate(&mut rng, 256);
+        let pool = Arc::new(RandomizerPool::new(other.public(), 4));
+        assert!(matches!(
+            sdc.attach_beta_pool(pool),
+            Err(PisaError::EngineFailure(_))
+        ));
     }
 
     #[test]

@@ -5,8 +5,10 @@ use crate::error::PisaError;
 use crate::keys::{GlobalKeys, SuId, SuKeyDirectory};
 use crate::messages::{SdcToStpMsg, StpToSdcMsg};
 use pisa_bigint::Ibig;
-use pisa_crypto::paillier::PaillierPublicKey;
+use pisa_crypto::paillier::{PaillierPublicKey, Randomizer, RandomizerPool};
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Everything the STP observes while serving one key-conversion request —
 /// exactly the blinded values `V(c,i)` of eq. (14). Exposed so the
@@ -27,6 +29,10 @@ pub struct StpObservation {
 pub struct StpServer {
     global: GlobalKeys,
     directory: SuKeyDirectory,
+    /// Per-SU pools of precomputed `rⁿ` factors under `pk_j`, consumed
+    /// by key conversion for its ±1 re-encryptions (paper §VI-A
+    /// offline/online split). Empty map keeps the fully online path.
+    pools: HashMap<SuId, Arc<RandomizerPool>>,
 }
 
 impl std::fmt::Debug for StpServer {
@@ -41,7 +47,51 @@ impl StpServer {
         StpServer {
             global: GlobalKeys::generate(rng, bits),
             directory: SuKeyDirectory::new(),
+            pools: HashMap::new(),
         }
+    }
+
+    /// Creates (idempotently) a pool of `capacity` precomputed `rⁿ`
+    /// factors under an SU's key, which key conversion then consumes to
+    /// re-encrypt each ±1 sign with two multiplications instead of a
+    /// full exponentiation. Returns the shared handle, or `None` for an
+    /// SU that never registered a key. Pools start empty — top them up
+    /// with [`refill_pools`](Self::refill_pools).
+    pub fn enable_su_pool(&mut self, id: SuId, capacity: usize) -> Option<Arc<RandomizerPool>> {
+        let pk = self.directory.lookup(id)?;
+        let pool = self
+            .pools
+            .entry(id)
+            .or_insert_with(|| Arc::new(RandomizerPool::new(pk, capacity)));
+        Some(Arc::clone(pool))
+    }
+
+    /// The pool enabled for an SU, if any.
+    pub fn su_pool(&self, id: SuId) -> Option<&Arc<RandomizerPool>> {
+        self.pools.get(&id)
+    }
+
+    /// Tops every SU pool back up — the offline phase between request
+    /// batches. Pools refill in SU-id order so a seeded `rng` produces
+    /// the same factors on every run.
+    pub fn refill_pools<R: Rng + ?Sized>(&self, rng: &mut R) {
+        let mut ids: Vec<SuId> = self.pools.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if let Some(pool) = self.pools.get(&id) {
+                pool.refill(rng);
+            }
+        }
+    }
+
+    /// Pre-takes one pooled factor per entry (empty when the SU has no
+    /// pool), indexed by entry order so the sequential and parallel
+    /// conversion paths consume identical factors.
+    fn take_su_factors(&self, id: SuId, entries: usize) -> Vec<Randomizer> {
+        self.pools
+            .get(&id)
+            .map(|pool| pool.take_batch(entries))
+            .unwrap_or_default()
     }
 
     /// The global public key `pk_G` (anyone can retrieve it).
@@ -94,6 +144,7 @@ impl StpServer {
         let mut v_values = Vec::with_capacity(msg.v_matrix.len());
         let mut x_entries = Vec::with_capacity(msg.v_matrix.len());
         let base = rng.next_u64();
+        let factors = self.take_su_factors(msg.su_id, msg.v_matrix.len());
         for (idx, ct) in msg.v_matrix.ciphertexts().iter().enumerate() {
             let mut erng = crate::sdc::entry_rng(base, idx);
             let v = self.global.secret().decrypt(ct);
@@ -102,7 +153,10 @@ impl StpServer {
             } else {
                 Ibig::from(-1i64)
             };
-            x_entries.push(su_pk.encrypt(&x, &mut erng));
+            x_entries.push(match factors.get(idx) {
+                Some(f) => su_pk.encrypt_with_randomizer(&x, f),
+                None => su_pk.encrypt(&x, &mut erng),
+            });
             v_values.push(v);
         }
 
@@ -151,6 +205,11 @@ impl StpServer {
         let cts = msg.v_matrix.ciphertexts();
         let chunk_len = cts.len().div_ceil(threads).max(1);
         let base = rng.next_u64();
+        // Pre-take the pooled factors before the fan-out, indexed by entry
+        // order, so a pooled parallel conversion is byte-identical to the
+        // pooled sequential one regardless of thread count.
+        let factors = self.take_su_factors(msg.su_id, cts.len());
+        let factors = &factors;
 
         let results: Result<Vec<(pisa_crypto::paillier::Ciphertext, Ibig)>, PisaError> =
             std::thread::scope(|scope| {
@@ -164,15 +223,19 @@ impl StpServer {
                                 .iter()
                                 .enumerate()
                                 .map(|(k, ct)| {
-                                    let mut erng =
-                                        crate::sdc::entry_rng(base, chunk_no * chunk_len + k);
+                                    let idx = chunk_no * chunk_len + k;
+                                    let mut erng = crate::sdc::entry_rng(base, idx);
                                     let v = sk.decrypt(ct);
                                     let x = if v.is_positive() {
                                         Ibig::from(1i64)
                                     } else {
                                         Ibig::from(-1i64)
                                     };
-                                    (su_pk.encrypt(&x, &mut erng), v)
+                                    let ct = match factors.get(idx) {
+                                        Some(f) => su_pk.encrypt_with_randomizer(&x, f),
+                                        None => su_pk.encrypt(&x, &mut erng),
+                                    };
+                                    (ct, v)
                                 })
                                 .collect::<Vec<_>>()
                         })
@@ -286,5 +349,65 @@ mod tests {
             su_keys.secret().decrypt(&reply.x_matrix.ciphertexts()[0]),
             Ibig::from(-1i64)
         );
+    }
+
+    #[test]
+    fn pooled_key_convert_parallel_matches_pooled_sequential() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut stp = StpServer::new(&mut rng, 256);
+        let su_keys = PaillierKeyPair::generate(&mut rng, 256);
+        stp.register_su(SuId(0), su_keys.public().clone());
+
+        let pk_g = stp.public_key().clone();
+        let values = [5i64, -3, 1, -1, 9, -9];
+        let cts: Vec<_> = values
+            .iter()
+            .map(|&v| pk_g.encrypt(&Ibig::from(v), &mut rng))
+            .collect();
+        let msg = SdcToStpMsg {
+            su_id: SuId(0),
+            v_matrix: CipherMatrix::from_ciphertexts(2, 3, cts),
+            region_blocks: 3,
+            ct_bytes: pk_g.ciphertext_bytes(),
+        };
+
+        // Prime the pool identically before each run so the factor stream
+        // the conversion consumes is the same every time.
+        let prime = |stp: &mut StpServer| {
+            let pool = stp.enable_su_pool(SuId(0), values.len()).unwrap();
+            let mut prng = StdRng::seed_from_u64(0xf00d);
+            pool.refill(&mut prng);
+        };
+
+        prime(&mut stp);
+        let mut seq_rng = StdRng::seed_from_u64(7);
+        let (seq, seq_obs) = stp.key_convert(&msg, &mut seq_rng).unwrap();
+        for threads in [1usize, 2, 8] {
+            prime(&mut stp);
+            let mut par_rng = StdRng::seed_from_u64(7);
+            let (par, par_obs) = stp
+                .key_convert_parallel(&msg, threads, &mut par_rng)
+                .unwrap();
+            assert_eq!(
+                seq.x_matrix.ciphertexts(),
+                par.x_matrix.ciphertexts(),
+                "threads = {threads}"
+            );
+            assert_eq!(seq_obs.v_values, par_obs.v_values, "threads = {threads}");
+        }
+
+        // Pooled conversion still decrypts to the right signs.
+        let expected_signs = [1i64, -1, 1, -1, 1, -1];
+        for (ct, want) in seq.x_matrix.ciphertexts().iter().zip(expected_signs) {
+            assert_eq!(su_keys.secret().decrypt(ct), Ibig::from(want));
+        }
+    }
+
+    #[test]
+    fn su_pool_requires_registered_key() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut stp = StpServer::new(&mut rng, 256);
+        assert!(stp.enable_su_pool(SuId(3), 4).is_none());
+        assert!(stp.su_pool(SuId(3)).is_none());
     }
 }

@@ -4,7 +4,7 @@ use crate::config::SystemConfig;
 use crate::error::PisaError;
 use crate::keys::SuId;
 use crate::privacy::LocationPrivacy;
-use crate::protocol::{run_request_direct, RequestOutcome};
+use crate::protocol::{run_request_direct_tuned, RequestOutcome};
 use crate::pu::PuClient;
 use crate::sdc::SdcServer;
 use crate::stp::StpServer;
@@ -37,6 +37,11 @@ pub struct PisaSystem {
     pus: HashMap<u64, PuClient>,
     sus: HashMap<SuId, SuClient>,
     next_su: u32,
+    /// Worker threads per phase fan-out; 1 = sequential paths.
+    threads: usize,
+    /// When set, randomizer pools of this capacity are kept primed for
+    /// the SDC's β blinding and each registered SU's key conversion.
+    pool_capacity: Option<usize>,
 }
 
 impl std::fmt::Debug for PisaSystem {
@@ -62,7 +67,65 @@ impl PisaSystem {
             pus: HashMap::new(),
             sus: HashMap::new(),
             next_su: 0,
+            threads: 1,
+            pool_capacity: None,
         }
+    }
+
+    /// Sets the worker-thread budget for the phase fan-outs. Results are
+    /// byte-identical across thread counts (per-entry randomness is
+    /// derived by index), so this is purely a throughput knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "need at least one worker");
+        self.threads = threads;
+    }
+
+    /// Current worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enables randomizer pools of `capacity` factors: one on the SDC
+    /// for β blinding under the global key, one per registered SU for
+    /// the STP's key conversion (future registrations get one too).
+    /// Pools start empty — call [`refill_pools`](Self::refill_pools) to
+    /// run the offline phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SDC β pool cannot attach (impossible in a
+    /// self-consistent system: the pool is built for the STP's own key).
+    pub fn enable_pools(&mut self, capacity: usize) {
+        self.pool_capacity = Some(capacity);
+        let beta_pool = std::sync::Arc::new(pisa_crypto::paillier::RandomizerPool::new(
+            self.stp.public_key(),
+            capacity,
+        ));
+        self.sdc
+            .attach_beta_pool(beta_pool)
+            .expect("β pool built for the global key");
+        let ids: Vec<SuId> = self.sus.keys().copied().collect();
+        for id in ids {
+            self.stp.enable_su_pool(id, capacity);
+        }
+    }
+
+    /// Tops every enabled pool up to capacity — the offline phase.
+    /// Deterministic: pools are refilled in a fixed order (SDC β pool
+    /// first, then SU pools by ascending id). No-op when
+    /// [`enable_pools`](Self::enable_pools) was never called.
+    pub fn refill_pools<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.pool_capacity.is_none() {
+            return;
+        }
+        if let Some(pool) = self.sdc.beta_pool() {
+            pool.refill(rng);
+        }
+        self.stp.refill_pools(rng);
     }
 
     /// The system configuration.
@@ -88,6 +151,9 @@ impl PisaSystem {
         let su = SuClient::new(id, block, &self.cfg, rng);
         self.stp.register_su(id, su.public_key().clone());
         self.sus.insert(id, su);
+        if let Some(capacity) = self.pool_capacity {
+            self.stp.enable_su_pool(id, capacity);
+        }
         id
     }
 
@@ -147,8 +213,15 @@ impl PisaSystem {
         rng: &mut R,
     ) -> RequestOutcome {
         let su_client = self.sus.get_mut(&su).expect("registered SU");
-        run_request_direct(su_client, &mut self.sdc, &self.stp, channels, rng)
-            .expect("self-consistent system")
+        run_request_direct_tuned(
+            su_client,
+            &mut self.sdc,
+            &self.stp,
+            channels,
+            self.threads,
+            rng,
+        )
+        .expect("self-consistent system")
     }
 
     /// Runs a request with explicit per-channel EIRP.
@@ -167,9 +240,18 @@ impl PisaSystem {
         let msg = su_client.build_request_from(&cfg, self.stp.public_key(), request, rng);
         let request_bytes = pisa_net::WireSize::wire_bytes(&msg);
 
-        let to_stp = self.sdc.process_request_phase1(&msg, rng)?;
+        let to_stp = if self.threads == 1 {
+            self.sdc.process_request_phase1(&msg, rng)?
+        } else {
+            self.sdc
+                .process_request_phase1_parallel(&msg, self.threads, rng)?
+        };
         let sdc_to_stp_bytes = pisa_net::WireSize::wire_bytes(&to_stp);
-        let (to_sdc, observation) = self.stp.key_convert(&to_stp, rng)?;
+        let (to_sdc, observation) = if self.threads == 1 {
+            self.stp.key_convert(&to_stp, rng)?
+        } else {
+            self.stp.key_convert_parallel(&to_stp, self.threads, rng)?
+        };
         let stp_to_sdc_bytes = pisa_net::WireSize::wire_bytes(&to_sdc);
         let su_pk = self.stp.su_key(su).ok_or(PisaError::UnknownSu(su))?.clone();
         let response = self.sdc.process_request_phase2(&to_sdc, &su_pk, rng)?;
@@ -185,5 +267,43 @@ impl PisaSystem {
             response_bytes,
             stp_observation: observation,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pooled_and_threaded_requests_still_grant() {
+        let mut rng = StdRng::seed_from_u64(0x9a1);
+        let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut rng);
+        system.enable_pools(8);
+        system.set_threads(2);
+        let su = system.register_su(BlockId(0), &mut rng);
+        system.refill_pools(&mut rng);
+        let outcome = system.request(su, &[Channel(0)], &mut rng);
+        assert!(outcome.granted, "pooled + threaded round grants");
+        // The SDC β pool served hits during phase 1.
+        let stats = system.sdc().beta_pool().expect("pool attached").stats();
+        assert!(stats.hits > 0, "β pool never consulted: {stats:?}");
+        // Refill tops everything back up for the next round.
+        system.refill_pools(&mut rng);
+        let outcome = system.request(su, &[Channel(1)], &mut rng);
+        assert!(outcome.granted);
+    }
+
+    #[test]
+    fn pools_enabled_before_registration_cover_new_sus() {
+        let mut rng = StdRng::seed_from_u64(0x9a2);
+        let mut system = PisaSystem::setup(SystemConfig::small_test(), &mut rng);
+        system.enable_pools(4);
+        let su = system.register_su(BlockId(1), &mut rng);
+        assert!(
+            system.stp().su_pool(su).is_some(),
+            "registration after enable_pools creates the SU pool"
+        );
     }
 }

@@ -2,17 +2,44 @@
 
 use super::ops::{Ciphertext, Randomizer};
 use crate::error::CryptoError;
-use pisa_bigint::modular::{gcd, lcm, mod_inverse, MontCtx};
-use pisa_bigint::random::random_coprime;
+use pisa_bigint::modular::{gcd, lcm, mod_inverse, FixedBasePow, MontCtx};
+use pisa_bigint::random::{random_bits, random_coprime};
 use pisa_bigint::zeroize::Zeroize;
 use pisa_bigint::{prime, Ibig, Sign, Ubig};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Minimum supported modulus size in bits (small enough to admit
 /// classroom test vectors; production keys are 2048 bits per the paper).
 pub const MIN_KEY_BITS: usize = 16;
+
+/// Cached fixed-base context for DJN-style fast randomizers: a public
+/// `h_n = (-y²)^n mod n²` with its precomputed window table, plus the
+/// short-exponent width. Built once per key by
+/// [`PaillierPublicKey::enable_fast_randomizers`].
+struct FastRandomizer {
+    /// Fixed-base table over `h_n`.
+    table: FixedBasePow,
+    /// Bit width of the short random exponent `x`.
+    exp_bits: usize,
+}
+
+impl fmt::Debug for FastRandomizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The table itself already redacts; echo only the parameters.
+        write!(f, "FastRandomizer {{ exp_bits: {} }}", self.exp_bits)
+    }
+}
+
+impl Drop for FastRandomizer {
+    fn drop(&mut self) {
+        // `h_n` is public under the DJN assumption, but the table is
+        // precomputed key-adjacent state: wipe it like the pools.
+        self.table.zeroize();
+    }
+}
 
 /// A Paillier public key `(n, g = n + 1)` with precomputed Montgomery
 /// context for `n²`.
@@ -26,6 +53,9 @@ pub struct PaillierPublicKey {
     n_squared: Ubig,
     half_n: Ubig,
     ctx_n2: MontCtx,
+    /// Opt-in fast-randomizer context, shared across clones so a key
+    /// cached inside matrices and pools reuses one table.
+    fast_rand: Arc<OnceLock<FastRandomizer>>,
 }
 
 impl PartialEq for PaillierPublicKey {
@@ -58,6 +88,7 @@ impl PaillierPublicKey {
             n_squared,
             half_n,
             ctx_n2,
+            fast_rand: Arc::new(OnceLock::new()),
         }
     }
 
@@ -133,15 +164,86 @@ impl PaillierPublicKey {
     }
 
     /// Shared encryption core; callers must guarantee `r ∈ Z_n*`.
+    ///
+    /// Performs one exponentiation (`rⁿ`) and two multiplications (the
+    /// `m·n` product inside `gᵐ` and the final `gᵐ · rⁿ`), chained in
+    /// Montgomery form so the product costs no extra round trip.
     fn raw_encrypt(&self, m: &Ibig, r: &Ubig) -> Ciphertext {
         let encoded = self.encode(m);
         // g^m = (n+1)^m = 1 + m·n (mod n²)
         let g_m = (Ubig::one() + &encoded * &self.n) % &self.n_squared;
-        let r_n = self.ctx_n2.pow(r, &self.n);
         obs_count!(ModExp);
         obs_count!(ModMul);
+        obs_count!(ModMul);
         obs_count!(Encrypt);
-        Ciphertext::from_raw((&g_m * &r_n) % &self.n_squared)
+        let mut s = self.ctx_n2.scratch();
+        let reduced;
+        let r = if r < &self.n_squared {
+            r
+        } else {
+            reduced = r % &self.n_squared;
+            &reduced
+        };
+        let r_m = self.ctx_n2.to_mont(r, &mut s);
+        let rn_m = self.ctx_n2.pow_mont(&r_m, &self.n, &mut s);
+        let gm_m = self.ctx_n2.to_mont(&g_m, &mut s);
+        let c_m = self.ctx_n2.mont_mul(&gm_m, &rn_m, &mut s);
+        Ciphertext::from_raw(self.ctx_n2.from_mont(&c_m, &mut s))
+    }
+
+    /// Encrypts with a precomputed re-randomization factor — the online
+    /// half of the paper's §VI-A offline/online split. Two modular
+    /// multiplications, no exponentiation: `(1 + m·n) · rⁿ mod n²`.
+    ///
+    /// Each factor must be used for at most one ciphertext; reuse links
+    /// the ciphertexts it produced.
+    pub fn encrypt_with_randomizer(&self, m: &Ibig, factor: &Randomizer) -> Ciphertext {
+        let encoded = self.encode(m);
+        let g_m = (Ubig::one() + &encoded * &self.n) % &self.n_squared;
+        obs_count!(ModMul);
+        obs_count!(ModMul);
+        obs_count!(Encrypt);
+        Ciphertext::from_raw((&g_m * &factor.0) % &self.n_squared)
+    }
+
+    /// Switches this key (and every clone sharing its cache) to
+    /// DJN-style fast randomizers: re-randomization factors become
+    /// `h_nˣ mod n²` for `h_n = (-y²)ⁿ` with a fresh secret `y` and a
+    /// *short* random exponent `x`, driven through a precomputed
+    /// fixed-base table over `h_n`.
+    ///
+    /// This replaces the full-width `rⁿ` exponentiation (one exponent
+    /// bit per modulus bit) with `⌈exp_bits/4⌉` multiplications — about
+    /// an order of magnitude fewer at 512-bit keys — at the cost of the
+    /// Damgård–Jurik–Nielsen assumption that powers of `h_n` with short
+    /// exponents are indistinguishable from uniform `n`-th residues
+    /// (§4.2 of their paper). Factors remain valid `n`-th residues, so
+    /// decryption and the homomorphic identities are unaffected.
+    ///
+    /// **Opt-in** precisely because it is a strictly stronger assumption
+    /// than Paillier's DCRA; nothing enables it by default. Idempotent:
+    /// later calls keep the first table.
+    pub fn enable_fast_randomizers<R: Rng + ?Sized>(&self, rng: &mut R) {
+        self.fast_rand.get_or_init(|| {
+            let y = random_coprime(rng, &self.n);
+            // h = -y² mod n, a quadratic non-residue with Jacobi symbol 1
+            // for Blum-integer n.
+            let h = &self.n - &((&y * &y) % &self.n);
+            let h_n = self.ctx_n2.pow(&h, &self.n);
+            let exp_bits = fast_exp_bits(self.n.bit_len());
+            let table = FixedBasePow::new(&self.ctx_n2, &h_n, exp_bits)
+                // pisa-lint: allow(panic-freedom): exp_bits ≥ 160 by
+                // construction, so the table constructor cannot reject
+                // it; key setup, not a frame path.
+                .expect("non-zero exponent width");
+            FastRandomizer { table, exp_bits }
+        });
+    }
+
+    /// True once [`enable_fast_randomizers`](Self::enable_fast_randomizers)
+    /// has run on this key or any clone sharing its cache.
+    pub fn fast_randomizers_enabled(&self) -> bool {
+        self.fast_rand.get().is_some()
     }
 
     /// Re-randomizes a ciphertext: multiplies by `rⁿ` for fresh `r`,
@@ -161,9 +263,17 @@ impl PaillierPublicKey {
     /// Offline phase of request refresh: samples `r ∈ Z_n*` and computes
     /// the re-randomization factor `rⁿ mod n²` (the expensive
     /// exponentiation, done ahead of time).
+    ///
+    /// With [fast randomizers](Self::enable_fast_randomizers) enabled the
+    /// factor is `h_nˣ` for a short random `x` instead — the same
+    /// exponentiation class, an order of magnitude cheaper.
     pub fn precompute_randomizer<R: Rng + ?Sized>(&self, rng: &mut R) -> Randomizer {
-        let r = random_coprime(rng, &self.n);
         obs_count!(ModExp);
+        if let Some(fast) = self.fast_rand.get() {
+            let x = random_bits(rng, fast.exp_bits);
+            return Randomizer(fast.table.pow(&x));
+        }
+        let r = random_coprime(rng, &self.n);
         Randomizer(self.ctx_n2.pow(&r, &self.n))
     }
 
@@ -192,6 +302,7 @@ impl PaillierPublicKey {
     /// decryption oracle.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CryptoError> {
         let b_inv = self.invert(b)?;
+        obs_count!(ModMul);
         Ok(Ciphertext::from_raw(
             (a.as_raw() * &b_inv) % &self.n_squared,
         ))
@@ -201,7 +312,21 @@ impl PaillierPublicKey {
     ///
     /// Negative scalars go through the ciphertext inverse, exactly like ⊖,
     /// and fail the same way on non-unit ciphertexts.
+    ///
+    /// `k = ±1` short-circuits the exponentiation ladder entirely — the
+    /// sign-test phases multiply by the public `±ε` sign flips constantly,
+    /// and `c¹` is `c`. The scalar is public in every protocol use
+    /// (blinding coefficients are the *SDC's own* secrets applied to
+    /// ciphertexts it forwards), so the shortcut leaks nothing to the
+    /// parties the blinding defends against.
     pub fn scalar_mul(&self, c: &Ciphertext, k: &Ibig) -> Result<Ciphertext, CryptoError> {
+        if k.magnitude().is_one() {
+            obs_count!(ModExpAvoided);
+            if k.is_negative() {
+                return Ok(Ciphertext::from_raw(self.invert(c)?));
+            }
+            return Ok(c.clone());
+        }
         obs_count!(ModExp);
         let powed = self.ctx_n2.pow(c.as_raw(), k.magnitude());
         if k.is_negative() {
@@ -223,6 +348,7 @@ impl PaillierPublicKey {
     /// paper's matrix `E` (maximum SU EIRP is public data).
     pub fn encrypt_public_constant(&self, m: &Ibig) -> Ciphertext {
         obs_count!(Encrypt);
+        obs_count!(ModMul);
         let encoded = self.encode(m);
         Ciphertext::from_raw((Ubig::one() + &encoded * &self.n) % &self.n_squared)
     }
@@ -340,6 +466,15 @@ impl PaillierSecretKey {
         let m = (&l * &self.mu) % &self.pk.n;
         self.pk.decode(m)
     }
+}
+
+/// Short-exponent width for DJN fast randomizers: a quarter of the key
+/// width, floored at 160 bits. Comfortably above twice the security
+/// level at every supported key size (2048-bit keys → 512-bit exponents
+/// against 112-bit security), i.e. conservative relative to the bound in
+/// the DJN paper.
+fn fast_exp_bits(key_bits: usize) -> usize {
+    (key_bits / 4).max(160)
 }
 
 /// `L(x) = (x - 1) / d` — exact division by construction for honest

@@ -16,9 +16,11 @@
 
 mod keys;
 mod ops;
+mod pool;
 
 pub use keys::{PaillierKeyPair, PaillierPublicKey, PaillierSecretKey, MIN_KEY_BITS};
 pub use ops::{Ciphertext, Randomizer};
+pub use pool::{PoolStats, RandomizerPool, RefillHandle};
 
 #[cfg(test)]
 mod tests {
@@ -132,6 +134,26 @@ mod tests {
         let c = kp.public().encrypt(&Ibig::from(777i64), &mut r);
         let diff = kp.public().sub(&c, &c).unwrap();
         assert_eq!(kp.secret().decrypt(&diff), Ibig::zero());
+    }
+
+    #[test]
+    fn fast_randomizers_preserve_decryption() {
+        let kp = small_keys();
+        let mut r = rng();
+        let pk = kp.public();
+        assert!(!pk.fast_randomizers_enabled());
+        pk.enable_fast_randomizers(&mut r);
+        assert!(pk.fast_randomizers_enabled());
+        // Clones share the cached table.
+        assert!(pk.clone().fast_randomizers_enabled());
+        let m = Ibig::from(99i64);
+        let c = pk.encrypt(&m, &mut r);
+        let c2 = pk.rerandomize(&c, &mut r);
+        assert_ne!(c, c2, "fast factors still randomize");
+        assert_eq!(kp.secret().decrypt(&c2), m);
+        let f = pk.precompute_randomizer(&mut r);
+        let c3 = pk.encrypt_with_randomizer(&m, &f);
+        assert_eq!(kp.secret().decrypt(&c3), m);
     }
 
     #[test]

@@ -73,3 +73,11 @@ impl std::fmt::Debug for Randomizer {
         write!(f, "Randomizer({} bits)", self.0.bit_len())
     }
 }
+
+impl pisa_bigint::zeroize::Zeroize for Randomizer {
+    /// An unconsumed factor links any ciphertext later refreshed with it
+    /// to the refresh event, so pooled factors are wiped when dropped.
+    fn zeroize(&mut self) {
+        self.0.zeroize();
+    }
+}

@@ -1,9 +1,16 @@
 //! Global counters for the crypto operations priced by the paper.
 //!
 //! The paper's cost model (§VI) prices each protocol phase in modular
-//! exponentiations; everything else is noise on top. We track the five
+//! exponentiations; everything else is noise on top. We track the
 //! operation classes Tables 2–3 break out so a phase report can say not
 //! just "sign test took 40 ms" but "sign test performed 96 mod-exps".
+//!
+//! Two counters price what *didn't* happen: `ModExpAvoided` counts
+//! exponentiations a precomputation (randomizer pool hit, fixed-base
+//! table, ±1 scalar fast path) displaced from the hot path, and
+//! `PoolMiss` counts pool exhaustions that fell back to the online
+//! exponentiation. Together they show which optimization lever paid in a
+//! perf trajectory point.
 //!
 //! Counters are process-global relaxed atomics. Span guards snapshot
 //! the totals when they open and subtract on drop, so per-phase deltas
@@ -26,6 +33,13 @@ pub enum Op {
     Decrypt,
     /// Ciphertext re-randomization.
     Rerandomize,
+    /// A modular exponentiation that precomputation displaced from the
+    /// hot path: a pooled randomizer consumed, a fixed-base table hit,
+    /// or a ±1 scalar multiplication short-circuit.
+    ModExpAvoided,
+    /// A randomizer-pool request that found the pool empty and fell
+    /// back to the online exponentiation.
+    PoolMiss,
 }
 
 static MOD_EXPS: AtomicU64 = AtomicU64::new(0);
@@ -33,6 +47,8 @@ static MOD_MULS: AtomicU64 = AtomicU64::new(0);
 static ENCRYPTIONS: AtomicU64 = AtomicU64::new(0);
 static DECRYPTIONS: AtomicU64 = AtomicU64::new(0);
 static RERANDOMIZATIONS: AtomicU64 = AtomicU64::new(0);
+static MOD_EXPS_AVOIDED: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
 
 fn cell(op: Op) -> &'static AtomicU64 {
     match op {
@@ -41,6 +57,8 @@ fn cell(op: Op) -> &'static AtomicU64 {
         Op::Encrypt => &ENCRYPTIONS,
         Op::Decrypt => &DECRYPTIONS,
         Op::Rerandomize => &RERANDOMIZATIONS,
+        Op::ModExpAvoided => &MOD_EXPS_AVOIDED,
+        Op::PoolMiss => &POOL_MISSES,
     }
 }
 
@@ -64,6 +82,10 @@ pub struct OpTotals {
     pub decryptions: u64,
     /// Ciphertext re-randomizations.
     pub rerandomizations: u64,
+    /// Modular exponentiations displaced by precomputation.
+    pub mod_exps_avoided: u64,
+    /// Randomizer-pool misses that fell back to the online path.
+    pub pool_misses: u64,
 }
 
 impl OpTotals {
@@ -78,6 +100,10 @@ impl OpTotals {
             rerandomizations: self
                 .rerandomizations
                 .saturating_sub(earlier.rerandomizations),
+            mod_exps_avoided: self
+                .mod_exps_avoided
+                .saturating_sub(earlier.mod_exps_avoided),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
         }
     }
 
@@ -90,6 +116,8 @@ impl OpTotals {
             encryptions: self.encryptions.saturating_add(other.encryptions),
             decryptions: self.decryptions.saturating_add(other.decryptions),
             rerandomizations: self.rerandomizations.saturating_add(other.rerandomizations),
+            mod_exps_avoided: self.mod_exps_avoided.saturating_add(other.mod_exps_avoided),
+            pool_misses: self.pool_misses.saturating_add(other.pool_misses),
         }
     }
 
@@ -107,6 +135,8 @@ pub fn counters() -> OpTotals {
         encryptions: ENCRYPTIONS.load(Ordering::Relaxed),
         decryptions: DECRYPTIONS.load(Ordering::Relaxed),
         rerandomizations: RERANDOMIZATIONS.load(Ordering::Relaxed),
+        mod_exps_avoided: MOD_EXPS_AVOIDED.load(Ordering::Relaxed),
+        pool_misses: POOL_MISSES.load(Ordering::Relaxed),
     }
 }
 
@@ -116,4 +146,6 @@ pub(crate) fn reset_counters() {
     ENCRYPTIONS.store(0, Ordering::Relaxed);
     DECRYPTIONS.store(0, Ordering::Relaxed);
     RERANDOMIZATIONS.store(0, Ordering::Relaxed);
+    MOD_EXPS_AVOIDED.store(0, Ordering::Relaxed);
+    POOL_MISSES.store(0, Ordering::Relaxed);
 }

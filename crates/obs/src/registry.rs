@@ -212,6 +212,8 @@ fn ops_value(o: &OpTotals) -> Value {
         ("encryptions", Value::from_u64(o.encryptions)),
         ("decryptions", Value::from_u64(o.decryptions)),
         ("rerandomizations", Value::from_u64(o.rerandomizations)),
+        ("mod_exps_avoided", Value::from_u64(o.mod_exps_avoided)),
+        ("pool_misses", Value::from_u64(o.pool_misses)),
     ])
 }
 
@@ -304,18 +306,19 @@ impl Report {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<22} {:>7} {:>12} {:>12} {:>12} {:>9} {:>9}\n",
-            "phase", "count", "total", "mean", "p95", "mod-exps", "encrypts"
+            "{:<22} {:>7} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}\n",
+            "phase", "count", "total", "mean", "p95", "mod-exps", "avoided", "encrypts"
         ));
         for p in &self.phases {
             out.push_str(&format!(
-                "{:<22} {:>7} {:>12} {:>12} {:>12} {:>9} {:>9}\n",
+                "{:<22} {:>7} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}\n",
                 p.name,
                 p.count,
                 fmt_dur(p.total),
                 fmt_dur(p.mean),
                 fmt_dur(p.percentiles.p95),
                 p.ops.mod_exps,
+                p.ops.mod_exps_avoided,
                 p.ops.encryptions,
             ));
         }
