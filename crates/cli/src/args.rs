@@ -26,13 +26,20 @@ commands:
   serve-sdc [--listen ADDR] [--stp ADDR] [--sessions N] [--seed S]
             [--drop P] [--dup P] [--reorder P] [--corrupt P]
             [--retries N] [--timeout-ms T]
+            [--state-dir DIR] [--checkpoint-every N] [--resume]
                                run the SDC as a TCP service (default
-                               listen 127.0.0.1:7001, STP at 127.0.0.1:7002)
+                               listen 127.0.0.1:7001, STP at 127.0.0.1:7002);
+                               --state-dir checkpoints matrix + session state
+                               atomically every N handled frames, --resume
+                               reloads the checkpoint and continues mid-protocol
   serve-stp [--listen ADDR] [--sessions N] [--seed S]
             [--drop P] [--dup P] [--reorder P] [--corrupt P]
             [--retries N] [--timeout-ms T]
+            [--state-dir DIR] [--checkpoint-every N] [--resume]
                                run the STP as a TCP service (default
-                               listen 127.0.0.1:7002)
+                               listen 127.0.0.1:7002); durability flags as
+                               for serve-sdc (key directory only — sk_G is
+                               never written to disk)
   su [--sdc ADDR] [--sessions N] [--seed S]
      [--drop P] [--dup P] [--reorder P] [--corrupt P]
      [--retries N] [--timeout-ms T] [--halt] [--verify]
@@ -41,6 +48,11 @@ commands:
                                serve-sdc; --halt drains the servers after,
                                --verify replays the storm on the in-memory
                                engine and compares every decision
+  trace (--record FILE | --replay FILE) [--sessions N] [--seed S]
+                               golden-trace regression gate: --record runs a
+                               deterministic storm and writes its full message
+                               trace; --replay re-runs the trace's storm and
+                               byte-compares every frame (exit 1 on divergence)
   bench [--bits N] [--iters N] [--metrics] [--metrics-out FILE]
         [--pool N] [--threads N]
                                per-phase protocol timing (paper Tables 2-3);
@@ -88,6 +100,27 @@ impl Default for NetFlags {
             corrupt: 0.0,
             retries: 8,
             timeout_ms: 1500,
+        }
+    }
+}
+
+/// Durability flags shared by `serve-sdc` and `serve-stp`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableFlags {
+    /// Checkpoint directory (`None` disables durability).
+    pub state_dir: Option<String>,
+    /// Checkpoint after every N handled frames (must be positive).
+    pub checkpoint_every: u64,
+    /// Resume from the checkpoint in `state_dir` at startup.
+    pub resume: bool,
+}
+
+impl Default for DurableFlags {
+    fn default() -> Self {
+        DurableFlags {
+            state_dir: None,
+            checkpoint_every: 1,
+            resume: false,
         }
     }
 }
@@ -169,6 +202,8 @@ pub enum Command {
         stp: String,
         /// Shared storm flags.
         net: NetFlags,
+        /// Checkpoint / crash-recovery flags.
+        durable: DurableFlags,
     },
     /// The STP as a networked TCP service.
     ServeStp {
@@ -176,6 +211,8 @@ pub enum Command {
         listen: String,
         /// Shared storm flags.
         net: NetFlags,
+        /// Checkpoint / crash-recovery flags.
+        durable: DurableFlags,
     },
     /// The SU swarm driving a storm against a live SDC service.
     Su {
@@ -207,6 +244,17 @@ pub enum Command {
         pool: usize,
         /// Worker threads for the phase fan-outs.
         threads: usize,
+    },
+    /// Golden-trace record/replay regression gate.
+    Trace {
+        /// Record a storm trace to this file.
+        record: Option<String>,
+        /// Replay (and verify) the trace in this file.
+        replay: Option<String>,
+        /// Number of SU sessions (record mode).
+        sessions: u32,
+        /// Storm seed (record mode).
+        seed: u64,
     },
     /// Inference-attack demo.
     Attack,
@@ -391,32 +439,95 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut listen = "127.0.0.1:7001".to_owned();
             let mut stp = "127.0.0.1:7002".to_owned();
             let mut net = NetFlags::default();
-            parse_flags(it, |flag, value| match flag {
-                "--listen" => {
-                    listen = value.to_owned();
-                    Ok(())
+            let mut durable = DurableFlags::default();
+            let mut it = it;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| format!("flag {flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--resume" => durable.resume = true,
+                    "--listen" => listen = value()?.to_owned(),
+                    "--stp" => stp = value()?.to_owned(),
+                    "--state-dir" => durable.state_dir = Some(value()?.to_owned()),
+                    "--checkpoint-every" => durable.checkpoint_every = parse_num(flag, value()?)?,
+                    other => parse_net_flag(other, value()?, &mut net)?,
                 }
-                "--stp" => {
-                    stp = value.to_owned();
-                    Ok(())
-                }
-                other => parse_net_flag(other, value, &mut net),
-            })?;
+            }
             check_net_flags(&net)?;
-            Ok(Command::ServeSdc { listen, stp, net })
+            check_durable_flags(&durable)?;
+            Ok(Command::ServeSdc {
+                listen,
+                stp,
+                net,
+                durable,
+            })
         }
         "serve-stp" => {
             let mut listen = "127.0.0.1:7002".to_owned();
             let mut net = NetFlags::default();
+            let mut durable = DurableFlags::default();
+            let mut it = it;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| format!("flag {flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--resume" => durable.resume = true,
+                    "--listen" => listen = value()?.to_owned(),
+                    "--state-dir" => durable.state_dir = Some(value()?.to_owned()),
+                    "--checkpoint-every" => durable.checkpoint_every = parse_num(flag, value()?)?,
+                    other => parse_net_flag(other, value()?, &mut net)?,
+                }
+            }
+            check_net_flags(&net)?;
+            check_durable_flags(&durable)?;
+            Ok(Command::ServeStp {
+                listen,
+                net,
+                durable,
+            })
+        }
+        "trace" => {
+            let (mut record, mut replay) = (None, None);
+            let (mut sessions, mut seed) = (4u32, 2017u64);
             parse_flags(it, |flag, value| match flag {
-                "--listen" => {
-                    listen = value.to_owned();
+                "--record" => {
+                    record = Some(value.to_owned());
                     Ok(())
                 }
-                other => parse_net_flag(other, value, &mut net),
+                "--replay" => {
+                    replay = Some(value.to_owned());
+                    Ok(())
+                }
+                "--sessions" => {
+                    sessions = parse_num(flag, value)?;
+                    Ok(())
+                }
+                "--seed" => {
+                    seed = parse_num(flag, value)?;
+                    Ok(())
+                }
+                other => Err(format!("unknown flag {other}")),
             })?;
-            check_net_flags(&net)?;
-            Ok(Command::ServeStp { listen, net })
+            match (&record, &replay) {
+                (None, None) => return Err("trace needs --record FILE or --replay FILE".into()),
+                (Some(_), Some(_)) => {
+                    return Err("trace takes --record or --replay, not both".into())
+                }
+                _ => {}
+            }
+            if sessions == 0 {
+                return Err("--sessions must be positive".into());
+            }
+            Ok(Command::Trace {
+                record,
+                replay,
+                sessions,
+                seed,
+            })
         }
         "su" => {
             let mut sdc = "127.0.0.1:7001".to_owned();
@@ -543,6 +654,16 @@ fn parse_net_flag(flag: &str, value: &str, net: &mut NetFlags) -> Result<(), Str
 fn check_net_flags(net: &NetFlags) -> Result<(), String> {
     if net.sessions == 0 || net.timeout_ms == 0 {
         return Err("--sessions and --timeout-ms must be positive".into());
+    }
+    Ok(())
+}
+
+fn check_durable_flags(durable: &DurableFlags) -> Result<(), String> {
+    if durable.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be positive".into());
+    }
+    if durable.resume && durable.state_dir.is_none() {
+        return Err("--resume requires --state-dir".into());
     }
     Ok(())
 }
@@ -752,6 +873,7 @@ mod tests {
                 listen: "127.0.0.1:7001".into(),
                 stp: "127.0.0.1:7002".into(),
                 net: NetFlags::default(),
+                durable: DurableFlags::default(),
             }
         );
         assert_eq!(
@@ -771,11 +893,36 @@ mod tests {
                     timeout_ms: 900,
                     ..NetFlags::default()
                 },
+                durable: DurableFlags::default(),
             }
         );
         assert!(parse(&argv("serve-sdc --sessions 0")).is_err());
         assert!(parse(&argv("serve-sdc --drop 1.5")).is_err());
         assert!(parse(&argv("serve-sdc --what 1")).is_err());
+    }
+
+    #[test]
+    fn serve_sdc_durable_flags() {
+        assert_eq!(
+            parse(&argv(
+                "serve-sdc --state-dir /tmp/pisa --checkpoint-every 4 --resume"
+            ))
+            .unwrap(),
+            Command::ServeSdc {
+                listen: "127.0.0.1:7001".into(),
+                stp: "127.0.0.1:7002".into(),
+                net: NetFlags::default(),
+                durable: DurableFlags {
+                    state_dir: Some("/tmp/pisa".into()),
+                    checkpoint_every: 4,
+                    resume: true,
+                },
+            }
+        );
+        // --resume without a state dir cannot work; reject at parse time.
+        assert!(parse(&argv("serve-sdc --resume")).is_err());
+        assert!(parse(&argv("serve-sdc --checkpoint-every 0")).is_err());
+        assert!(parse(&argv("serve-sdc --state-dir")).is_err());
     }
 
     #[test]
@@ -785,6 +932,7 @@ mod tests {
             Command::ServeStp {
                 listen: "127.0.0.1:7002".into(),
                 net: NetFlags::default(),
+                durable: DurableFlags::default(),
             }
         );
         assert_eq!(
@@ -795,9 +943,49 @@ mod tests {
                     sessions: 4,
                     ..NetFlags::default()
                 },
+                durable: DurableFlags::default(),
+            }
+        );
+        assert_eq!(
+            parse(&argv("serve-stp --state-dir state --resume")).unwrap(),
+            Command::ServeStp {
+                listen: "127.0.0.1:7002".into(),
+                net: NetFlags::default(),
+                durable: DurableFlags {
+                    state_dir: Some("state".into()),
+                    checkpoint_every: 1,
+                    resume: true,
+                },
             }
         );
         assert!(parse(&argv("serve-stp --stp 1.2.3.4:5")).is_err());
+        assert!(parse(&argv("serve-stp --resume")).is_err());
+    }
+
+    #[test]
+    fn trace_flags() {
+        assert_eq!(
+            parse(&argv("trace --record t.trc --sessions 2 --seed 9")).unwrap(),
+            Command::Trace {
+                record: Some("t.trc".into()),
+                replay: None,
+                sessions: 2,
+                seed: 9,
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace --replay t.trc")).unwrap(),
+            Command::Trace {
+                record: None,
+                replay: Some("t.trc".into()),
+                sessions: 4,
+                seed: 2017,
+            }
+        );
+        assert!(parse(&argv("trace")).is_err(), "one mode is required");
+        assert!(parse(&argv("trace --record a --replay b")).is_err());
+        assert!(parse(&argv("trace --record a --sessions 0")).is_err());
+        assert!(parse(&argv("trace --what 1")).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{Command, NetFlags};
+use crate::args::{Command, DurableFlags, NetFlags};
 use pisa::adversary;
 use pisa::prelude::*;
 use pisa_watch::{PuInput, SuRequest, WatchSdc};
@@ -70,8 +70,23 @@ pub fn run(cmd: Command) -> ExitCode {
             sweep,
             metrics_out,
         }),
-        Command::ServeSdc { listen, stp, net } => serve_sdc(&listen, &stp, &net),
-        Command::ServeStp { listen, net } => serve_stp(&listen, &net),
+        Command::ServeSdc {
+            listen,
+            stp,
+            net,
+            durable,
+        } => serve_sdc(&listen, &stp, &net, &durable),
+        Command::ServeStp {
+            listen,
+            net,
+            durable,
+        } => serve_stp(&listen, &net, &durable),
+        Command::Trace {
+            record,
+            replay,
+            sessions,
+            seed,
+        } => trace(record, replay, sessions, seed),
         Command::Su {
             sdc,
             net,
@@ -304,9 +319,30 @@ fn net_storm_opts(net: &NetFlags) -> pisa::NetStormOpts {
     opts
 }
 
+/// Grafts the parsed checkpoint flags onto the shared storm options.
+fn durable_opts(durable: &DurableFlags) -> pisa::DurableOpts {
+    pisa::DurableOpts {
+        state_dir: durable.state_dir.as_deref().map(std::path::PathBuf::from),
+        checkpoint_every: durable.checkpoint_every,
+        resume: durable.resume,
+    }
+}
+
 /// `pisa serve-sdc`: the SDC trust domain as its own process.
-fn serve_sdc(listen: &str, stp: &str, net: &NetFlags) -> ExitCode {
-    let opts = net_storm_opts(net);
+fn serve_sdc(listen: &str, stp: &str, net: &NetFlags, durable: &DurableFlags) -> ExitCode {
+    let mut opts = net_storm_opts(net);
+    opts.durable = durable_opts(durable);
+    if let Some(dir) = &durable.state_dir {
+        println!(
+            "serve-sdc: {} {dir} (checkpoint every {} frame(s))",
+            if durable.resume {
+                "resuming from"
+            } else {
+                "checkpointing to"
+            },
+            durable.checkpoint_every
+        );
+    }
     println!(
         "serve-sdc: deriving system state for {} sessions (seed {})...",
         net.sessions, net.seed
@@ -328,8 +364,19 @@ fn serve_sdc(listen: &str, stp: &str, net: &NetFlags) -> ExitCode {
 }
 
 /// `pisa serve-stp`: the STP trust domain as its own process.
-fn serve_stp(listen: &str, net: &NetFlags) -> ExitCode {
-    let opts = net_storm_opts(net);
+fn serve_stp(listen: &str, net: &NetFlags, durable: &DurableFlags) -> ExitCode {
+    let mut opts = net_storm_opts(net);
+    opts.durable = durable_opts(durable);
+    if let Some(dir) = &durable.state_dir {
+        println!(
+            "serve-stp: {} {dir} (key directory only; sk_G is never written to disk)",
+            if durable.resume {
+                "resuming from"
+            } else {
+                "checkpointing to"
+            },
+        );
+    }
     println!(
         "serve-stp: deriving system state for {} sessions (seed {})...",
         net.sessions, net.seed
@@ -348,6 +395,92 @@ fn serve_stp(listen: &str, net: &NetFlags) -> ExitCode {
     let _server = service.run();
     println!("STP drained after shutdown");
     ExitCode::SUCCESS
+}
+
+/// `pisa trace`: golden-trace record/replay. `--record FILE` captures a
+/// deterministic storm's full message trace; `--replay FILE` re-runs the
+/// storm the file describes and fails if any frame diverges.
+fn trace(record: Option<String>, replay: Option<String>, sessions: u32, seed: u64) -> ExitCode {
+    use pisa::trace::{record_storm, replay_storm, StormTrace};
+
+    if let Some(path) = record {
+        println!("trace: recording a {sessions}-session storm (seed {seed})...");
+        let (trace, outcomes) = match record_storm(sessions, seed) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("trace record failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let encoded = match trace.encode() {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("trace encode failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, &encoded) {
+            eprintln!("failed to write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let granted = outcomes.iter().filter(|o| o.granted == Some(true)).count();
+        println!(
+            "trace written to {path}: {} records, {} bytes ({granted}/{} granted)",
+            trace.records.len(),
+            encoded.len(),
+            outcomes.len(),
+        );
+        ExitCode::SUCCESS
+    } else if let Some(path) = replay {
+        let file = match std::fs::read(&path) {
+            Ok(file) => file,
+            Err(e) => {
+                eprintln!("failed to read trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = match StormTrace::decode(&file) {
+            Ok(trace) => trace,
+            Err(e) => {
+                eprintln!("trace {path} failed to decode: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "trace: replaying {} records ({} sessions, seed {})...",
+            trace.records.len(),
+            trace.sessions,
+            trace.seed
+        );
+        match replay_storm(&trace) {
+            Ok(report) if report.matches() => {
+                println!(
+                    "replay matched: all {} records byte-identical",
+                    report.recorded
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(report) => {
+                eprintln!(
+                    "replay DIVERGED: recorded {} records, replayed {}, first divergence at {}",
+                    report.recorded,
+                    report.replayed,
+                    report
+                        .divergence
+                        .map_or_else(|| "end".to_owned(), |i| i.to_string()),
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("replay failed to run: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        // The parser guarantees one mode; keep a defensive fallback.
+        eprintln!("trace needs --record FILE or --replay FILE");
+        ExitCode::FAILURE
+    }
 }
 
 /// `pisa su`: the SU swarm against a live SDC service — `pisa storm`

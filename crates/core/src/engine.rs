@@ -260,7 +260,139 @@ impl SdcSessionEngine {
     pub fn into_server(self) -> SdcServer {
         self.sdc
     }
+
+    /// The wrapped server (read-only; checkpointing reads its snapshot
+    /// through this without tearing the engine down).
+    pub fn server(&self) -> &SdcServer {
+        &self.sdc
+    }
+
+    /// Serializes the per-session protocol table — which attempt each
+    /// SU is on, the request digest, and the in-flight STP query or the
+    /// released response — so a restarted engine resumes mid-protocol
+    /// instead of re-running phase 1 with fresh ε (which would
+    /// desynchronize from any STP reply already in flight).
+    ///
+    /// # Errors
+    ///
+    /// Any [`pisa_net::codec::CodecError`] if a field cannot fit its
+    /// wire width; in-range state never fails.
+    pub fn snapshot_sessions(&self) -> Result<bytes::Bytes, pisa_net::codec::CodecError> {
+        use pisa_net::codec::Writer;
+        let mut ids: Vec<SuId> = self.sessions.keys().copied().collect();
+        ids.sort_unstable();
+        let mut w = Writer::new();
+        w.put_u8(SESSIONS_VERSION);
+        w.put_u32(crate::wire::wire_u32(ids.len())?);
+        for id in ids {
+            // The id came from the map's own key set one statement ago.
+            let Some(phase) = self.sessions.get(&id) else {
+                continue;
+            };
+            w.put_u32(id.0);
+            match phase {
+                SessionPhase::AwaitingStp {
+                    attempt,
+                    digest,
+                    query,
+                } => {
+                    w.put_u8(PHASE_AWAITING_STP);
+                    w.put_u32(*attempt);
+                    w.put_raw(digest);
+                    w.put_bytes(&PisaMessage::SdcToStp(query.clone()).encode()?)?;
+                }
+                SessionPhase::Completed {
+                    attempt,
+                    digest,
+                    response,
+                } => {
+                    w.put_u8(PHASE_COMPLETED);
+                    w.put_u32(*attempt);
+                    w.put_raw(digest);
+                    w.put_bytes(&PisaMessage::SdcResponse(response.clone()).encode()?)?;
+                }
+            }
+        }
+        Ok(w.finish())
+    }
+
+    /// Replaces the per-session table from a
+    /// [`snapshot_sessions`](Self::snapshot_sessions) frame. The frame
+    /// is treated as adversarial: counts are bounded by the remaining
+    /// bytes before allocation, SU ids must be strictly increasing, and
+    /// each entry's payload must decode to the message kind its phase
+    /// tag claims.
+    ///
+    /// # Errors
+    ///
+    /// Any [`pisa_net::codec::CodecError`] on a malformed frame; the
+    /// existing table is left untouched on error.
+    pub fn restore_sessions(&mut self, frame: &[u8]) -> Result<(), pisa_net::codec::CodecError> {
+        use pisa_net::codec::{CodecError, Reader};
+        let mut r = Reader::new(frame);
+        let version = r.get_u8()?;
+        if version != SESSIONS_VERSION {
+            return Err(CodecError::Invalid(format!(
+                "unknown session-table version {version}"
+            )));
+        }
+        let count = crate::wire::widen(r.get_u32()?);
+        // id + tag + attempt + digest + payload length prefix.
+        let min_entry = 4 + 1 + 4 + 32 + 4;
+        let most = r.remaining() / min_entry;
+        if count > most {
+            return Err(CodecError::Oversized(count as u64, most as u64));
+        }
+        let mut sessions = HashMap::with_capacity(count);
+        let mut last: Option<u32> = None;
+        for _ in 0..count {
+            let raw_id = r.get_u32()?;
+            if let Some(prev) = last {
+                if raw_id <= prev {
+                    return Err(CodecError::Invalid(format!(
+                        "session SU ids must be strictly increasing (saw {raw_id} after {prev})"
+                    )));
+                }
+            }
+            last = Some(raw_id);
+            let tag = r.get_u8()?;
+            let attempt = r.get_u32()?;
+            let digest: [u8; 32] = r
+                .get_raw(32)?
+                .try_into()
+                .map_err(|_| CodecError::UnexpectedEof)?;
+            let inner = PisaMessage::decode(r.get_bytes()?)?;
+            let phase = match (tag, inner) {
+                (PHASE_AWAITING_STP, PisaMessage::SdcToStp(query)) => SessionPhase::AwaitingStp {
+                    attempt,
+                    digest,
+                    query,
+                },
+                (PHASE_COMPLETED, PisaMessage::SdcResponse(response)) => SessionPhase::Completed {
+                    attempt,
+                    digest,
+                    response,
+                },
+                (tag, _) => {
+                    return Err(CodecError::Invalid(format!(
+                        "session entry for SU {raw_id}: payload does not match phase tag {tag}"
+                    )))
+                }
+            };
+            sessions.insert(SuId(raw_id), phase);
+        }
+        r.finish()?;
+        self.sessions = sessions;
+        Ok(())
+    }
 }
+
+/// Session-table serialization format version.
+const SESSIONS_VERSION: u8 = 1;
+/// Phase tag: sign test in flight to the STP.
+const PHASE_AWAITING_STP: u8 = 1;
+/// Phase tag: response released, replayable.
+const PHASE_COMPLETED: u8 = 2;
 
 /// The STP side of the session protocol: stateless key conversion of
 /// each blinded sign-test query.
@@ -320,6 +452,18 @@ impl StpSessionEngine {
     /// Unwraps the server once the storm is over.
     pub fn into_server(self) -> StpServer {
         self.stp
+    }
+
+    /// The wrapped server (read-only; checkpointing reads its directory
+    /// snapshot through this without tearing the engine down).
+    pub fn server(&self) -> &StpServer {
+        &self.stp
+    }
+
+    /// Mutable access to the wrapped server, for restoring its SU key
+    /// directory from a checkpoint before serving.
+    pub fn server_mut(&mut self) -> &mut StpServer {
+        &mut self.stp
     }
 }
 

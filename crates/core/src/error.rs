@@ -40,6 +40,9 @@ pub enum PisaError {
     /// The socket transport failed (bind, dial or write) in a way the
     /// protocol's retry budget cannot absorb.
     Net(String),
+    /// A durability operation (checkpoint write, load, or resume)
+    /// failed; the service cannot guarantee crash recovery.
+    Durable(String),
 }
 
 impl From<pisa_crypto::CryptoError> for PisaError {
@@ -73,6 +76,7 @@ impl fmt::Display for PisaError {
             PisaError::Crypto(e) => write!(f, "cryptographic operation failed: {e}"),
             PisaError::EngineFailure(what) => write!(f, "engine failure: {what}"),
             PisaError::Net(what) => write!(f, "network failure: {what}"),
+            PisaError::Durable(what) => write!(f, "durability failure: {what}"),
         }
     }
 }

@@ -90,6 +90,12 @@ impl SuKeyDirectory {
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
     }
+
+    /// Iterates over every registered `(id, key)` pair, in map order
+    /// (callers needing a deterministic order must sort the ids).
+    pub fn iter(&self) -> impl Iterator<Item = (SuId, &PaillierPublicKey)> {
+        self.keys.iter().map(|(id, pk)| (*id, pk))
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,7 @@ pub mod ablation;
 pub mod adversary;
 mod cipher_matrix;
 mod config;
+pub mod durable;
 mod engine;
 mod error;
 mod keys;
@@ -66,6 +67,7 @@ mod session;
 mod stp;
 mod su;
 mod system;
+pub mod trace;
 mod wire;
 
 pub use cipher_matrix::CipherMatrix;
@@ -80,8 +82,8 @@ pub use messages::{
     PisaMessage, PuUpdateMsg, SdcResponseMsg, SdcToStpMsg, StpToSdcMsg, SuRequestMsg,
 };
 pub use netstorm::{
-    run_memory_baseline, run_su_storm, storm_fixture, NetStormOpts, SdcService, StormFixture,
-    StpService,
+    run_memory_baseline, run_su_storm, storm_fixture, DurableOpts, NetStormOpts, SdcService,
+    StormFixture, StpService,
 };
 pub use privacy::LocationPrivacy;
 pub use protocol::{

@@ -30,6 +30,10 @@
 //! frame to the SDC once its sessions are done; the SDC forwards it to
 //! the STP and both service loops drain out.
 
+use crate::durable::{
+    self, Checkpoint, SDC_CHECKPOINT_FILE, SECTION_SDC_SESSIONS, SECTION_SDC_SNAPSHOT,
+    SECTION_STP_DIRECTORY, STP_CHECKPOINT_FILE,
+};
 use crate::engine::{
     SdcSessionEngine, StpSessionEngine, SuAction, SuEvent, SuSessionEngine, SuSessionParams,
 };
@@ -51,6 +55,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -70,6 +75,31 @@ pub struct NetStormOpts {
     pub faults: Option<FaultConfig>,
     /// Transport tuning knobs.
     pub socket: SocketConfig,
+    /// Checkpoint / crash-recovery policy (no-op by default).
+    pub durable: DurableOpts,
+}
+
+/// Checkpoint / crash-recovery policy for the networked services.
+#[derive(Debug, Clone)]
+pub struct DurableOpts {
+    /// Directory for checkpoint files (`None` disables durability).
+    pub state_dir: Option<PathBuf>,
+    /// Write a checkpoint after every N handled frames (clamped to at
+    /// least 1); a final checkpoint is also forced at shutdown.
+    pub checkpoint_every: u64,
+    /// Load the checkpoint from `state_dir` at startup and resume
+    /// mid-protocol instead of starting from the fixture state.
+    pub resume: bool,
+}
+
+impl Default for DurableOpts {
+    fn default() -> Self {
+        DurableOpts {
+            state_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+        }
+    }
 }
 
 impl NetStormOpts {
@@ -82,6 +112,7 @@ impl NetStormOpts {
             engine: EngineConfig::default(),
             faults: None,
             socket: SocketConfig::default(),
+            durable: DurableOpts::default(),
         }
     }
 
@@ -170,16 +201,28 @@ pub struct SdcService {
     node: SocketNode<SessionMsg>,
     machine: SdcSessionEngine,
     poll: std::time::Duration,
+    durable: DurableOpts,
+    generation: u64,
+    handled: u64,
 }
 
 impl SdcService {
     /// Reconstructs the fixture, binds `listen` and prepares the
     /// engine; `stp_addr` is dialed lazily on the first forward.
     ///
+    /// With `opts.durable.resume`, the checkpoint in
+    /// `opts.durable.state_dir` is loaded instead of starting from the
+    /// fixture state: the matrix, contributions, pending ε vectors and
+    /// the per-session protocol table all come back, and the engine RNG
+    /// is reseeded per generation (see [`durable::resume_seed`]) so the
+    /// resumed process never replays pre-crash Paillier randomness.
+    ///
     /// # Errors
     ///
-    /// [`PisaError::Net`] if the listener cannot bind, or any fixture
-    /// construction error.
+    /// [`PisaError::Net`] if the listener cannot bind,
+    /// [`PisaError::Durable`] if resume was requested but the
+    /// checkpoint is missing or invalid, or any fixture construction
+    /// error.
     pub fn bind(opts: &NetStormOpts, listen: &str, stp_addr: &str) -> Result<Self, PisaError> {
         let fixture = storm_fixture(opts.sessions, opts.seed)?;
         let su_keys = fixture.su_keys()?;
@@ -189,17 +232,54 @@ impl SdcService {
             SocketNode::new(Party::Sdc, opts.socket.clone(), metrics.clone(), faults);
         node.add_peer(Party::Stp, stp_addr);
         node.bind(listen).map_err(net_err)?;
-        let machine = SdcSessionEngine::new(
-            fixture.sdc,
-            su_keys,
-            opts.engine.workers,
-            metrics,
-            opts.seed ^ 0x5dc,
-        );
+
+        let mut generation = 0u64;
+        let machine = if opts.durable.resume {
+            let dir = opts
+                .durable
+                .state_dir
+                .as_deref()
+                .ok_or_else(|| PisaError::Durable("resume requires a state dir".into()))?;
+            let ckpt = durable::load(&dir.join(SDC_CHECKPOINT_FILE))?;
+            let snap = ckpt.section(SECTION_SDC_SNAPSHOT).ok_or_else(|| {
+                PisaError::Durable("checkpoint has no SDC snapshot section".into())
+            })?;
+            let sdc = SdcServer::restore(
+                fixture.sdc.config().clone(),
+                fixture.stp.public_key().clone(),
+                snap,
+            )
+            .map_err(|e| PisaError::Durable(format!("SDC snapshot invalid: {e}")))?;
+            let mut machine = SdcSessionEngine::new(
+                sdc,
+                su_keys,
+                opts.engine.workers,
+                metrics,
+                durable::resume_seed(opts.seed ^ 0x5dc, ckpt.generation()),
+            );
+            if let Some(table) = ckpt.section(SECTION_SDC_SESSIONS) {
+                machine
+                    .restore_sessions(table)
+                    .map_err(|e| PisaError::Durable(format!("session table invalid: {e}")))?;
+            }
+            generation = ckpt.generation() + 1;
+            machine
+        } else {
+            SdcSessionEngine::new(
+                fixture.sdc,
+                su_keys,
+                opts.engine.workers,
+                metrics,
+                opts.seed ^ 0x5dc,
+            )
+        };
         Ok(SdcService {
             node,
             machine,
             poll: opts.engine.poll,
+            durable: opts.durable.clone(),
+            generation,
+            handled: 0,
         })
     }
 
@@ -208,9 +288,17 @@ impl SdcService {
         self.node.local_addr()
     }
 
+    /// The generation the next checkpoint will be written at (starts
+    /// above the resumed checkpoint's generation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Serves until a shutdown frame arrives (which is forwarded to the
     /// STP so the whole deployment drains), then returns the server
-    /// with its final state.
+    /// with its final state. With a state dir configured, a checkpoint
+    /// is written every `checkpoint_every` handled frames and once more
+    /// at shutdown.
     pub fn run(mut self) -> SdcServer {
         loop {
             match self.node.recv_timeout(self.poll) {
@@ -220,13 +308,17 @@ impl SdcService {
                         // budget covers it, exactly as with drop faults.
                         let _ = self.node.send_from(Party::Sdc, to, &frame);
                     }
+                    self.handled += 1;
+                    self.maybe_checkpoint(false);
                 }
                 Some(SocketEvent::Shutdown(_)) => {
                     let _ = self.node.send_shutdown(Party::Stp);
+                    self.maybe_checkpoint(true);
                     break;
                 }
                 None => {
                     if self.node.stopping() {
+                        self.maybe_checkpoint(true);
                         break;
                     }
                 }
@@ -234,6 +326,42 @@ impl SdcService {
         }
         self.node.stop();
         self.machine.into_server()
+    }
+
+    /// Writes a checkpoint if one is due (or `force`d). A failed write
+    /// leaves the previous checkpoint intact and the service keeps
+    /// serving — durability degrades to the last good generation, it
+    /// never takes the protocol down.
+    fn maybe_checkpoint(&mut self, force: bool) {
+        let Some(dir) = self.durable.state_dir.clone() else {
+            return;
+        };
+        let every = self.durable.checkpoint_every.max(1);
+        if !force && !self.handled.is_multiple_of(every) {
+            return;
+        }
+        if self.write_checkpoint(&dir).is_ok() {
+            self.generation += 1;
+        }
+    }
+
+    fn write_checkpoint(&self, dir: &Path) -> Result<(), PisaError> {
+        let mut ckpt = Checkpoint::new(self.generation);
+        ckpt.push_section(
+            SECTION_SDC_SNAPSHOT,
+            self.machine
+                .server()
+                .snapshot()
+                .map_err(|e| PisaError::Durable(format!("SDC snapshot failed: {e}")))?,
+        );
+        ckpt.push_section(
+            SECTION_SDC_SESSIONS,
+            self.machine
+                .snapshot_sessions()
+                .map_err(|e| PisaError::Durable(format!("session snapshot failed: {e}")))?,
+        );
+        durable::write_atomic(dir, SDC_CHECKPOINT_FILE, &ckpt)?;
+        Ok(())
     }
 
     /// Asks the service loop to wind down from another thread.
@@ -248,15 +376,27 @@ pub struct StpService {
     node: SocketNode<SessionMsg>,
     machine: StpSessionEngine,
     poll: std::time::Duration,
+    durable: DurableOpts,
+    generation: u64,
+    handled: u64,
 }
 
 impl StpService {
     /// Reconstructs the fixture, binds `listen` and prepares the engine.
     ///
+    /// With `opts.durable.resume`, the per-SU key directory is restored
+    /// from the checkpoint in `opts.durable.state_dir` and the engine
+    /// RNG is reseeded per generation, as for [`SdcService::bind`]. The
+    /// global secret `sk_G` is deliberately *not* persisted — it is
+    /// re-derived from the fixture, keeping the highest-value secret
+    /// off disk.
+    ///
     /// # Errors
     ///
-    /// [`PisaError::Net`] if the listener cannot bind, or any fixture
-    /// construction error.
+    /// [`PisaError::Net`] if the listener cannot bind,
+    /// [`PisaError::Durable`] if resume was requested but the
+    /// checkpoint is missing or invalid, or any fixture construction
+    /// error.
     pub fn bind(opts: &NetStormOpts, listen: &str) -> Result<Self, PisaError> {
         let fixture = storm_fixture(opts.sessions, opts.seed)?;
         let metrics = NetMetrics::new();
@@ -264,12 +404,40 @@ impl StpService {
         let node: SocketNode<SessionMsg> =
             SocketNode::new(Party::Stp, opts.socket.clone(), metrics.clone(), faults);
         node.bind(listen).map_err(net_err)?;
-        let machine =
-            StpSessionEngine::new(fixture.stp, opts.engine.workers, metrics, opts.seed ^ 0x517);
+
+        let mut generation = 0u64;
+        let machine = if opts.durable.resume {
+            let dir = opts
+                .durable
+                .state_dir
+                .as_deref()
+                .ok_or_else(|| PisaError::Durable("resume requires a state dir".into()))?;
+            let ckpt = durable::load(&dir.join(STP_CHECKPOINT_FILE))?;
+            let directory = ckpt.section(SECTION_STP_DIRECTORY).ok_or_else(|| {
+                PisaError::Durable("checkpoint has no STP directory section".into())
+            })?;
+            let mut machine = StpSessionEngine::new(
+                fixture.stp,
+                opts.engine.workers,
+                metrics,
+                durable::resume_seed(opts.seed ^ 0x517, ckpt.generation()),
+            );
+            machine
+                .server_mut()
+                .restore_directory(directory)
+                .map_err(|e| PisaError::Durable(format!("STP directory invalid: {e}")))?;
+            generation = ckpt.generation() + 1;
+            machine
+        } else {
+            StpSessionEngine::new(fixture.stp, opts.engine.workers, metrics, opts.seed ^ 0x517)
+        };
         Ok(StpService {
             node,
             machine,
             poll: opts.engine.poll,
+            durable: opts.durable.clone(),
+            generation,
+            handled: 0,
         })
     }
 
@@ -278,7 +446,13 @@ impl StpService {
         self.node.local_addr()
     }
 
+    /// The generation the next checkpoint will be written at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Serves until a shutdown frame arrives, then returns the server.
+    /// With a state dir configured, checkpoints as [`SdcService::run`].
     pub fn run(mut self) -> StpServer {
         loop {
             match self.node.recv_timeout(self.poll) {
@@ -286,10 +460,16 @@ impl StpService {
                     for (to, frame) in self.machine.handle(env.payload) {
                         let _ = self.node.send_from(Party::Stp, to, &frame);
                     }
+                    self.handled += 1;
+                    self.maybe_checkpoint(false);
                 }
-                Some(SocketEvent::Shutdown(_)) => break,
+                Some(SocketEvent::Shutdown(_)) => {
+                    self.maybe_checkpoint(true);
+                    break;
+                }
                 None => {
                     if self.node.stopping() {
+                        self.maybe_checkpoint(true);
                         break;
                     }
                 }
@@ -297,6 +477,34 @@ impl StpService {
         }
         self.node.stop();
         self.machine.into_server()
+    }
+
+    /// Writes a checkpoint if one is due (or `force`d); failures leave
+    /// the previous checkpoint intact, as for [`SdcService`].
+    fn maybe_checkpoint(&mut self, force: bool) {
+        let Some(dir) = self.durable.state_dir.clone() else {
+            return;
+        };
+        let every = self.durable.checkpoint_every.max(1);
+        if !force && !self.handled.is_multiple_of(every) {
+            return;
+        }
+        if self.write_checkpoint(&dir).is_ok() {
+            self.generation += 1;
+        }
+    }
+
+    fn write_checkpoint(&self, dir: &Path) -> Result<(), PisaError> {
+        let mut ckpt = Checkpoint::new(self.generation);
+        ckpt.push_section(
+            SECTION_STP_DIRECTORY,
+            self.machine
+                .server()
+                .snapshot_directory()
+                .map_err(|e| PisaError::Durable(format!("STP directory snapshot failed: {e}")))?,
+        );
+        durable::write_atomic(dir, STP_CHECKPOINT_FILE, &ckpt)?;
+        Ok(())
     }
 
     /// Asks the service loop to wind down from another thread.

@@ -541,14 +541,18 @@ impl SdcServer {
     }
 
     /// Serializes the SDC's durable state — issuer, license serial,
-    /// signing key and every stored PU contribution — for crash
-    /// recovery. Pending (in-flight) requests are intentionally not
-    /// persisted: SUs simply retry them.
+    /// signing key, every stored PU contribution, and every pending
+    /// (in-flight) phase-1 request — for crash recovery. Persisting
+    /// `pending` is what lets a restarted SDC finish phase 2 of a
+    /// session whose sign test crossed the crash: the retained ε vector
+    /// must pair with the STP reply or the unblinding in eq. (16) is
+    /// garbage.
     ///
     /// Treat the snapshot as sensitive: it contains the license-signing
-    /// private key (the budget ciphertexts, by contrast, are exactly
+    /// private key *and* the phase-1 ε vectors (which unblind the STP's
+    /// sign readings). The budget ciphertexts, by contrast, are exactly
     /// what a breached SDC would expose anyway — which is the point of
-    /// PISA).
+    /// PISA.
     ///
     /// # Errors
     ///
@@ -559,7 +563,7 @@ impl SdcServer {
         let ct_bytes = self.pk_g.ciphertext_bytes();
         let mut w =
             Writer::with_capacity(1024 + self.contributions.len() * self.cfg.channels() * ct_bytes);
-        w.put_u8(1); // snapshot format version
+        w.put_u8(SNAPSHOT_VERSION);
         w.put_bytes(self.issuer.as_bytes())?;
         w.put_u64(self.serial);
         let rsa = self.rsa.export_secret_parts();
@@ -582,16 +586,50 @@ impl SdcServer {
                 w.put_raw(&ct.as_raw().to_be_bytes_padded(ct_bytes));
             }
         }
+        // v2: the pending phase-1 sessions, sorted by SU id. The license
+        // issuer is the snapshot's own issuer, so only the per-request
+        // fields are stored.
+        let mut su_ids: Vec<SuId> = self.pending.keys().copied().collect();
+        su_ids.sort_unstable();
+        w.put_u32(wire_u32(su_ids.len())?);
+        for su_id in su_ids {
+            let Some(p) = self.pending.get(&su_id) else {
+                continue;
+            };
+            w.put_u32(su_id.0);
+            w.put_raw(&p.license.request_digest);
+            w.put_u64(p.license.serial);
+            w.put_u64(p.region_blocks as u64);
+            w.put_u32(wire_u32(p.epsilons.len())?);
+            for eps in &p.epsilons {
+                w.put_u8(match eps {
+                    SignFlip::Keep => 0,
+                    SignFlip::Flip => 1,
+                });
+            }
+        }
         Ok(w.finish())
     }
 
     /// Reconstructs an SDC from a [`snapshot`](Self::snapshot): recomputes
-    /// the public matrix **E**, restores the signing key and PU
-    /// contributions, and re-aggregates `Ñ` (eqs. 9–10).
+    /// the public matrix **E**, restores the signing key, PU
+    /// contributions and pending phase-1 sessions, and re-aggregates
+    /// `Ñ` (eqs. 9–10).
+    ///
+    /// The frame is treated as adversarial: entry counts are checked
+    /// against the remaining bytes *before* any allocation, every
+    /// contribution block must lie inside the configured grid (the same
+    /// `check_block` validation [`handle_pu_update`] enforces on the
+    /// live path), and PU/SU ids must be strictly increasing — the
+    /// order [`snapshot`](Self::snapshot) writes — so duplicates cannot
+    /// silently collapse (last-wins) into a map that disagrees with the
+    /// snapshot's own counts.
     ///
     /// # Errors
     ///
     /// Any [`pisa_net::codec::CodecError`] on a malformed frame.
+    ///
+    /// [`handle_pu_update`]: Self::handle_pu_update
     pub fn restore(
         cfg: SystemConfig,
         pk_g: PaillierPublicKey,
@@ -600,7 +638,7 @@ impl SdcServer {
         use pisa_net::codec::{CodecError, Reader};
         let mut r = Reader::new(frame);
         let version = r.get_u8()?;
-        if version != 1 {
+        if version != SNAPSHOT_VERSION {
             return Err(CodecError::Invalid(format!(
                 "unknown snapshot version {version}"
             )));
@@ -617,12 +655,37 @@ impl SdcServer {
             )));
         }
         let count = widen(r.get_u32()?);
+        // The count is attacker-controlled: bound it by what the
+        // remaining frame could possibly hold before pre-allocating
+        // (the `Reader::get_bytes` pattern), so `count = u32::MAX`
+        // cannot force a huge up-front allocation.
+        let min_entry = 20usize.saturating_add(cfg.channels().saturating_mul(ct_bytes));
+        let most = r.remaining() / min_entry.max(1);
+        if count > most {
+            return Err(CodecError::Oversized(count as u64, most as u64));
+        }
         let mut contributions = HashMap::with_capacity(count);
+        let mut last_id: Option<u64> = None;
         for _ in 0..count {
             let id = r.get_u64()?;
+            if let Some(prev) = last_id {
+                if id <= prev {
+                    return Err(CodecError::Invalid(format!(
+                        "PU ids must be strictly increasing (saw {id} after {prev})"
+                    )));
+                }
+            }
+            last_id = Some(id);
             let raw_block = r.get_u64()?;
             let block =
                 BlockId(usize::try_from(raw_block).map_err(|_| CodecError::BadLength(raw_block))?);
+            if cfg.watch().area().check_block(block).is_err() {
+                return Err(CodecError::Invalid(format!(
+                    "contribution block {} lies outside the {}-block grid",
+                    block.0,
+                    cfg.blocks()
+                )));
+            }
             let cols = widen(r.get_u32()?);
             if cols != cfg.channels() {
                 return Err(CodecError::Invalid(format!(
@@ -639,6 +702,71 @@ impl SdcServer {
                 .collect::<Result<Vec<_>, CodecError>>()?;
             contributions.insert(id, (block, col));
         }
+
+        // v2: pending phase-1 sessions, same hardening discipline.
+        let pending_count = widen(r.get_u32()?);
+        let min_pending = 56usize; // su id + digest + serial + region + ε count
+        let most_pending = r.remaining() / min_pending;
+        if pending_count > most_pending {
+            return Err(CodecError::Oversized(
+                pending_count as u64,
+                most_pending as u64,
+            ));
+        }
+        let mut pending = HashMap::with_capacity(pending_count);
+        let mut last_su: Option<u32> = None;
+        for _ in 0..pending_count {
+            let raw_su = r.get_u32()?;
+            if let Some(prev) = last_su {
+                if raw_su <= prev {
+                    return Err(CodecError::Invalid(format!(
+                        "pending SU ids must be strictly increasing (saw {raw_su} after {prev})"
+                    )));
+                }
+            }
+            last_su = Some(raw_su);
+            let request_digest: [u8; 32] = r
+                .get_raw(32)?
+                .try_into()
+                .map_err(|_| CodecError::UnexpectedEof)?;
+            let lic_serial = r.get_u64()?;
+            let raw_region = r.get_u64()?;
+            let region_blocks =
+                usize::try_from(raw_region).map_err(|_| CodecError::BadLength(raw_region))?;
+            if region_blocks == 0 || region_blocks > cfg.blocks() {
+                return Err(CodecError::Invalid(format!(
+                    "pending region of {region_blocks} blocks exceeds the {}-block area",
+                    cfg.blocks()
+                )));
+            }
+            let eps_len = widen(r.get_u32()?);
+            if eps_len != cfg.channels() * region_blocks {
+                return Err(CodecError::Invalid(format!(
+                    "pending ε vector has {eps_len} entries, region needs {}",
+                    cfg.channels() * region_blocks
+                )));
+            }
+            let epsilons = (0..eps_len)
+                .map(|_| match r.get_u8()? {
+                    0 => Ok(SignFlip::Keep),
+                    1 => Ok(SignFlip::Flip),
+                    other => Err(CodecError::Invalid(format!("bad ε byte {other:#04x}"))),
+                })
+                .collect::<Result<Vec<_>, CodecError>>()?;
+            pending.insert(
+                SuId(raw_su),
+                PendingRequest {
+                    license: License {
+                        su_id: SuId(raw_su),
+                        issuer: issuer.clone(),
+                        request_digest,
+                        serial: lic_serial,
+                    },
+                    epsilons,
+                    region_blocks,
+                },
+            );
+        }
         r.finish()?;
 
         let e_plain = compute_e_matrix(cfg.watch());
@@ -654,11 +782,16 @@ impl SdcServer {
             rsa: RsaKeyPair::from_parts(pisa_crypto::rsa::RsaKeyParts { n: rsa_n, d: rsa_d }),
             blinder,
             serial,
-            pending: HashMap::new(),
+            pending,
             beta_pool: None,
         };
         sdc.reaggregate_budget();
         Ok(sdc)
+    }
+
+    /// Number of in-flight phase-1 sessions awaiting their STP reply.
+    pub fn pending_sessions(&self) -> usize {
+        self.pending.len()
     }
 
     /// Builds the deterministic encryption of a plaintext matrix under
@@ -682,6 +815,10 @@ impl SdcServer {
 }
 
 use crate::wire::wire_u32;
+
+/// Snapshot container version: bumped to 2 when the pending phase-1
+/// sessions joined the durable state.
+const SNAPSHOT_VERSION: u8 = 2;
 
 /// Widens a snapshot `u32` to `usize` — lossless on every supported host.
 fn widen(v: u32) -> usize {

@@ -109,6 +109,88 @@ impl StpServer {
         self.directory.lookup(id)
     }
 
+    /// Serializes the STP's per-SU state — the public-key directory —
+    /// for crash recovery. `sk_G` is deliberately *not* persisted
+    /// (§III-C: it never leaves the STP; a restarted STP re-derives it
+    /// from its own key source, here the deterministic storm fixture),
+    /// and the randomizer pools are transient precomputation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`pisa_net::codec::CodecError`] if a field cannot fit its
+    /// wire width; in-range state never fails.
+    pub fn snapshot_directory(&self) -> Result<bytes::Bytes, pisa_net::codec::CodecError> {
+        use pisa_net::codec::Writer;
+        let mut ids: Vec<SuId> = self.directory.iter().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        let mut w = Writer::with_capacity(16 + ids.len() * 80);
+        w.put_u8(DIRECTORY_VERSION);
+        w.put_u32(crate::wire::wire_u32(ids.len())?);
+        for id in ids {
+            // The id came from the directory's own key set just above.
+            let Some(pk) = self.directory.lookup(id) else {
+                continue;
+            };
+            w.put_u32(id.0);
+            w.put_bytes(&pk.modulus().to_be_bytes())?;
+        }
+        Ok(w.finish())
+    }
+
+    /// Replaces the SU key directory from a
+    /// [`snapshot_directory`](Self::snapshot_directory) frame. The
+    /// frame is treated as adversarial: the entry count is bounded by
+    /// the remaining bytes before allocation, SU ids must be strictly
+    /// increasing, and every modulus must be an odd number of at least
+    /// [`pisa_crypto::paillier::MIN_KEY_BITS`] bits (the preconditions
+    /// `PaillierPublicKey::from_modulus` would otherwise panic on).
+    ///
+    /// # Errors
+    ///
+    /// Any [`pisa_net::codec::CodecError`] on a malformed frame; the
+    /// existing directory is left untouched on error.
+    pub fn restore_directory(&mut self, frame: &[u8]) -> Result<(), pisa_net::codec::CodecError> {
+        use pisa_crypto::paillier::MIN_KEY_BITS;
+        use pisa_net::codec::{CodecError, Reader};
+        let mut r = Reader::new(frame);
+        let version = r.get_u8()?;
+        if version != DIRECTORY_VERSION {
+            return Err(CodecError::Invalid(format!(
+                "unknown directory version {version}"
+            )));
+        }
+        let count = crate::wire::widen(r.get_u32()?);
+        let min_entry = 4 + 4 + MIN_KEY_BITS / 8;
+        let most = r.remaining() / min_entry;
+        if count > most {
+            return Err(CodecError::Oversized(count as u64, most as u64));
+        }
+        let mut directory = SuKeyDirectory::new();
+        let mut last: Option<u32> = None;
+        for _ in 0..count {
+            let raw_id = r.get_u32()?;
+            if let Some(prev) = last {
+                if raw_id <= prev {
+                    return Err(CodecError::Invalid(format!(
+                        "directory SU ids must be strictly increasing (saw {raw_id} after {prev})"
+                    )));
+                }
+            }
+            last = Some(raw_id);
+            let n = pisa_bigint::Ubig::from_be_bytes(r.get_bytes()?);
+            if n.bit_len() < MIN_KEY_BITS || !n.is_odd() {
+                return Err(CodecError::Invalid(format!(
+                    "SU {raw_id} modulus is not a valid Paillier modulus ({} bits)",
+                    n.bit_len()
+                )));
+            }
+            directory.publish(SuId(raw_id), PaillierPublicKey::from_modulus(n));
+        }
+        r.finish()?;
+        self.directory = directory;
+        Ok(())
+    }
+
     /// Audit interface: decrypts a `pk_G` cipher matrix.
     ///
     /// This models a capability the STP genuinely has (it holds `sk_G`)
@@ -273,6 +355,9 @@ impl StpServer {
         ))
     }
 }
+
+/// SU-key-directory serialization format version.
+const DIRECTORY_VERSION: u8 = 1;
 
 #[cfg(test)]
 mod tests {

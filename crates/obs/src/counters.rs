@@ -40,6 +40,10 @@ pub enum Op {
     /// A randomizer-pool request that found the pool empty and fell
     /// back to the online exponentiation.
     PoolMiss,
+    /// A durable checkpoint written to disk (temp-write + rename).
+    CheckpointWrite,
+    /// A durable checkpoint loaded and verified from disk.
+    CheckpointLoad,
 }
 
 static MOD_EXPS: AtomicU64 = AtomicU64::new(0);
@@ -49,6 +53,8 @@ static DECRYPTIONS: AtomicU64 = AtomicU64::new(0);
 static RERANDOMIZATIONS: AtomicU64 = AtomicU64::new(0);
 static MOD_EXPS_AVOIDED: AtomicU64 = AtomicU64::new(0);
 static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+static CHECKPOINT_WRITES: AtomicU64 = AtomicU64::new(0);
+static CHECKPOINT_LOADS: AtomicU64 = AtomicU64::new(0);
 
 fn cell(op: Op) -> &'static AtomicU64 {
     match op {
@@ -59,6 +65,8 @@ fn cell(op: Op) -> &'static AtomicU64 {
         Op::Rerandomize => &RERANDOMIZATIONS,
         Op::ModExpAvoided => &MOD_EXPS_AVOIDED,
         Op::PoolMiss => &POOL_MISSES,
+        Op::CheckpointWrite => &CHECKPOINT_WRITES,
+        Op::CheckpointLoad => &CHECKPOINT_LOADS,
     }
 }
 
@@ -86,6 +94,10 @@ pub struct OpTotals {
     pub mod_exps_avoided: u64,
     /// Randomizer-pool misses that fell back to the online path.
     pub pool_misses: u64,
+    /// Durable checkpoints written (temp-write + rename).
+    pub checkpoint_writes: u64,
+    /// Durable checkpoints loaded and verified.
+    pub checkpoint_loads: u64,
 }
 
 impl OpTotals {
@@ -104,6 +116,12 @@ impl OpTotals {
                 .mod_exps_avoided
                 .saturating_sub(earlier.mod_exps_avoided),
             pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            checkpoint_writes: self
+                .checkpoint_writes
+                .saturating_sub(earlier.checkpoint_writes),
+            checkpoint_loads: self
+                .checkpoint_loads
+                .saturating_sub(earlier.checkpoint_loads),
         }
     }
 
@@ -118,6 +136,10 @@ impl OpTotals {
             rerandomizations: self.rerandomizations.saturating_add(other.rerandomizations),
             mod_exps_avoided: self.mod_exps_avoided.saturating_add(other.mod_exps_avoided),
             pool_misses: self.pool_misses.saturating_add(other.pool_misses),
+            checkpoint_writes: self
+                .checkpoint_writes
+                .saturating_add(other.checkpoint_writes),
+            checkpoint_loads: self.checkpoint_loads.saturating_add(other.checkpoint_loads),
         }
     }
 
@@ -137,6 +159,8 @@ pub fn counters() -> OpTotals {
         rerandomizations: RERANDOMIZATIONS.load(Ordering::Relaxed),
         mod_exps_avoided: MOD_EXPS_AVOIDED.load(Ordering::Relaxed),
         pool_misses: POOL_MISSES.load(Ordering::Relaxed),
+        checkpoint_writes: CHECKPOINT_WRITES.load(Ordering::Relaxed),
+        checkpoint_loads: CHECKPOINT_LOADS.load(Ordering::Relaxed),
     }
 }
 
@@ -148,4 +172,6 @@ pub(crate) fn reset_counters() {
     RERANDOMIZATIONS.store(0, Ordering::Relaxed);
     MOD_EXPS_AVOIDED.store(0, Ordering::Relaxed);
     POOL_MISSES.store(0, Ordering::Relaxed);
+    CHECKPOINT_WRITES.store(0, Ordering::Relaxed);
+    CHECKPOINT_LOADS.store(0, Ordering::Relaxed);
 }

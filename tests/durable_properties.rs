@@ -1,0 +1,330 @@
+//! Property tests for the durability layer: snapshot → restore round
+//! trips (byte-identical re-snapshot, identical protocol decisions) and
+//! adversarial robustness — a restore fed truncated, bit-flipped or
+//! garbage bytes must error, never panic and never pre-allocate
+//! unbounded memory from an attacker-controlled count.
+
+use pisa::durable::Checkpoint;
+use pisa::trace::StormTrace;
+use pisa::{PisaMessage, SdcServer, StormFixture, SuClient, SystemConfig};
+use pisa_crypto::paillier::PaillierPublicKey;
+use pisa_crypto::rsa::RsaPublicKey;
+use pisa_net::codec::{CodecError, Writer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// The phase-2 RNG seed the fixture's baseline response was produced
+/// with; a restored SDC run with the same seed must reproduce it.
+const BASELINE_SEED: u64 = 0xd5c;
+
+/// A storm frozen mid-protocol: the SDC has ingested the PU update and
+/// blinded one SU's request (phase 1 pending), then snapshotted — the
+/// exact state a crash between the sign test and the signature release
+/// leaves behind. Built once; keygen dominates the cost.
+struct Fixture {
+    cfg: SystemConfig,
+    pk_g: PaillierPublicKey,
+    su: SuClient,
+    signing: RsaPublicKey,
+    /// Snapshot taken *after* phase 1: contributions + pending ε.
+    snapshot: Vec<u8>,
+    /// The STP's key-converted reply the resumed SDC must pair with
+    /// the restored ε vector.
+    stp_reply: pisa::StpToSdcMsg,
+    /// Whether the original (uncrashed) SDC granted the request.
+    baseline_granted: bool,
+    /// The original SDC's encoded phase-2 response at `BASELINE_SEED`.
+    baseline_response: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(2017);
+        let StormFixture {
+            mut sus,
+            mut sdc,
+            stp,
+        } = pisa::storm_fixture(2, 2017).expect("fixture construction is infallible here");
+        let cfg = sdc.config().clone();
+        let (mut su, channels) = sus.remove(0);
+        let request = su.build_request(&cfg, stp.public_key(), &channels, &mut rng);
+        let to_stp = sdc
+            .process_request_phase1(&request, &mut rng)
+            .expect("well-formed fixture request");
+        let snapshot = sdc.snapshot().expect("in-range state snapshots").to_vec();
+        let (stp_reply, _obs) = stp
+            .key_convert(&to_stp, &mut rng)
+            .expect("registered SU key-converts");
+
+        let mut brng = StdRng::seed_from_u64(BASELINE_SEED);
+        let response = sdc
+            .process_request_phase2(&stp_reply, su.public_key(), &mut brng)
+            .expect("pending state completes phase 2");
+        let signing = sdc.signing_public_key().clone();
+        let baseline_granted = su.handle_response(&response, &signing);
+        let baseline_response = PisaMessage::SdcResponse(response)
+            .encode()
+            .expect("response encodes")
+            .to_vec();
+        Fixture {
+            cfg,
+            pk_g: stp.public_key().clone(),
+            su,
+            signing,
+            snapshot,
+            stp_reply,
+            baseline_granted,
+            baseline_response,
+        }
+    })
+}
+
+fn restore_fixture_sdc() -> SdcServer {
+    let f = fixture();
+    SdcServer::restore(f.cfg.clone(), f.pk_g.clone(), &f.snapshot)
+        .expect("the fixture's own snapshot restores")
+}
+
+/// Starts a malicious snapshot frame: valid v2 header (version, issuer,
+/// serial, signing-key parts, ciphertext width) so the decoder reaches
+/// the attacker-controlled sections the tests target.
+fn malicious_header() -> Writer {
+    let mut w = Writer::new();
+    w.put_u8(2); // SNAPSHOT_VERSION
+    w.put_bytes(b"sdc.evil").expect("tiny field");
+    w.put_u64(1);
+    w.put_bytes(&[0x03]).expect("tiny field"); // rsa n
+    w.put_bytes(&[0x01]).expect("tiny field"); // rsa d
+    let ct_bytes = u32::try_from(fixture().pk_g.ciphertext_bytes()).expect("small width");
+    w.put_u32(ct_bytes);
+    w
+}
+
+/// The `count = u32::MAX` prealloc bomb: the declared PU-contribution
+/// count must be bounded by the bytes actually present *before* any
+/// `with_capacity`, so the decode errors in microseconds instead of
+/// attempting a multi-gigabyte allocation.
+#[test]
+fn contribution_count_bomb_is_rejected_before_allocation() {
+    let f = fixture();
+    let mut w = malicious_header();
+    w.put_u32(u32::MAX);
+    let frame = w.finish();
+    match SdcServer::restore(f.cfg.clone(), f.pk_g.clone(), &frame) {
+        Err(CodecError::Oversized(declared, _)) => assert_eq!(declared, u64::from(u32::MAX)),
+        other => panic!("count bomb must be Oversized, got {other:?}"),
+    }
+}
+
+/// The same bomb on the v2 pending-session count.
+#[test]
+fn pending_count_bomb_is_rejected_before_allocation() {
+    let f = fixture();
+    let mut w = malicious_header();
+    w.put_u32(0); // no contributions
+    w.put_u32(u32::MAX); // pending sessions
+    let frame = w.finish();
+    match SdcServer::restore(f.cfg.clone(), f.pk_g.clone(), &frame) {
+        Err(CodecError::Oversized(declared, _)) => assert_eq!(declared, u64::from(u32::MAX)),
+        other => panic!("pending bomb must be Oversized, got {other:?}"),
+    }
+}
+
+/// A contribution whose block lies outside the configured grid must be
+/// rejected with the same validation the live `handle_pu_update` path
+/// enforces — a restored matrix must never hold state the running
+/// server could not have accepted.
+#[test]
+fn out_of_grid_contribution_block_is_rejected() {
+    let f = fixture();
+    let ct_bytes = f.pk_g.ciphertext_bytes();
+    let mut w = malicious_header();
+    w.put_u32(1);
+    w.put_u64(7); // PU id
+    w.put_u64(f.cfg.blocks() as u64); // first invalid block index
+    w.put_u32(u32::try_from(f.cfg.channels()).expect("small grid"));
+    w.put_raw(&vec![1u8; f.cfg.channels() * ct_bytes]);
+    w.put_u32(0); // no pending sessions
+    let frame = w.finish();
+    assert!(
+        matches!(
+            SdcServer::restore(f.cfg.clone(), f.pk_g.clone(), &frame),
+            Err(CodecError::Invalid(_))
+        ),
+        "out-of-grid block must be CodecError::Invalid"
+    );
+}
+
+/// Duplicate (or merely non-increasing) PU ids must be rejected: a
+/// last-wins `HashMap` collapse would silently disagree with the
+/// snapshot's own entry count.
+#[test]
+fn duplicate_pu_ids_are_rejected() {
+    let f = fixture();
+    let ct_bytes = f.pk_g.ciphertext_bytes();
+    let mut w = malicious_header();
+    w.put_u32(2);
+    for _ in 0..2 {
+        w.put_u64(5); // same id twice
+        w.put_u64(0);
+        w.put_u32(u32::try_from(f.cfg.channels()).expect("small grid"));
+        w.put_raw(&vec![1u8; f.cfg.channels() * ct_bytes]);
+    }
+    w.put_u32(0);
+    let frame = w.finish();
+    assert!(
+        matches!(
+            SdcServer::restore(f.cfg.clone(), f.pk_g.clone(), &frame),
+            Err(CodecError::Invalid(_))
+        ),
+        "duplicate PU ids must be CodecError::Invalid"
+    );
+}
+
+/// A pending entry with a corrupted ε byte (neither Keep nor Flip)
+/// must fail closed: a fabricated ε would silently unblind eq. (16)
+/// into garbage on the live path.
+#[test]
+fn tampered_epsilon_byte_is_rejected() {
+    let f = fixture();
+    let mut w = malicious_header();
+    w.put_u32(0); // no contributions
+    w.put_u32(1); // one pending session
+    w.put_u32(9); // SU id
+    w.put_raw(&[0u8; 32]); // request digest
+    w.put_u64(1); // license serial
+    w.put_u64(1); // region_blocks
+    w.put_u32(u32::try_from(f.cfg.channels()).expect("small grid"));
+    let mut eps = vec![0u8; f.cfg.channels()];
+    eps[0] = 7; // not a SignFlip
+    w.put_raw(&eps);
+    let frame = w.finish();
+    assert!(
+        matches!(
+            SdcServer::restore(f.cfg.clone(), f.pk_g.clone(), &frame),
+            Err(CodecError::Invalid(_))
+        ),
+        "tampered ε must be CodecError::Invalid"
+    );
+}
+
+/// Restoring the fixture snapshot and completing phase 2 at the
+/// baseline seed reproduces the original (uncrashed) SDC's response
+/// byte for byte — the strongest form of "the crash was invisible".
+#[test]
+fn resumed_phase2_reproduces_the_uncrashed_response() {
+    let f = fixture();
+    let mut sdc = restore_fixture_sdc();
+    assert_eq!(sdc.pending_sessions(), 1, "pending ε survives the crash");
+    let mut rng = StdRng::seed_from_u64(BASELINE_SEED);
+    let response = sdc
+        .process_request_phase2(&f.stp_reply, f.su.public_key(), &mut rng)
+        .expect("restored pending state completes phase 2");
+    let encoded = PisaMessage::SdcResponse(response)
+        .encode()
+        .expect("encodes");
+    assert_eq!(encoded.as_ref(), &f.baseline_response[..]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Restore → re-snapshot is the identity on bytes, and the restored
+    /// server is deterministic: two copies resumed from the same
+    /// snapshot complete phase 2 identically under the same randomness,
+    /// and reach the *same decision* as the uncrashed baseline under
+    /// any randomness (the grant depends only on plaintext budgets).
+    #[test]
+    fn snapshot_restore_roundtrips_and_decisions_survive(seed in any::<u64>()) {
+        let f = fixture();
+        let mut a = restore_fixture_sdc();
+        let mut b = restore_fixture_sdc();
+        let resnap = a.snapshot().expect("re-snapshot");
+        prop_assert_eq!(resnap.as_ref(), &f.snapshot[..]);
+        prop_assert_eq!(a.pending_sessions(), 1);
+
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let ra = a
+            .process_request_phase2(&f.stp_reply, f.su.public_key(), &mut rng_a)
+            .expect("restored copy A completes");
+        let rb = b
+            .process_request_phase2(&f.stp_reply, f.su.public_key(), &mut rng_b)
+            .expect("restored copy B completes");
+        let ea = PisaMessage::SdcResponse(ra).encode().expect("encodes");
+        let eb = PisaMessage::SdcResponse(rb).encode().expect("encodes");
+        // Same snapshot + same randomness must agree byte for byte.
+        prop_assert_eq!(&ea, &eb);
+
+        let PisaMessage::SdcResponse(decoded) = PisaMessage::decode(&ea).expect("canonical response")
+        else {
+            panic!("a phase-2 reply must decode as SdcResponse");
+        };
+        // The decision must not depend on post-crash randomness.
+        prop_assert_eq!(
+            f.su.handle_response(&decoded, &f.signing),
+            f.baseline_granted
+        );
+    }
+
+    /// Truncating the snapshot anywhere yields an error, never a panic:
+    /// every section length is validated against the bytes present.
+    #[test]
+    fn truncated_snapshot_always_errors(cut_seed in any::<usize>()) {
+        let f = fixture();
+        let cut = cut_seed % f.snapshot.len();
+        prop_assert!(
+            SdcServer::restore(f.cfg.clone(), f.pk_g.clone(), &f.snapshot[..cut]).is_err()
+        );
+    }
+
+    /// Flipping any single bit of the snapshot never panics the restore
+    /// path — it either errors or restores some self-consistent server.
+    #[test]
+    fn bit_flipped_snapshot_never_panics(bit_seed in any::<usize>()) {
+        let f = fixture();
+        let mut frame = f.snapshot.clone();
+        let bit = bit_seed % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        let _ = SdcServer::restore(f.cfg.clone(), f.pk_g.clone(), &frame);
+    }
+
+    /// Arbitrary garbage never panics any durable decoder: the SDC
+    /// snapshot, the checkpoint container, or the storm-trace file.
+    #[test]
+    fn garbage_never_panics_any_durable_decoder(
+        frame in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let f = fixture();
+        let _ = SdcServer::restore(f.cfg.clone(), f.pk_g.clone(), &frame);
+        let _ = Checkpoint::decode(&frame);
+        let _ = StormTrace::decode(&frame);
+    }
+
+    /// The checkpoint container itself round-trips and rejects any
+    /// single-bit corruption via its SHA-256 trailer.
+    #[test]
+    fn checkpoint_container_detects_every_bit_flip(
+        generation in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        bit_seed in any::<usize>(),
+    ) {
+        let mut ckpt = Checkpoint::new(generation);
+        ckpt.push_section(1, bytes::Bytes::copy_from_slice(&payload));
+        let encoded = ckpt.encode().expect("well-formed checkpoint encodes");
+        let back = Checkpoint::decode(&encoded).expect("clean bytes decode");
+        prop_assert_eq!(back.generation(), generation);
+        prop_assert_eq!(back.section(1), Some(&payload[..]));
+
+        let mut flipped = encoded.to_vec();
+        let bit = bit_seed % (flipped.len() * 8);
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            Checkpoint::decode(&flipped).is_err(),
+            "a flipped checkpoint must fail its integrity check"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Golden-trace regression gate: the storm traces checked into
+//! `tests/data/` were recorded with `pisa trace --record`; every build
+//! must replay them byte-for-byte. Any divergence means the protocol's
+//! wire behaviour changed — either revert the change or re-record the
+//! goldens *deliberately* (and say so in the commit).
+
+use pisa::trace::{record_storm, replay_storm, ReplayReport, StormTrace};
+
+/// The checked-in golden traces, relative to the workspace root (the
+/// core crate's manifest lives two levels down).
+const GOLDENS: &[(&str, u32, u64)] = &[
+    ("trace_s2_2017.trc", 2, 2017),
+    ("trace_s4_2017.trc", 4, 2017),
+];
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/data")
+        .join(name)
+}
+
+#[test]
+fn golden_traces_replay_byte_identically() {
+    for &(name, sessions, seed) in GOLDENS {
+        let path = golden_path(name);
+        let file = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("golden trace {} unreadable: {e}", path.display()));
+        let trace = StormTrace::decode(&file)
+            .unwrap_or_else(|e| panic!("golden trace {name} failed to decode: {e}"));
+        assert_eq!(trace.sessions, sessions, "{name}: session count drifted");
+        assert_eq!(trace.seed, seed, "{name}: seed drifted");
+        assert!(!trace.records.is_empty(), "{name}: empty trace");
+
+        let report = replay_storm(&trace)
+            .unwrap_or_else(|e| panic!("golden trace {name} failed to replay: {e}"));
+        assert!(
+            report.matches(),
+            "{name}: replay diverged at record {:?} ({} recorded, {} replayed)",
+            report.divergence,
+            report.recorded,
+            report.replayed,
+        );
+    }
+}
+
+/// Recording the same `(sessions, seed)` twice is bit-reproducible —
+/// the property that makes golden traces meaningful at all.
+#[test]
+fn recording_is_deterministic() {
+    let (a, outcomes_a) = record_storm(2, 99).expect("record");
+    let (b, outcomes_b) = record_storm(2, 99).expect("record again");
+    assert_eq!(a.encode().expect("encodes"), b.encode().expect("encodes"));
+    assert_eq!(outcomes_a, outcomes_b);
+}
+
+/// A recorded trace replays against itself with a clean report.
+#[test]
+fn fresh_recording_replays_clean() {
+    let (trace, outcomes) = record_storm(3, 7).expect("record");
+    assert_eq!(outcomes.len(), 3);
+    assert!(
+        outcomes.iter().all(|o| o.granted.is_some()),
+        "a quiet-network storm decides every session"
+    );
+    let report = replay_storm(&trace).expect("replay");
+    assert_eq!(
+        report,
+        ReplayReport {
+            recorded: trace.records.len(),
+            replayed: trace.records.len(),
+            divergence: None,
+        }
+    );
+}
